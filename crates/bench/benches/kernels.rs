@@ -1,0 +1,193 @@
+//! Micro-benchmarks of the numerical kernels underlying M2TD: SVD routes,
+//! symmetric eigendecomposition, sparse/dense TTM, Gram computation and
+//! stitching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use m2td_linalg::{gram_left_singular_vectors, householder_qr, svd, symmetric_eig, Matrix};
+use m2td_stitch::{stitch, StitchKind};
+use m2td_tensor::{
+    hosvd_sparse, sparse_core, ttm_dense, ttm_sparse_transposed, CoreOrdering, DenseTensor, Shape,
+    SparseTensor,
+};
+use std::hint::black_box;
+
+fn dense_tensor(dims: &[usize]) -> DenseTensor {
+    DenseTensor::from_fn(dims, |i| {
+        let mut acc = 1.0;
+        for (n, &x) in i.iter().enumerate() {
+            acc *= ((x + n + 1) as f64 * 0.37).sin() + 1.2;
+        }
+        acc
+    })
+}
+
+fn full_sparse(dims: &[usize]) -> SparseTensor {
+    SparseTensor::from_dense(&dense_tensor(dims))
+}
+
+/// SVD routes: full one-sided Jacobi vs the Gram trick used by HOSVD
+/// (the `ablation_svd` design-choice ablation).
+fn bench_svd_routes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svd_routes");
+    g.sample_size(20);
+    // A short-and-wide matricization, the shape the pipeline always sees.
+    let a = Matrix::from_fn(12, 1728, |i, j| ((i * 7 + j) as f64 * 0.013).sin());
+    g.bench_function("jacobi_full_svd", |b| {
+        b.iter(|| svd(black_box(&a)).unwrap())
+    });
+    g.bench_function("gram_truncated_r4", |b| {
+        b.iter(|| gram_left_singular_vectors(black_box(&a), 4).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_eig_and_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eig_qr");
+    g.sample_size(30);
+    let sym = {
+        let b = Matrix::from_fn(24, 24, |i, j| ((i * 3 + j * 5) as f64 * 0.11).sin());
+        b.gram_rows()
+    };
+    g.bench_function("symmetric_eig_24", |b| {
+        b.iter(|| symmetric_eig(black_box(&sym)).unwrap())
+    });
+    let rect = Matrix::from_fn(64, 24, |i, j| ((i + 2 * j) as f64 * 0.07).cos());
+    g.bench_function("householder_qr_64x24", |b| {
+        b.iter(|| householder_qr(black_box(&rect)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ttm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ttm");
+    g.sample_size(20);
+    let dense = dense_tensor(&[12, 12, 12, 12]);
+    let sparse = SparseTensor::from_dense(&dense);
+    let u = Matrix::from_fn(12, 4, |i, j| ((i + j) as f64 * 0.3).sin());
+    g.bench_function("dense_mode0_12c4", |b| {
+        b.iter(|| ttm_dense(black_box(&dense), 0, &u.transpose()).unwrap())
+    });
+    g.bench_function("sparse_transposed_mode0", |b| {
+        b.iter(|| ttm_sparse_transposed(black_box(&sparse), 0, &u).unwrap())
+    });
+    let factors: Vec<Matrix> = (0..4)
+        .map(|n| Matrix::from_fn(12, 4, |i, j| ((i * (n + 2) + j) as f64 * 0.21).cos()))
+        .collect();
+    g.bench_function("sparse_core_chain", |b| {
+        b.iter(|| sparse_core(black_box(&sparse), &factors, CoreOrdering::BestShrinkFirst).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_gram_and_hosvd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_hosvd");
+    g.sample_size(15);
+    let sparse = full_sparse(&[10, 10, 10, 10]);
+    g.bench_function("unfold_gram_mode0", |b| {
+        b.iter(|| sparse.unfold_gram(0).unwrap())
+    });
+    g.bench_function("hosvd_sparse_rank4", |b| {
+        b.iter(|| hosvd_sparse(black_box(&sparse), &[4, 4, 4, 4]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_stitch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stitch");
+    g.sample_size(15);
+    let x1 = full_sparse(&[10, 100]);
+    let x2 = full_sparse(&[10, 100]);
+    g.bench_function("join_10x100", |b| {
+        b.iter(|| stitch(black_box(&x1), &x2, 1, StitchKind::Join).unwrap())
+    });
+    // Thinned inputs exercise the zero-join bookkeeping.
+    let thin = |x: &SparseTensor| {
+        let entries: Vec<(Vec<usize>, f64)> = x
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, e)| e)
+            .collect();
+        SparseTensor::from_entries(x.dims(), &entries).unwrap()
+    };
+    let t1 = thin(&x1);
+    let t2 = thin(&x2);
+    g.bench_function("zero_join_thinned", |b| {
+        b.iter(|| stitch(black_box(&t1), &t2, 1, StitchKind::ZeroJoin).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_shape_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shape");
+    let shape = Shape::new(&[14, 14, 14, 14, 14]);
+    let total = shape.num_elements();
+    g.bench_function("multi_index_round_trip", |b| {
+        b.iter_batched(
+            || (0..total).step_by(101).collect::<Vec<_>>(),
+            |lins| {
+                let mut acc = 0usize;
+                for l in lins {
+                    let idx = shape.multi_index(l);
+                    acc += shape.linear_index(&idx);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Incremental vs batch Gram maintenance (the streaming-ensemble path).
+fn bench_incremental_gram(c: &mut Criterion) {
+    use m2td_tensor::IncrementalEnsemble;
+    let mut g = c.benchmark_group("incremental");
+    g.sample_size(15);
+    let dims = [10usize, 10, 10];
+    let dense = dense_tensor(&dims);
+    let shape = Shape::new(&dims);
+    let cells: Vec<(Vec<usize>, f64)> = dense
+        .as_slice()
+        .iter()
+        .enumerate()
+        .step_by(2)
+        .map(|(l, &v)| (shape.multi_index(l), v))
+        .collect();
+    g.bench_function("incremental_fill_500", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalEnsemble::new(&dims);
+            for (idx, v) in &cells {
+                inc.add(idx, *v).unwrap();
+            }
+            inc
+        })
+    });
+    g.bench_function("batch_grams_after_fill", |b| {
+        let sparse = {
+            let mut inc = IncrementalEnsemble::new(&dims);
+            for (idx, v) in &cells {
+                inc.add(idx, *v).unwrap();
+            }
+            inc.to_sparse()
+        };
+        b.iter(|| {
+            (0..3)
+                .map(|m| sparse.unfold_gram(m).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_svd_routes,
+    bench_eig_and_qr,
+    bench_ttm,
+    bench_gram_and_hosvd,
+    bench_stitch,
+    bench_shape_math,
+    bench_incremental_gram
+);
+criterion_main!(kernels);

@@ -1,0 +1,270 @@
+//! `m2td-cli` — run one partition-stitch ensemble experiment from the
+//! command line.
+//!
+//! ```text
+//! m2td-cli list-systems
+//! m2td-cli run --system double_pendulum --resolution 10 --rank 4
+//! m2td-cli run --system lorenz --method avg --pivot t --e-frac 0.5
+//! m2td-cli compare --system sir --resolution 8 --rank 3
+//! m2td-cli run --system double_pendulum --groups 4      # multi-way
+//! m2td-cli run --system sir --save decomposition.json   # persist Tucker
+//! ```
+
+use m2td_bench::registry::{system_by_name, SystemKind};
+use m2td_bench::tables::workbench_config;
+use m2td_core::{M2tdOptions, PivotCombine, RunReport, Workbench};
+use m2td_sampling::{
+    GridSampling, LatinHypercubeSampling, RandomSampling, SamplingScheme, SliceSampling,
+    StratifiedSampling,
+};
+use m2td_stitch::StitchKind;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "m2td-cli — partition-stitch ensemble experiments (M2TD, ICDE 2018)
+
+USAGE:
+  m2td-cli list-systems
+  m2td-cli run     [flags]   run one strategy and print its report
+  m2td-cli compare [flags]   run every strategy at budget parity
+
+FLAGS (run/compare):
+  --system <name>        double_pendulum | triple_pendulum | lorenz | sir | rossler
+  --resolution <n>       values per parameter axis        [default 10]
+  --rank <n>             target Tucker rank per mode      [default 4]
+  --seed <n>             RNG seed                         [default 42]
+  --noise <sigma>        measurement-noise std-dev        [default 0]
+  --pivot <mode>         pivot: t or a parameter name     [default t]
+  --p-frac <f>           pivot density in (0,1]           [default 1]
+  --e-frac <f>           sub-ensemble density in (0,1]    [default 1]
+  --cell-frac <f>        budget fraction in (0,1]         [default 1]
+  --groups <n>           multi-way partition group count  [default 2]
+
+FLAGS (run only):
+  --method <m>           select | avg | concat | zero-join |
+                         random | grid | slice | latin-hypercube | stratified
+                                                          [default select]
+  --save <path>          write the Tucker decomposition as JSON
+"
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().map(|s| s.as_str()) else {
+        return Err(usage().to_string());
+    };
+    match command {
+        "list-systems" => {
+            for kind in [
+                SystemKind::DoublePendulum,
+                SystemKind::TriplePendulum,
+                SystemKind::Lorenz,
+                SystemKind::Sir,
+                SystemKind::Rossler,
+            ] {
+                let sys = kind.instantiate();
+                println!(
+                    "{:<16} parameters: {}",
+                    sys.name(),
+                    sys.param_names().join(", ")
+                );
+            }
+            Ok(())
+        }
+        "run" | "compare" => {
+            let args = Args::parse(&raw[1..])?;
+            let kind = match args.get("system") {
+                None => SystemKind::DoublePendulum,
+                Some(name) => {
+                    system_by_name(name).ok_or_else(|| format!("unknown system '{name}'"))?
+                }
+            };
+            let resolution: usize = args.parse_or("resolution", 10)?;
+            let rank: usize = args.parse_or("rank", 4)?;
+            let mut cfg = workbench_config(kind, resolution, rank);
+            cfg.seed = args.parse_or("seed", 42u64)?;
+            cfg.noise_sigma = args.parse_or("noise", 0.0f64)?;
+            let p_frac: f64 = args.parse_or("p-frac", 1.0)?;
+            let e_frac: f64 = args.parse_or("e-frac", 1.0)?;
+            let cell_frac: f64 = args.parse_or("cell-frac", 1.0)?;
+            let groups: usize = args.parse_or("groups", 2)?;
+
+            let system = kind.instantiate();
+            eprintln!(
+                "building ground truth: {resolution}^5 cells for {}...",
+                system.name()
+            );
+            let bench =
+                Workbench::new(system.as_ref(), cfg).map_err(|e| format!("workbench: {e}"))?;
+            let mode_names = bench.mode_names();
+            let pivot = match args.get("pivot") {
+                None => bench.n_modes() - 1,
+                Some(name) => mode_names
+                    .iter()
+                    .position(|m| m == name)
+                    .ok_or_else(|| format!("unknown pivot '{name}' (modes: {mode_names:?})"))?,
+            };
+
+            if command == "compare" {
+                let budget = bench
+                    .m2td_budget(pivot, p_frac, e_frac)
+                    .map_err(|e| e.to_string())?;
+                println!("budget: {budget} cells (paper parity)\n");
+                for combine in PivotCombine::all() {
+                    let opts = M2tdOptions {
+                        combine,
+                        ..M2tdOptions::default()
+                    };
+                    let r = bench
+                        .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                        .map_err(|e| e.to_string())?;
+                    print_report(&r);
+                }
+                for scheme in [
+                    &RandomSampling as &dyn SamplingScheme,
+                    &GridSampling,
+                    &SliceSampling,
+                    &LatinHypercubeSampling,
+                    &StratifiedSampling,
+                ] {
+                    let r = bench
+                        .run_conventional(scheme, budget)
+                        .map_err(|e| e.to_string())?;
+                    print_report(&r);
+                }
+                return Ok(());
+            }
+
+            // run: one method.
+            let method = args.get("method").unwrap_or("select");
+            let report = match method {
+                "select" | "avg" | "concat" | "zero-join" => {
+                    let opts = M2tdOptions {
+                        combine: match method {
+                            "avg" => PivotCombine::Average,
+                            "concat" => PivotCombine::Concat,
+                            _ => PivotCombine::Select,
+                        },
+                        stitch: if method == "zero-join" {
+                            StitchKind::ZeroJoin
+                        } else {
+                            StitchKind::Join
+                        },
+                        ..M2tdOptions::default()
+                    };
+                    if groups != 2 {
+                        bench
+                            .run_m2td_multi(pivot, groups, opts, p_frac, e_frac)
+                            .map_err(|e| e.to_string())?
+                    } else {
+                        bench
+                            .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                            .map_err(|e| e.to_string())?
+                    }
+                }
+                "random" | "grid" | "slice" | "latin-hypercube" | "stratified" => {
+                    let scheme: &dyn SamplingScheme = match method {
+                        "random" => &RandomSampling,
+                        "grid" => &GridSampling,
+                        "slice" => &SliceSampling,
+                        "latin-hypercube" => &LatinHypercubeSampling,
+                        _ => &StratifiedSampling,
+                    };
+                    let budget = bench
+                        .m2td_budget(pivot, p_frac, e_frac)
+                        .map_err(|e| e.to_string())?;
+                    bench
+                        .run_conventional(scheme, budget)
+                        .map_err(|e| e.to_string())?
+                }
+                other => return Err(format!("unknown method '{other}'\n\n{}", usage())),
+            };
+            print_report(&report);
+
+            if let Some(path) = args.get("save") {
+                let (x1, x2, partition) = bench
+                    .subsystems(pivot, p_frac, e_frac, cell_frac)
+                    .map_err(|e| e.to_string())?;
+                let ranks: Vec<usize> = partition
+                    .join_modes()
+                    .iter()
+                    .map(|&m| rank.min(bench.full_dims()[m]))
+                    .collect();
+                let d = m2td_core::m2td_decompose(
+                    &x1,
+                    &x2,
+                    partition.k(),
+                    &ranks,
+                    M2tdOptions::default(),
+                )
+                .map_err(|e| e.to_string())?;
+                m2td_tensor::save_json(&d.tucker, std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                println!("Tucker decomposition written to {path}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn print_report(r: &RunReport) {
+    println!(
+        "{:<18} accuracy {:>10.4e}   decompose {:>7.1} ms   {:>8} cells ({} sims), density {:.2e}",
+        r.method,
+        r.accuracy,
+        r.decompose_secs * 1e3,
+        r.cells,
+        r.distinct_sims,
+        r.density,
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Regenerates every table of the paper's evaluation section (and the
+//! ablation studies) at reproduction scale.
+//!
+//! ```text
+//! cargo run --release -p m2td-bench --bin tables -- all
+//! cargo run --release -p m2td-bench --bin tables -- table2 table5
+//! cargo run --release -p m2td-bench --bin tables -- --quick all
+//! ```
+//!
+//! Results are printed and written as JSON under `results/`.
+
+use m2td_bench::report::TableResult;
+use m2td_bench::tables::*;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Scale {
+    table2_res: Vec<usize>,
+    table2_ranks: Vec<usize>,
+    res: usize,
+    rank: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            table2_res: vec![10, 12, 14],
+            table2_ranks: vec![2, 4, 8],
+            res: 12,
+            rank: 4,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            table2_res: vec![6, 8],
+            table2_ranks: vec![2, 4],
+            res: 8,
+            rank: 2,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let selected = if selected.is_empty() || selected.contains(&"all") {
+        vec![
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "ablations",
+        ]
+    } else {
+        selected
+    };
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let out_dir = PathBuf::from("results");
+
+    let mut emitted: Vec<TableResult> = Vec::new();
+    for name in &selected {
+        let t0 = Instant::now();
+        let result: Result<Vec<TableResult>, Box<dyn std::error::Error>> = match *name {
+            "table2" => run_table2(&scale.table2_res, &scale.table2_ranks).map(|(a, b)| vec![a, b]),
+            "table3" => run_table3(scale.res, scale.rank, &[1, 2, 4, 9, 18]).map(|t| vec![t]),
+            "table4" => run_table4(scale.res, scale.rank).map(|(a, b)| vec![a, b]),
+            "table5" => run_table5(scale.res, scale.rank).map(|t| vec![t]),
+            "table6" => run_table6(scale.res, scale.rank).map(|t| vec![t]),
+            "table7" => run_table7(scale.res, scale.rank).map(|t| vec![t]),
+            "table8" => run_table8(scale.res, scale.rank).map(|(a, b)| vec![a, b]),
+            "ablations" => (|| {
+                Ok(vec![
+                    run_ablation_hooi(scale.res, scale.rank)?,
+                    run_ablation_projection(scale.res, scale.rank)?,
+                    run_ablation_ttm_order(scale.res, scale.rank)?,
+                    run_ablation_pivot_k(scale.res, scale.rank)?,
+                    run_ablation_partitions(scale.res, scale.rank)?,
+                    run_extra_baselines(scale.res, scale.rank)?,
+                    run_ablation_noise(scale.res, scale.rank)?,
+                ])
+            })(),
+            other => {
+                eprintln!("unknown table '{other}' — expected table2..table8, ablations, all");
+                std::process::exit(2);
+            }
+        };
+        match result {
+            Ok(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                    if let Err(e) = t.write_json(&out_dir) {
+                        eprintln!("warning: could not write {}: {e}", t.id);
+                    }
+                    emitted.push(t);
+                }
+                println!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error running {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "{} table(s) written to {}/",
+        emitted.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,18 @@
+//! Experiment harness shared by the `tables` binary and the Criterion
+//! benches: table configurations, system registry, result records and
+//! text-table formatting.
+//!
+//! Every table of the paper's evaluation section has a `run_table*`
+//! function here that returns machine-readable [`TableResult`] records;
+//! the `tables` binary prints them and writes them to `results/*.json`.
+//! Scale parameters are chosen for a single-core reproduction machine (see
+//! DESIGN.md §4.2); the paper-vs-measured comparison lives in
+//! EXPERIMENTS.md.
+
+pub mod registry;
+pub mod report;
+pub mod tables;
+
+pub use registry::{system_by_name, SystemKind};
+pub use report::TableResult;
+pub use tables::*;

@@ -1,0 +1,91 @@
+//! Registry of the dynamical systems used in the evaluation.
+
+use m2td_sim::systems::{DoublePendulum, Lorenz, Rossler, Sir, TriplePendulum};
+use m2td_sim::EnsembleSystem;
+
+/// The systems of Section VII-A (plus the SIR example model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Double equal-length pendulum.
+    DoublePendulum,
+    /// Triple pendulum with variable friction.
+    TriplePendulum,
+    /// Lorenz-63.
+    Lorenz,
+    /// SIR epidemic model.
+    Sir,
+    /// Rössler attractor (extension beyond the paper's systems).
+    Rossler,
+}
+
+impl SystemKind {
+    /// Every evaluation system, in the paper's order.
+    pub fn paper_systems() -> [SystemKind; 3] {
+        [
+            SystemKind::DoublePendulum,
+            SystemKind::TriplePendulum,
+            SystemKind::Lorenz,
+        ]
+    }
+
+    /// An owning boxed instance of this system.
+    pub fn instantiate(&self) -> Box<dyn EnsembleSystem> {
+        match self {
+            SystemKind::DoublePendulum => Box::new(DoublePendulum::default()),
+            SystemKind::TriplePendulum => Box::new(TriplePendulum::default()),
+            SystemKind::Lorenz => Box::new(Lorenz::default()),
+            SystemKind::Sir => Box::new(Sir),
+            SystemKind::Rossler => Box::new(Rossler::default()),
+        }
+    }
+
+    /// A recommended total simulated time per system (chaotic systems need
+    /// short horizons to keep cell values informative).
+    pub fn t_end(&self) -> f64 {
+        match self {
+            SystemKind::DoublePendulum => 2.0,
+            SystemKind::TriplePendulum => 2.0,
+            SystemKind::Lorenz => 1.0,
+            SystemKind::Sir => 60.0,
+            SystemKind::Rossler => 6.0,
+        }
+    }
+}
+
+/// Looks a system up by its `EnsembleSystem::name` string.
+pub fn system_by_name(name: &str) -> Option<SystemKind> {
+    match name {
+        "double_pendulum" => Some(SystemKind::DoublePendulum),
+        "triple_pendulum" => Some(SystemKind::TriplePendulum),
+        "lorenz" => Some(SystemKind::Lorenz),
+        "sir" => Some(SystemKind::Sir),
+        "rossler" => Some(SystemKind::Rossler),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        for kind in [
+            SystemKind::DoublePendulum,
+            SystemKind::TriplePendulum,
+            SystemKind::Lorenz,
+            SystemKind::Sir,
+            SystemKind::Rossler,
+        ] {
+            let sys = kind.instantiate();
+            assert_eq!(system_by_name(sys.name()), Some(kind));
+            assert!(kind.t_end() > 0.0);
+        }
+        assert!(system_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_systems_are_three() {
+        assert_eq!(SystemKind::paper_systems().len(), 3);
+    }
+}

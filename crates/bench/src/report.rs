@@ -1,0 +1,161 @@
+//! Result records and text-table rendering.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One row of a reproduced table: a set of labeled configuration values
+/// plus a set of labeled measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Configuration values, e.g. `("resolution", "12")`.
+    pub config: Vec<(String, String)>,
+    /// Measurements, e.g. `("M2TD-SELECT acc", 0.52)`.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A reproduced table: id (e.g. `"table2"`), caption and rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Table identifier matching the paper (`table2` … `table8`) or an
+    /// ablation name.
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl TableResult {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, config: Vec<(&str, String)>, values: Vec<(&str, f64)>) {
+        self.rows.push(Row {
+            config: config
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    /// Renders the table as aligned text (accuracy-style small values in
+    /// scientific notation).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.caption));
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        // Header from the first row.
+        let mut header: Vec<String> = self.rows[0].config.iter().map(|(k, _)| k.clone()).collect();
+        header.extend(self.rows[0].values.iter().map(|(k, _)| k.clone()));
+        let mut cells: Vec<Vec<String>> = vec![header];
+        for row in &self.rows {
+            let mut line: Vec<String> = row.config.iter().map(|(_, v)| v.clone()).collect();
+            line.extend(row.values.iter().map(|(_, v)| format_value(*v)));
+            cells.push(line);
+        }
+        let cols = cells.iter().map(|r| r.len()).max().unwrap_or(0);
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| {
+                cells
+                    .iter()
+                    .filter_map(|r| r.get(c))
+                    .map(|s| s.len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        for row in &cells {
+            for (c, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", cell, width = widths[c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let json = serde_json::to_string_pretty(self).expect("serializable by construction");
+        f.write_all(json.as_bytes())
+    }
+}
+
+/// Formats measurements: small magnitudes in scientific notation (like the
+/// paper's accuracy columns), larger ones with four decimals.
+pub fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 1e-2 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TableResult::new("table0", "demo");
+        t.push_row(
+            vec![("res", "60".into())],
+            vec![("acc", 0.5432), ("rand", 1.2e-8)],
+        );
+        t.push_row(
+            vec![("res", "70".into())],
+            vec![("acc", 0.1), ("rand", 0.0)],
+        );
+        let s = t.render();
+        assert!(s.contains("table0"));
+        assert!(s.contains("0.5432"));
+        assert!(s.contains("1.2e-8"));
+        assert!(s.contains('0'));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = TableResult::new("tableX", "round trip");
+        t.push_row(vec![("a", "1".into())], vec![("v", 2.0)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TableResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "tableX");
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].values[0].1, 2.0);
+    }
+
+    #[test]
+    fn format_value_ranges() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.5), "0.5000");
+        assert!(format_value(3.2e-5).contains('e'));
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("m2td_report_test");
+        let t = TableResult::new("table_test", "file test");
+        t.write_json(&dir).unwrap();
+        assert!(dir.join("table_test.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,279 @@
+//! Post-decomposition analytics — the "need for post-simulation data
+//! processing" the paper's introduction motivates.
+//!
+//! A Tucker decomposition of an ensemble is only useful if an analyst can
+//! read something out of it. This module provides the standard readings:
+//! per-mode energy profiles (which parameter values behave most
+//! distinctively), the core spectrum (how many latent patterns carry the
+//! ensemble's energy), and the dominant factor interactions (which
+//! combinations of per-mode patterns explain the data).
+
+use crate::error::CoreError;
+use crate::Result;
+use m2td_tensor::{SparseTensor, TuckerDecomp};
+
+/// One dominant entry of the core tensor: a latent-pattern combination and
+/// its strength.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interaction {
+    /// Per-mode latent-pattern indices (column of each factor).
+    pub pattern: Vec<usize>,
+    /// The core value (signed strength of the interaction).
+    pub strength: f64,
+}
+
+/// Row energies of one mode's factor: `profile[i] = ‖U⁽ⁿ⁾[i, :]‖₂`.
+///
+/// High energy means parameter value `i` is strongly represented by the
+/// retained patterns — its simulations behave distinctively; low energy
+/// means the value's behaviour is mostly explained away by the truncation.
+/// This is exactly the quantity M2TD-SELECT uses to arbitrate between
+/// sub-systems, exposed here as an analyst-facing reading.
+pub fn mode_energy_profile(tucker: &TuckerDecomp, mode: usize) -> Result<Vec<f64>> {
+    let factor = tucker
+        .factors
+        .get(mode)
+        .ok_or_else(|| CoreError::InvalidInput {
+            reason: format!(
+                "mode {mode} out of range for an order-{} decomposition",
+                tucker.factors.len()
+            ),
+        })?;
+    Ok((0..factor.rows()).map(|i| factor.row_norm(i)).collect())
+}
+
+/// The core spectrum: absolute core values, sorted decreasing. The decay
+/// rate tells an analyst how many latent patterns the ensemble really has
+/// (a fast drop means a lower target rank would have sufficed).
+pub fn core_spectrum(tucker: &TuckerDecomp) -> Vec<f64> {
+    let mut spectrum: Vec<f64> = tucker.core.as_slice().iter().map(|v| v.abs()).collect();
+    spectrum.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    spectrum
+}
+
+/// Fraction of the core's energy captured by its `k` largest entries.
+pub fn spectrum_energy_fraction(tucker: &TuckerDecomp, k: usize) -> f64 {
+    let spectrum = core_spectrum(tucker);
+    let total: f64 = spectrum.iter().map(|v| v * v).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let head: f64 = spectrum.iter().take(k).map(|v| v * v).sum();
+    head / total
+}
+
+/// The `top_k` strongest interactions in the core: which combinations of
+/// per-mode latent patterns dominate the ensemble (the paper's "broad,
+/// actionable patterns").
+pub fn dominant_interactions(tucker: &TuckerDecomp, top_k: usize) -> Vec<Interaction> {
+    let shape = tucker.core.shape().clone();
+    let mut all: Vec<Interaction> = tucker
+        .core
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(lin, &v)| Interaction {
+            pattern: shape.multi_index(lin),
+            strength: v,
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        b.strength
+            .abs()
+            .partial_cmp(&a.strength.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    all.truncate(top_k);
+    all
+}
+
+/// For one mode, the parameter value (row index) most aligned with each
+/// latent pattern (the per-column argmax of `|U⁽ⁿ⁾|`). Lets an analyst
+/// label a pattern with a concrete parameter setting.
+pub fn pattern_representatives(tucker: &TuckerDecomp, mode: usize) -> Result<Vec<usize>> {
+    let factor = tucker
+        .factors
+        .get(mode)
+        .ok_or_else(|| CoreError::InvalidInput {
+            reason: format!("mode {mode} out of range"),
+        })?;
+    let mut reps = Vec::with_capacity(factor.cols());
+    for j in 0..factor.cols() {
+        let mut best = 0usize;
+        let mut best_val = f64::NEG_INFINITY;
+        for i in 0..factor.rows() {
+            let v = factor.get(i, j).abs();
+            if v > best_val {
+                best_val = v;
+                best = i;
+            }
+        }
+        reps.push(best);
+    }
+    Ok(reps)
+}
+
+/// A simulation cell with its reconstruction residual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residual {
+    /// The cell's multi-index (in the decomposition's mode order).
+    pub index: Vec<usize>,
+    /// Observed (simulated) value.
+    pub observed: f64,
+    /// Value predicted by the decomposition.
+    pub predicted: f64,
+}
+
+impl Residual {
+    /// Absolute residual `|observed − predicted|`.
+    pub fn magnitude(&self) -> f64 {
+        (self.observed - self.predicted).abs()
+    }
+}
+
+/// The `top_k` sampled cells the decomposition explains **worst** —
+/// candidate outlier simulations. A simulation whose result the global
+/// low-rank pattern cannot reproduce is either anomalous dynamics (worth
+/// an analyst's attention) or a region the ensemble under-samples (worth
+/// more budget).
+///
+/// `sampled` must share the decomposition's mode order (for M2TD results,
+/// the join order).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] when the tensor and decomposition orders
+/// disagree.
+pub fn worst_explained_cells(
+    tucker: &TuckerDecomp,
+    sampled: &SparseTensor,
+    top_k: usize,
+) -> Result<Vec<Residual>> {
+    if sampled.order() != tucker.factors.len() {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "tensor order {} does not match decomposition order {}",
+                sampled.order(),
+                tucker.factors.len()
+            ),
+        });
+    }
+    let mut residuals: Vec<Residual> = Vec::with_capacity(sampled.nnz());
+    for (index, observed) in sampled.iter() {
+        let predicted = tucker.cell(&index)?;
+        residuals.push(Residual {
+            index,
+            observed,
+            predicted,
+        });
+    }
+    residuals.sort_by(|a, b| {
+        b.magnitude()
+            .partial_cmp(&a.magnitude())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    residuals.truncate(top_k);
+    Ok(residuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2td_linalg::Matrix;
+    use m2td_tensor::DenseTensor;
+
+    fn tucker() -> TuckerDecomp {
+        // Core 2x2 with one dominant entry; factors with obvious structure.
+        let core = DenseTensor::from_vec(&[2, 2], vec![5.0, 0.5, -0.1, 2.0]).unwrap();
+        let u0 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.6, 0.8]]).unwrap();
+        let u1 = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        TuckerDecomp::new(core, vec![u0, u1]).unwrap()
+    }
+
+    #[test]
+    fn energy_profile_matches_row_norms() {
+        let t = tucker();
+        let p = mode_energy_profile(&t, 0).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!((p[2] - 1.0).abs() < 1e-12); // 0.6-0.8 row
+        assert!(mode_energy_profile(&t, 5).is_err());
+    }
+
+    #[test]
+    fn spectrum_is_sorted_and_complete() {
+        let t = tucker();
+        let s = core_spectrum(&t);
+        assert_eq!(s, vec![5.0, 2.0, 0.5, 0.1]);
+    }
+
+    #[test]
+    fn energy_fraction_monotone_in_k() {
+        let t = tucker();
+        let f1 = spectrum_energy_fraction(&t, 1);
+        let f2 = spectrum_energy_fraction(&t, 2);
+        let f_all = spectrum_energy_fraction(&t, 4);
+        assert!(f1 < f2);
+        assert!((f_all - 1.0).abs() < 1e-12);
+        // 25 / (25 + 4 + 0.25 + 0.01)
+        assert!((f1 - 25.0 / 29.26).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_core_energy_fraction_is_one() {
+        let core = DenseTensor::zeros(&[2, 2]);
+        let t = TuckerDecomp::new(core, vec![Matrix::zeros(2, 2), Matrix::zeros(2, 2)]).unwrap();
+        assert_eq!(spectrum_energy_fraction(&t, 1), 1.0);
+    }
+
+    #[test]
+    fn dominant_interactions_ranked() {
+        let t = tucker();
+        let top = dominant_interactions(&t, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].pattern, vec![0, 0]);
+        assert_eq!(top[0].strength, 5.0);
+        assert_eq!(top[1].pattern, vec![1, 1]);
+        assert_eq!(top[1].strength, 2.0);
+        // top_k larger than nnz just returns everything.
+        assert_eq!(dominant_interactions(&t, 99).len(), 4);
+    }
+
+    #[test]
+    fn worst_explained_cells_finds_a_planted_outlier() {
+        use m2td_tensor::{hosvd_sparse, DenseTensor as DT, SparseTensor as ST};
+        // A smooth rank-1 field with one corrupted cell.
+        let mut dense = DT::from_fn(&[6, 6], |i| (i[0] + 1) as f64 * (i[1] + 1) as f64);
+        // A moderate outlier: big enough to stick out, small enough that
+        // the leading rank-1 component stays locked on the background
+        // (the spike's energy is below the background's).
+        dense.set(&[2, 3], 60.0);
+        let sparse = ST::from_dense(&dense);
+        // Rank 1: the smooth background is exactly rank 1, so the spike
+        // (which would need a second component) must show as a residual.
+        let tucker = hosvd_sparse(&sparse, &[1, 1]).unwrap();
+        let worst = worst_explained_cells(&tucker, &sparse, 1).unwrap();
+        assert_eq!(worst[0].index, vec![2, 3]);
+        assert!(worst[0].magnitude() > 10.0);
+        // And the full list is sorted decreasing.
+        let all = worst_explained_cells(&tucker, &sparse, 36).unwrap();
+        assert!(all.windows(2).all(|w| w[0].magnitude() >= w[1].magnitude()));
+    }
+
+    #[test]
+    fn worst_explained_cells_validates_order() {
+        use m2td_tensor::SparseTensor as ST;
+        let t = tucker();
+        let wrong = ST::from_entries(&[2, 2, 2], &[(vec![0, 0, 0], 1.0)]).unwrap();
+        assert!(worst_explained_cells(&t, &wrong, 1).is_err());
+    }
+
+    #[test]
+    fn representatives_are_column_argmaxes() {
+        let t = tucker();
+        // u1 columns: col0 peaks at row 1, col1 at row 0.
+        assert_eq!(pattern_representatives(&t, 1).unwrap(), vec![1, 0]);
+        assert!(pattern_representatives(&t, 9).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Pivot-mode factor combination strategies (the heart of M2TD).
+
+use crate::error::CoreError;
+use crate::Result;
+use m2td_linalg::{symmetric_eig, Matrix};
+
+/// How the pivot-mode factor matrices of the two sub-tensor decompositions
+/// are merged into one factor for the join tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotCombine {
+    /// M2TD-AVG: entry-wise average of the two factor matrices
+    /// (Algorithm 2, Figure 10(a)).
+    Average,
+    /// M2TD-CONCAT: left singular vectors of the column-concatenated
+    /// matricization `[X₁₍ₙ₎ | X₂₍ₙ₎]` (Algorithm 3). Since the left
+    /// singular vectors of a concatenation are the eigenvectors of the sum
+    /// of the Gram matrices, this variant combines at the Gram level and
+    /// its result *is* a genuine singular basis — fixing AVG's weakness
+    /// that averages of singular vectors need not be singular vectors.
+    Concat,
+    /// M2TD-SELECT: per-row energy selection between the two factors
+    /// (Algorithms 4–5, Figure 10(b)). The row with the larger 2-norm
+    /// better represents the corresponding entity, and keeping it intact
+    /// prevents the lower-energy row from acting as noise.
+    Select,
+}
+
+impl PivotCombine {
+    /// Name used in reports, matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PivotCombine::Average => "M2TD-AVG",
+            PivotCombine::Concat => "M2TD-CONCAT",
+            PivotCombine::Select => "M2TD-SELECT",
+        }
+    }
+
+    /// All three variants, in the paper's table order.
+    pub fn all() -> [PivotCombine; 3] {
+        [
+            PivotCombine::Average,
+            PivotCombine::Concat,
+            PivotCombine::Select,
+        ]
+    }
+}
+
+/// `ROW_SELECT` (Algorithm 5): builds the output factor row-by-row, taking
+/// each row from whichever input matrix gives it more energy (2-norm).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] if the matrices' shapes differ.
+pub fn row_select(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
+    if u1.shape() != u2.shape() {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "row_select requires equal shapes, got {:?} and {:?}",
+                u1.shape(),
+                u2.shape()
+            ),
+        });
+    }
+    let mut out = Matrix::zeros(u1.rows(), u1.cols());
+    for i in 0..u1.rows() {
+        let src = if u1.row_norm(i) >= u2.row_norm(i) {
+            u1.row(i)
+        } else {
+            u2.row(i)
+        };
+        out.row_mut(i).copy_from_slice(src);
+    }
+    Ok(out)
+}
+
+/// Flips the sign of each column of `u2` whose inner product with the
+/// corresponding column of `u1` is negative.
+///
+/// Eigenvectors are only defined up to sign, so the two sub-tensor factors
+/// can disagree on orientation even when they describe the same pattern.
+/// Row-wise combination (AVG's averaging, SELECT's row mixing) is only
+/// meaningful after the bases are consistently oriented.
+pub fn align_signs(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
+    if u1.shape() != u2.shape() {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "align_signs requires equal shapes, got {:?} and {:?}",
+                u1.shape(),
+                u2.shape()
+            ),
+        });
+    }
+    let mut out = u2.clone();
+    for j in 0..u1.cols() {
+        let mut dot = 0.0;
+        for i in 0..u1.rows() {
+            dot += u1.get(i, j) * u2.get(i, j);
+        }
+        if dot < 0.0 {
+            for i in 0..u1.rows() {
+                out.set(i, j, -out.get(i, j));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Combines one pivot mode's information from the two sub-tensors into a
+/// single `I_n × r` factor matrix.
+///
+/// `gram1`/`gram2` are the mode's Gram matrices `X₍ₙ₎X₍ₙ₎ᵀ` from the two
+/// sub-tensors; `u1`/`u2` are the corresponding `r`-leading eigenvector
+/// factors (already computed by the caller, who also needs them for the
+/// free modes' bookkeeping).
+pub fn combine_pivot_factor(
+    kind: PivotCombine,
+    gram1: &Matrix,
+    gram2: &Matrix,
+    u1: &Matrix,
+    u2: &Matrix,
+    r: usize,
+) -> Result<Matrix> {
+    match kind {
+        PivotCombine::Average => {
+            let u2_aligned = align_signs(u1, u2)?;
+            Ok(u1.average(&u2_aligned)?)
+        }
+        PivotCombine::Concat => {
+            let summed = gram1.add(gram2)?;
+            let eig = symmetric_eig(&summed)?;
+            Ok(eig.eigenvectors.leading_columns(r)?)
+        }
+        PivotCombine::Select => {
+            let u2_aligned = align_signs(u1, u2)?;
+            row_select(u1, &u2_aligned)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_select_picks_higher_energy_rows() {
+        let u1 = Matrix::from_rows(&[&[3.0, 4.0], &[0.1, 0.0]]).unwrap(); // norms 5, 0.1
+        let u2 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap(); // norms 1, 2
+        let u = row_select(&u1, &u2).unwrap();
+        assert_eq!(u.row(0), &[3.0, 4.0]);
+        assert_eq!(u.row(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn row_select_tie_prefers_first() {
+        let u1 = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let u = row_select(&u1, &u2).unwrap();
+        assert_eq!(u.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn row_select_shape_mismatch() {
+        let u1 = Matrix::zeros(2, 2);
+        let u2 = Matrix::zeros(3, 2);
+        assert!(row_select(&u1, &u2).is_err());
+    }
+
+    #[test]
+    fn row_select_output_rows_come_from_inputs() {
+        let u1 = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let u2 = Matrix::from_fn(5, 3, |i, j| ((i + j) as f64).cos());
+        let u = row_select(&u1, &u2).unwrap();
+        for i in 0..5 {
+            let is_u1 = u.row(i) == u1.row(i);
+            let is_u2 = u.row(i) == u2.row(i);
+            assert!(is_u1 || is_u2, "row {i} is neither input row");
+            // And it must be the one with the larger norm.
+            let expected = u1.row_norm(i).max(u2.row_norm(i));
+            assert!((u.row_norm(i) - expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn average_combination_is_midpoint() {
+        let u1 = Matrix::from_rows(&[&[2.0, 0.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[0.0, 2.0]]).unwrap();
+        let g = Matrix::identity(1);
+        let u = combine_pivot_factor(PivotCombine::Average, &g, &g, &u1, &u2, 2).unwrap();
+        assert_eq!(u.row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_combination_diagonalizes_summed_gram() {
+        // Two rank-1 grams along different axes: the summed gram's leading
+        // eigenvectors are the coordinate axes, strongest first.
+        let g1 = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let g2 = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let u_dummy = Matrix::zeros(2, 2);
+        let u =
+            combine_pivot_factor(PivotCombine::Concat, &g1, &g2, &u_dummy, &u_dummy, 2).unwrap();
+        assert!((u.get(0, 0).abs() - 1.0).abs() < 1e-12);
+        assert!((u.get(1, 1).abs() - 1.0).abs() < 1e-12);
+        assert!(u.get(1, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_result_is_orthonormal() {
+        let a = Matrix::from_fn(4, 9, |i, j| ((i * 2 + j) as f64).sin());
+        let b = Matrix::from_fn(4, 7, |i, j| ((i + 3 * j) as f64).cos());
+        let g1 = a.gram_rows();
+        let g2 = b.gram_rows();
+        let dummy = Matrix::zeros(4, 3);
+        let u = combine_pivot_factor(PivotCombine::Concat, &g1, &g2, &dummy, &dummy, 3).unwrap();
+        assert!(u.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PivotCombine::Average.name(), "M2TD-AVG");
+        assert_eq!(PivotCombine::Concat.name(), "M2TD-CONCAT");
+        assert_eq!(PivotCombine::Select.name(), "M2TD-SELECT");
+        assert_eq!(PivotCombine::all().len(), 3);
+    }
+}

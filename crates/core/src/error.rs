@@ -1,0 +1,98 @@
+//! Error type aggregating the failure modes of the M2TD pipeline.
+
+use std::fmt;
+
+/// Errors produced by M2TD decomposition and the experiment pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The two sub-tensors are structurally incompatible with the
+    /// requested pivot count or ranks.
+    InvalidInput {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// Linear algebra failure.
+    Linalg(m2td_linalg::LinalgError),
+    /// Tensor kernel failure.
+    Tensor(m2td_tensor::TensorError),
+    /// Sampling-plan failure.
+    Sampling(m2td_sampling::SamplingError),
+    /// Stitching failure.
+    Stitch(m2td_stitch::StitchError),
+    /// Simulation/ensemble failure.
+    Sim(m2td_sim::SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput { reason } => write!(f, "invalid M2TD input: {reason}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
+            CoreError::Stitch(e) => write!(f, "stitch error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InvalidInput { .. } => None,
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Sampling(e) => Some(e),
+            CoreError::Stitch(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<m2td_linalg::LinalgError> for CoreError {
+    fn from(e: m2td_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<m2td_tensor::TensorError> for CoreError {
+    fn from(e: m2td_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<m2td_sampling::SamplingError> for CoreError {
+    fn from(e: m2td_sampling::SamplingError) -> Self {
+        CoreError::Sampling(e)
+    }
+}
+
+impl From<m2td_stitch::StitchError> for CoreError {
+    fn from(e: m2td_stitch::StitchError) -> Self {
+        CoreError::Stitch(e)
+    }
+}
+
+impl From<m2td_sim::SimError> for CoreError {
+    fn from(e: m2td_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: CoreError = m2td_tensor::TensorError::EmptyTensor.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor"));
+        let i = CoreError::InvalidInput {
+            reason: "boom".into(),
+        };
+        assert!(i.source().is_none());
+        assert!(i.to_string().contains("boom"));
+    }
+}

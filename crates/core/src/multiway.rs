@@ -1,0 +1,265 @@
+//! Multi-way M2TD — decomposing `S ≥ 2` PF-partitioned sub-ensembles
+//! (extension beyond the paper's two-task formulation).
+//!
+//! The algorithm generalizes directly: pivot-mode factors are combined
+//! across all `S` sub-tensor decompositions (AVG averages all of them,
+//! CONCAT diagonalizes the summed Grams, SELECT takes each row from the
+//! sub-system with the highest energy), free-mode factors come from their
+//! own sub-tensor, and the core is recovered over the multi-way join
+//! tensor.
+
+use crate::combine::{align_signs, PivotCombine};
+use crate::error::CoreError;
+use crate::m2td::{projection_factors, M2tdDecomposition, M2tdOptions, M2tdTimings};
+use crate::Result;
+use m2td_linalg::{symmetric_eig, Matrix};
+use m2td_stitch::stitch_multi;
+use m2td_tensor::{sparse_core, SparseTensor, TuckerDecomp};
+use std::time::Instant;
+
+/// Combines `S` pivot factors into one.
+fn combine_multi(
+    kind: PivotCombine,
+    grams: &[Matrix],
+    factors: &[Matrix],
+    r: usize,
+) -> Result<Matrix> {
+    match kind {
+        PivotCombine::Average => {
+            let mut acc = factors[0].clone();
+            for f in &factors[1..] {
+                let aligned = align_signs(&factors[0], f)?;
+                acc = acc.add(&aligned)?;
+            }
+            Ok(acc.scaled(1.0 / factors.len() as f64))
+        }
+        PivotCombine::Concat => {
+            let mut sum = grams[0].clone();
+            for g in &grams[1..] {
+                sum = sum.add(g)?;
+            }
+            let eig = symmetric_eig(&sum)?;
+            Ok(eig.eigenvectors.leading_columns(r)?)
+        }
+        PivotCombine::Select => {
+            let rows = factors[0].rows();
+            let cols = factors[0].cols();
+            let aligned: Vec<Matrix> = std::iter::once(Ok(factors[0].clone()))
+                .chain(factors[1..].iter().map(|f| align_signs(&factors[0], f)))
+                .collect::<Result<_>>()?;
+            let mut out = Matrix::zeros(rows, cols);
+            for i in 0..rows {
+                let best = aligned
+                    .iter()
+                    .max_by(|a, b| {
+                        a.row_norm(i)
+                            .partial_cmp(&b.row_norm(i))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("at least two factors");
+                out.row_mut(i).copy_from_slice(best.row(i));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Runs M2TD over `S ≥ 2` sub-tensors sharing their first `k` (pivot)
+/// modes. `ranks` is given in join order
+/// (`k + Σ_s (order(X_s) − k)` entries). For `S = 2` the result matches
+/// [`crate::m2td_decompose`].
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] for structural mismatches; propagated
+/// stitch/tensor/linalg errors otherwise.
+#[allow(clippy::needless_range_loop)] // pivot loop indexes `ranks` alongside per-sub grams
+pub fn m2td_decompose_multi(
+    subs: &[&SparseTensor],
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+) -> Result<M2tdDecomposition> {
+    if subs.len() < 2 {
+        return Err(CoreError::InvalidInput {
+            reason: format!("need at least 2 sub-tensors, got {}", subs.len()),
+        });
+    }
+    for x in subs {
+        if k == 0 || k >= x.order() {
+            return Err(CoreError::InvalidInput {
+                reason: format!("pivot count {k} invalid for order {}", x.order()),
+            });
+        }
+    }
+    let join_order: usize = k + subs.iter().map(|x| x.order() - k).sum::<usize>();
+    if ranks.len() != join_order {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "{} ranks supplied for a join tensor of order {join_order}",
+                ranks.len()
+            ),
+        });
+    }
+    let mut join_dims: Vec<usize> = subs[0].dims()[..k].to_vec();
+    for x in subs {
+        join_dims.extend_from_slice(&x.dims()[k..]);
+    }
+    for (n, (&r, &d)) in ranks.iter().zip(join_dims.iter()).enumerate() {
+        if r == 0 || r > d {
+            return Err(CoreError::InvalidInput {
+                reason: format!("rank {r} invalid for join mode {n} of extent {d}"),
+            });
+        }
+    }
+
+    // ---- Phase 1: per-sub-tensor factors + pivot combination ------------
+    let t1 = Instant::now();
+    let mut factors: Vec<Matrix> = Vec::with_capacity(join_order);
+    for n in 0..k {
+        let grams: Vec<Matrix> = subs
+            .iter()
+            .map(|x| x.unfold_gram(n).map_err(CoreError::from))
+            .collect::<Result<_>>()?;
+        let pivot_factors: Vec<Matrix> = grams
+            .iter()
+            .map(|g| leading(g, ranks[n]))
+            .collect::<Result<_>>()?;
+        factors.push(combine_multi(
+            opts.combine,
+            &grams,
+            &pivot_factors,
+            ranks[n],
+        )?);
+    }
+    let mut rank_pos = k;
+    for x in subs {
+        for mode in k..x.order() {
+            let gram = x.unfold_gram(mode)?;
+            factors.push(leading(&gram, ranks[rank_pos])?);
+            rank_pos += 1;
+        }
+    }
+    let phase1 = t1.elapsed().as_secs_f64();
+
+    // ---- Phase 2: multi-way stitch --------------------------------------
+    let t2 = Instant::now();
+    let (join, stitch_report) = stitch_multi(subs, k, opts.stitch)?;
+    let phase2 = t2.elapsed().as_secs_f64();
+
+    // ---- Phase 3: core recovery -----------------------------------------
+    let t3 = Instant::now();
+    if join.nnz() == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "multi-way join tensor is empty".to_string(),
+        });
+    }
+    let proj = projection_factors(&factors, opts.projection)?;
+    let core = sparse_core(&join, &proj, opts.ordering)?;
+    let phase3 = t3.elapsed().as_secs_f64();
+
+    let tucker = TuckerDecomp::new(core, factors)?;
+    Ok(M2tdDecomposition {
+        tucker,
+        stitch_report,
+        timings: M2tdTimings {
+            phase1_decompose: phase1,
+            phase2_stitch: phase2,
+            phase3_core: phase3,
+        },
+    })
+}
+
+fn leading(gram: &Matrix, r: usize) -> Result<Matrix> {
+    let eig = symmetric_eig(gram)?;
+    Ok(eig.eigenvectors.leading_columns(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m2td::m2td_decompose;
+    use m2td_tensor::Shape;
+
+    fn full(dims: &[usize], f: impl Fn(&[usize]) -> f64) -> SparseTensor {
+        let shape = Shape::new(dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .map(|l| {
+                let idx = shape.multi_index(l);
+                let v = f(&idx);
+                (idx, v)
+            })
+            .collect();
+        SparseTensor::from_entries(dims, &entries).unwrap()
+    }
+
+    fn value(p: usize, a: usize, b: usize, c: usize) -> f64 {
+        ((p as f64) * 0.6).sin() * ((a + 1) as f64) + ((b * c) as f64) * 0.1 + (c as f64) * 0.3
+    }
+
+    #[test]
+    fn two_way_multi_matches_pairwise_m2td() {
+        let x1 = full(&[5, 4], |i| value(i[0], i[1], 2, 2));
+        let x2 = full(&[5, 4], |i| value(i[0], 2, i[1], 2));
+        let ranks = [3, 3, 3];
+        for combine in PivotCombine::all() {
+            let opts = M2tdOptions {
+                combine,
+                ..M2tdOptions::default()
+            };
+            let pair = m2td_decompose(&x1, &x2, 1, &ranks, opts).unwrap();
+            let multi = m2td_decompose_multi(&[&x1, &x2], 1, &ranks, opts).unwrap();
+            let d = pair
+                .tucker
+                .core
+                .sub(&multi.tucker.core)
+                .unwrap()
+                .frobenius_norm();
+            assert!(d < 1e-9, "{}: core diff {d}", combine.name());
+        }
+    }
+
+    #[test]
+    fn three_way_decomposition_runs_and_reconstructs() {
+        let x1 = full(&[5, 3], |i| value(i[0], i[1], 1, 1));
+        let x2 = full(&[5, 3], |i| value(i[0], 1, i[1], 1));
+        let x3 = full(&[5, 3], |i| value(i[0], 1, 1, i[1]));
+        let ranks = [2, 2, 2, 2];
+        for combine in PivotCombine::all() {
+            let opts = M2tdOptions {
+                combine,
+                ..M2tdOptions::default()
+            };
+            let d = m2td_decompose_multi(&[&x1, &x2, &x3], 1, &ranks, opts).unwrap();
+            assert_eq!(d.tucker.output_dims(), vec![5, 3, 3, 3]);
+            let recon = d.tucker.reconstruct().unwrap();
+            assert!(recon.frobenius_norm() > 0.0);
+            // Against the true join tensor.
+            let (join, _) =
+                stitch_multi(&[&x1, &x2, &x3], 1, m2td_stitch::StitchKind::Join).unwrap();
+            let dense_join = join.to_dense().unwrap();
+            let err =
+                recon.sub(&dense_join).unwrap().frobenius_norm() / dense_join.frobenius_norm();
+            assert!(err < 1.0, "{}: join fit {err}", combine.name());
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let x = full(&[3, 3], |i| (i[0] + i[1]) as f64);
+        let opts = M2tdOptions::default();
+        assert!(m2td_decompose_multi(&[&x], 1, &[2, 2], opts).is_err());
+        assert!(m2td_decompose_multi(&[&x, &x], 0, &[2, 2, 2], opts).is_err());
+        assert!(m2td_decompose_multi(&[&x, &x], 1, &[2, 2], opts).is_err());
+        assert!(m2td_decompose_multi(&[&x, &x], 1, &[2, 9, 2], opts).is_err());
+    }
+
+    #[test]
+    fn disjoint_pivots_error() {
+        let x1 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 1.0)]).unwrap();
+        let x2 = SparseTensor::from_entries(&[2, 2], &[(vec![1, 0], 1.0)]).unwrap();
+        let x3 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 1], 1.0)]).unwrap();
+        let r = m2td_decompose_multi(&[&x1, &x2, &x3], 1, &[1, 1, 1, 1], M2tdOptions::default());
+        assert!(r.is_err());
+    }
+}

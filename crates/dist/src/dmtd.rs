@@ -1,0 +1,696 @@
+//! The three phases of D-M2TD (Section VI-D), executed on the
+//! [`crate::MapReduce`] engine.
+//!
+//! * **Phase 1 — parallel sub-tensor decomposition**: entries are tagged
+//!   with their sub-tensor id `κ ∈ {1, 2}` and shuffled so each reducer
+//!   receives one sub-tensor, computes its mode Grams and factor matrices.
+//!   The driver then combines the pivot factors (AVG/CONCAT/SELECT).
+//! * **Phase 2 — parallel JE-stitching**: entries are shuffled by their
+//!   pivot configuration; each reducer joins (or zero-joins) its pivot
+//!   group into join-tensor cells.
+//! * **Phase 3 — parallel core recovery**: join cells are partitioned
+//!   across reducers; each computes a partial core via the TTM chain over
+//!   its cells (TTM is linear in the tensor, so partial cores sum to the
+//!   exact core).
+
+use crate::cluster::{ClusterModel, PhaseCost};
+use crate::mapreduce::{MapReduce, ShuffleStats};
+use m2td_core::{projection_factors, CoreError, M2tdOptions};
+use m2td_linalg::{symmetric_eig, Matrix};
+use m2td_stitch::StitchKind;
+use m2td_tensor::{sparse_core, CoreOrdering, DenseTensor, Shape, SparseTensor, TuckerDecomp};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors produced by D-M2TD.
+#[derive(Debug)]
+pub enum DistError {
+    /// Propagated core/tensor error.
+    Core(CoreError),
+    /// Structural problem specific to the distributed formulation.
+    Invalid(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Core(e) => write!(f, "core error: {e}"),
+            DistError::Invalid(s) => write!(f, "invalid D-M2TD input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Core(e) => Some(e),
+            DistError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for DistError {
+    fn from(e: CoreError) -> Self {
+        DistError::Core(e)
+    }
+}
+
+impl From<m2td_tensor::TensorError> for DistError {
+    fn from(e: m2td_tensor::TensorError) -> Self {
+        DistError::Core(e.into())
+    }
+}
+
+impl From<m2td_linalg::LinalgError> for DistError {
+    fn from(e: m2td_linalg::LinalgError) -> Self {
+        DistError::Core(e.into())
+    }
+}
+
+/// Measured statistics of one phase: serial compute time plus the shuffle
+/// volume of its MapReduce job. Feed these to a [`ClusterModel`] to obtain
+/// Table III-style per-server-count times.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Wall-clock seconds of the phase's computation in this process.
+    pub serial_secs: f64,
+    /// Shuffle statistics of the phase's MapReduce job.
+    pub shuffle: ShuffleStats,
+}
+
+impl PhaseStats {
+    /// Projects this phase onto a modeled cluster.
+    pub fn on_cluster(&self, model: &ClusterModel) -> PhaseCost {
+        model.phase_cost(self.serial_secs, &self.shuffle)
+    }
+}
+
+/// The result of a distributed M2TD run.
+#[derive(Debug, Clone)]
+pub struct DistDecomposition {
+    /// Tucker decomposition of the join tensor (join mode order).
+    pub tucker: TuckerDecomp,
+    /// Phase 1 statistics (parallel sub-tensor decomposition).
+    pub phase1: PhaseStats,
+    /// Phase 2 statistics (parallel JE-stitching).
+    pub phase2: PhaseStats,
+    /// Phase 3 statistics (parallel core recovery).
+    pub phase3: PhaseStats,
+}
+
+/// How Phase 3 (core recovery) is distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase3Strategy {
+    /// Partition the join cells across reducers; each computes a partial
+    /// core via a full TTM chain over its cells, and the partial cores are
+    /// summed (TTM is linear in the tensor). One MapReduce job.
+    ChunkPartition,
+    /// The paper's literal dataflow (Section VI-D): one MapReduce job per
+    /// mode — cells are shuffled by their all-but-one-mode key, each
+    /// reducer performs the vector-matrix multiplication for its fiber,
+    /// and the output tensor feeds the next mode's job.
+    ModeShuffle,
+}
+
+/// Runs D-M2TD over two PF-partitioned sub-tensors.
+///
+/// Semantics (inputs, `k`, join-order `ranks`, options) match
+/// [`m2td_core::m2td_decompose`]; the result agrees with the serial
+/// implementation up to floating-point accumulation order. Phase 3 uses
+/// the [`Phase3Strategy::ChunkPartition`] dataflow; use
+/// [`d_m2td_with_phase3`] to select the paper's per-mode shuffle instead.
+pub fn d_m2td(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+    engine: &MapReduce,
+) -> Result<DistDecomposition, DistError> {
+    d_m2td_with_phase3(
+        x1,
+        x2,
+        k,
+        ranks,
+        opts,
+        engine,
+        Phase3Strategy::ChunkPartition,
+    )
+}
+
+/// [`d_m2td`] with an explicit Phase-3 dataflow.
+#[allow(clippy::too_many_arguments)]
+pub fn d_m2td_with_phase3(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+    engine: &MapReduce,
+    phase3_strategy: Phase3Strategy,
+) -> Result<DistDecomposition, DistError> {
+    let m1 = x1.order();
+    let m2 = x2.order();
+    if k == 0 || k >= m1 || k >= m2 {
+        return Err(DistError::Invalid(format!(
+            "pivot count {k} invalid for sub-tensor orders {m1}, {m2}"
+        )));
+    }
+    if ranks.len() != k + (m1 - k) + (m2 - k) {
+        return Err(DistError::Invalid(format!(
+            "{} ranks supplied for join order {}",
+            ranks.len(),
+            k + (m1 - k) + (m2 - k)
+        )));
+    }
+
+    // Tagged entry stream: (κ, linear index, value).
+    let tagged: Vec<(u8, u64, f64)> = x1
+        .iter_linear()
+        .map(|(l, v)| (1u8, l, v))
+        .chain(x2.iter_linear().map(|(l, v)| (2u8, l, v)))
+        .collect();
+
+    // ---- Phase 1: parallel sub-tensor decomposition ---------------------
+    let t1 = Instant::now();
+    let dims1 = x1.dims().to_vec();
+    let dims2 = x2.dims().to_vec();
+    let ranks1: Vec<usize> = ranks[..m1].to_vec();
+    let ranks2: Vec<usize> = {
+        let mut r = ranks[..k].to_vec();
+        r.extend_from_slice(&ranks[m1..]);
+        r
+    };
+    let (factor_sets, stats1) = engine.run(
+        tagged.clone(),
+        |(kappa, lin, v)| vec![(kappa, (lin, v))],
+        |kappa, entries| {
+            let (dims, rks) = if *kappa == 1 {
+                (&dims1, &ranks1)
+            } else {
+                (&dims2, &ranks2)
+            };
+            let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+            let tensor = SparseTensor::from_sorted_linear(dims, indices, values)
+                .expect("entries originate from a valid sparse tensor");
+            let mut grams = Vec::with_capacity(dims.len());
+            let mut factors = Vec::with_capacity(dims.len());
+            for (mode, &r) in rks.iter().enumerate() {
+                let gram = tensor.unfold_gram(mode).expect("mode is valid");
+                let eig = symmetric_eig(&gram).expect("gram is symmetric");
+                factors.push(eig.eigenvectors.leading_columns(r).expect("rank validated"));
+                grams.push(gram);
+            }
+            (*kappa, grams, factors)
+        },
+    );
+    if factor_sets.len() != 2 {
+        return Err(DistError::Invalid(
+            "one of the sub-tensors is empty".to_string(),
+        ));
+    }
+    // factor_sets is keyed 1 then 2 (BTreeMap order).
+    let (_, grams1, factors1) = &factor_sets[0];
+    let (_, grams2, factors2) = &factor_sets[1];
+
+    // Driver-side pivot combination + free-factor assembly (join order).
+    let mut factors: Vec<Matrix> = Vec::with_capacity(ranks.len());
+    for n in 0..k {
+        factors.push(m2td_core::combine_pivot_factor(
+            opts.combine,
+            &grams1[n],
+            &grams2[n],
+            &factors1[n],
+            &factors2[n],
+            ranks[n],
+        )?);
+    }
+    for f in &factors1[k..] {
+        factors.push(f.clone());
+    }
+    for f in &factors2[k..] {
+        factors.push(f.clone());
+    }
+    let phase1 = PhaseStats {
+        serial_secs: t1.elapsed().as_secs_f64(),
+        shuffle: stats1,
+    };
+
+    // ---- Phase 2: parallel JE-stitching ---------------------------------
+    let t2 = Instant::now();
+    let pivot_shape = Shape::new(&x1.dims()[..k]);
+    let free1_shape = Shape::new(&x1.dims()[k..]);
+    let free2_shape = Shape::new(&x2.dims()[k..]);
+    let mut join_dims: Vec<usize> = x1.dims()[..k].to_vec();
+    join_dims.extend_from_slice(&x1.dims()[k..]);
+    join_dims.extend_from_slice(&x2.dims()[k..]);
+    let join_shape = Shape::new(&join_dims);
+
+    // Global free-config sets, needed by zero-join reducers.
+    let (free_set1, free_set2): (BTreeSet<u64>, BTreeSet<u64>) = {
+        let mut f1 = BTreeSet::new();
+        let mut f2 = BTreeSet::new();
+        let mut idx1 = vec![0usize; m1];
+        for (lin, _) in x1.iter_linear() {
+            x1.shape().multi_index_into(lin as usize, &mut idx1);
+            f1.insert(free1_shape.linear_index(&idx1[k..]) as u64);
+        }
+        let mut idx2 = vec![0usize; m2];
+        for (lin, _) in x2.iter_linear() {
+            x2.shape().multi_index_into(lin as usize, &mut idx2);
+            f2.insert(free2_shape.linear_index(&idx2[k..]) as u64);
+        }
+        (f1, f2)
+    };
+
+    let shape1 = x1.shape().clone();
+    let shape2 = x2.shape().clone();
+    let (joined_groups, stats2) = engine.run(
+        tagged,
+        |(kappa, lin, v)| {
+            // Key by pivot configuration.
+            let (shape, free_shape, order) = if kappa == 1 {
+                (&shape1, &free1_shape, m1)
+            } else {
+                (&shape2, &free2_shape, m2)
+            };
+            let mut idx = vec![0usize; order];
+            shape.multi_index_into(lin as usize, &mut idx);
+            let p = pivot_shape.linear_index(&idx[..k]) as u64;
+            let f = free_shape.linear_index(&idx[k..]) as u64;
+            vec![(p, (kappa, f, v))]
+        },
+        |pivot, entries| {
+            // Join this pivot group.
+            let mut side1: BTreeMap<u64, f64> = BTreeMap::new();
+            let mut side2: BTreeMap<u64, f64> = BTreeMap::new();
+            for (kappa, f, v) in entries {
+                if kappa == 1 {
+                    side1.insert(f, v);
+                } else {
+                    side2.insert(f, v);
+                }
+            }
+            let mut cells: Vec<(u64, u64, f64)> = Vec::new();
+            match opts.stitch {
+                StitchKind::Join => {
+                    for (&f1, &v1) in &side1 {
+                        for (&f2, &v2) in &side2 {
+                            cells.push((f1, f2, 0.5 * (v1 + v2)));
+                        }
+                    }
+                }
+                StitchKind::ZeroJoin => {
+                    for (&f1, &v1) in &side1 {
+                        for &f2 in &free_set2 {
+                            let v2 = side2.get(&f2).copied().unwrap_or(0.0);
+                            cells.push((f1, f2, 0.5 * (v1 + v2)));
+                        }
+                    }
+                    for (&f2, &v2) in &side2 {
+                        for &f1 in &free_set1 {
+                            if side1.contains_key(&f1) {
+                                continue;
+                            }
+                            cells.push((f1, f2, 0.5 * v2));
+                        }
+                    }
+                }
+            }
+            (*pivot, cells)
+        },
+    );
+
+    // Assemble the join tensor from the per-pivot groups.
+    let f1_len = free1_shape.order();
+    let mut entries: Vec<(u64, f64)> = Vec::new();
+    let mut idx = vec![0usize; join_dims.len()];
+    for (pivot, cells) in joined_groups {
+        for (f1, f2, v) in cells {
+            pivot_shape.multi_index_into(pivot as usize, &mut idx[..k]);
+            free1_shape.multi_index_into(f1 as usize, &mut idx[k..k + f1_len]);
+            free2_shape.multi_index_into(f2 as usize, &mut idx[k + f1_len..]);
+            entries.push((join_shape.linear_index(&idx) as u64, v));
+        }
+    }
+    entries.sort_unstable_by_key(|&(l, _)| l);
+    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+    let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+    let phase2 = PhaseStats {
+        serial_secs: t2.elapsed().as_secs_f64(),
+        shuffle: stats2,
+    };
+
+    // ---- Phase 3: parallel core recovery --------------------------------
+    let t3 = Instant::now();
+    if join.nnz() == 0 {
+        return Err(DistError::Invalid(
+            "join tensor is empty: the sub-ensembles share no pivot configuration".to_string(),
+        ));
+    }
+    let proj_factors = projection_factors(&factors, opts.projection)?;
+    let (core, stats3) = match phase3_strategy {
+        Phase3Strategy::ChunkPartition => {
+            let partitions = engine.workers() as u64;
+            let join_cells: Vec<(u64, f64)> = join.iter_linear().collect();
+            let (partial_cores, stats3) = engine.run(
+                join_cells,
+                |(lin, v)| vec![(lin % partitions, (lin, v))],
+                |_part, cells| {
+                    let (mut indices, mut values): (Vec<u64>, Vec<f64>) = (
+                        Vec::with_capacity(cells.len()),
+                        Vec::with_capacity(cells.len()),
+                    );
+                    let mut sorted = cells;
+                    sorted.sort_unstable_by_key(|&(l, _)| l);
+                    for (l, v) in sorted {
+                        indices.push(l);
+                        values.push(v);
+                    }
+                    let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)
+                        .expect("chunk entries are valid join cells");
+                    sparse_core(&chunk, &proj_factors, CoreOrdering::BestShrinkFirst)
+                        .expect("ranks validated against join dims")
+                },
+            );
+            let mut core: Option<DenseTensor> = None;
+            for partial in partial_cores {
+                core = Some(match core {
+                    None => partial,
+                    Some(acc) => acc.add(&partial)?,
+                });
+            }
+            (core.expect("join tensor is non-empty"), stats3)
+        }
+        Phase3Strategy::ModeShuffle => phase3_mode_shuffle(&join, &proj_factors, engine)?,
+    };
+    let phase3 = PhaseStats {
+        serial_secs: t3.elapsed().as_secs_f64(),
+        shuffle: stats3,
+    };
+
+    let tucker = TuckerDecomp::new(core, factors)?;
+    Ok(DistDecomposition {
+        tucker,
+        phase1,
+        phase2,
+        phase3,
+    })
+}
+
+/// Phase 3 via the paper's dataflow: one MapReduce job per mode, cells
+/// keyed by their all-but-that-mode index, reducers performing the
+/// per-fiber vector-matrix multiplication `out[j] = Σ_i v_i U[i, j]`.
+/// Shuffle stats are summed over the per-mode jobs.
+fn phase3_mode_shuffle(
+    join: &SparseTensor,
+    factors: &[m2td_linalg::Matrix],
+    engine: &MapReduce,
+) -> Result<(DenseTensor, ShuffleStats), DistError> {
+    let order = join.order();
+    let mut cells: Vec<(Vec<usize>, f64)> = join.iter().collect();
+    let mut dims: Vec<usize> = join.dims().to_vec();
+    let mut total = ShuffleStats::default();
+
+    for mode in 0..order {
+        let factor = &factors[mode];
+        let r = factor.cols();
+        let rest_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != mode)
+            .map(|(_, &d)| d)
+            .collect();
+        let rest_shape = Shape::new(&rest_dims);
+
+        let (groups, stats) = engine.run(
+            cells,
+            |(idx, v): (Vec<usize>, f64)| {
+                // Key: the linearized all-but-`mode` index.
+                let rest: Vec<usize> = idx
+                    .iter()
+                    .enumerate()
+                    .filter(|&(m, _)| m != mode)
+                    .map(|(_, &i)| i)
+                    .collect();
+                let key = rest_shape.linear_index(&rest) as u64;
+                vec![(key, (idx[mode], v))]
+            },
+            |key, fiber: Vec<(usize, f64)>| {
+                // out[j] = Σ_i v_i U[i, j] — the paper's vector-matrix step.
+                let mut out = vec![0.0f64; r];
+                for (i, v) in fiber {
+                    for (slot, j) in out.iter_mut().zip(0..r) {
+                        *slot += v * factor.get(i, j);
+                    }
+                }
+                (*key, out)
+            },
+        );
+        total.map_records += stats.map_records;
+        total.shuffled_pairs += stats.shuffled_pairs;
+        total.reduce_groups += stats.reduce_groups;
+
+        // Reassemble the (dense-in-`mode`) intermediate as the next input:
+        // mode's extent becomes r.
+        dims[mode] = r;
+        let mut next: Vec<(Vec<usize>, f64)> = Vec::with_capacity(groups.len() * r);
+        let mut rest_idx = vec![0usize; rest_dims.len()];
+        for (key, out) in groups {
+            rest_shape.multi_index_into(key as usize, &mut rest_idx);
+            for (j, &v) in out.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                let mut idx = Vec::with_capacity(order);
+                let mut o = 0;
+                for m in 0..order {
+                    if m == mode {
+                        idx.push(j);
+                    } else {
+                        idx.push(rest_idx[o]);
+                        o += 1;
+                    }
+                }
+                next.push((idx, v));
+            }
+        }
+        cells = next;
+    }
+
+    // Materialize the core densely.
+    let mut core = DenseTensor::zeros(&dims);
+    let core_shape = core.shape().clone();
+    let data = core.as_mut_slice();
+    for (idx, v) in cells {
+        data[core_shape.linear_index(&idx)] += v;
+    }
+    Ok((core, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2td_core::m2td_decompose;
+    use m2td_tensor::Shape as TShape;
+
+    fn sub_tensors(p_dim: usize, f_dim: usize) -> (SparseTensor, SparseTensor) {
+        let f = |p: usize, a: usize, b: usize| {
+            ((p as f64) * 0.5).sin() * ((a as f64) * 0.4 + 1.0) * ((b as f64) * 0.3 + 1.0) + 0.2
+        };
+        let full = |dims: &[usize], g: &dyn Fn(&[usize]) -> f64| {
+            let shape = TShape::new(dims);
+            let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+                .map(|l| {
+                    let idx = shape.multi_index(l);
+                    let v = g(&idx);
+                    (idx, v)
+                })
+                .collect();
+            SparseTensor::from_entries(dims, &entries).unwrap()
+        };
+        let x1 = full(&[p_dim, f_dim], &|i: &[usize]| f(i[0], i[1], f_dim / 2));
+        let x2 = full(&[p_dim, f_dim], &|i: &[usize]| f(i[0], f_dim / 2, i[1]));
+        (x1, x2)
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let serial = m2td_decompose(&x1, &x2, 1, &ranks, opts).unwrap();
+        for workers in [1, 2, 4] {
+            let engine = MapReduce::new(workers);
+            let dist = d_m2td(&x1, &x2, 1, &ranks, opts, &engine).unwrap();
+            let d_core = dist
+                .tucker
+                .core
+                .sub(&serial.tucker.core)
+                .unwrap()
+                .frobenius_norm();
+            assert!(
+                d_core < 1e-9,
+                "core mismatch with {workers} workers: {d_core}"
+            );
+            for (a, b) in dist.tucker.factors.iter().zip(serial.tucker.factors.iter()) {
+                let d = a.sub(b).unwrap().frobenius_norm();
+                assert!(d < 1e-10, "factor mismatch: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_join_distributed_matches_serial() {
+        let (x1_full, x2_full) = sub_tensors(6, 5);
+        // Thin both tensors to create missingness.
+        let thin = |x: &SparseTensor, m: usize| {
+            let entries: Vec<(Vec<usize>, f64)> = x
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % m != 0)
+                .map(|(_, e)| e)
+                .collect();
+            SparseTensor::from_entries(x.dims(), &entries).unwrap()
+        };
+        let x1 = thin(&x1_full, 3);
+        let x2 = thin(&x2_full, 4);
+        let opts = M2tdOptions {
+            stitch: StitchKind::ZeroJoin,
+            ..Default::default()
+        };
+        let serial = m2td_decompose(&x1, &x2, 1, &[2, 2, 2], opts).unwrap();
+        let dist = d_m2td(&x1, &x2, 1, &[2, 2, 2], opts, &MapReduce::new(3)).unwrap();
+        let d = dist
+            .tucker
+            .core
+            .sub(&serial.tucker.core)
+            .unwrap()
+            .frobenius_norm();
+        assert!(d < 1e-9, "zero-join core mismatch: {d}");
+    }
+
+    #[test]
+    fn mode_shuffle_phase3_matches_chunk_partition() {
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let engine = MapReduce::new(3);
+        let chunk = d_m2td_with_phase3(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+        )
+        .unwrap();
+        let shuffle = d_m2td_with_phase3(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ModeShuffle,
+        )
+        .unwrap();
+        let d = chunk
+            .tucker
+            .core
+            .sub(&shuffle.tucker.core)
+            .unwrap()
+            .frobenius_norm();
+        assert!(d < 1e-9, "phase-3 strategies disagree by {d}");
+        // The mode-shuffle dataflow moves more data (N jobs).
+        assert!(shuffle.phase3.shuffle.shuffled_pairs >= chunk.phase3.shuffle.shuffled_pairs);
+    }
+
+    #[test]
+    fn mode_shuffle_matches_serial_on_thin_inputs() {
+        let (x1_full, x2_full) = sub_tensors(6, 5);
+        let thin = |x: &SparseTensor, m: usize| {
+            let entries: Vec<(Vec<usize>, f64)> = x
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % m != 0)
+                .map(|(_, e)| e)
+                .collect();
+            SparseTensor::from_entries(x.dims(), &entries).unwrap()
+        };
+        let x1 = thin(&x1_full, 4);
+        let x2 = thin(&x2_full, 3);
+        let opts = M2tdOptions::default();
+        let serial = m2td_decompose(&x1, &x2, 1, &[2, 2, 2], opts).unwrap();
+        let dist = d_m2td_with_phase3(
+            &x1,
+            &x2,
+            1,
+            &[2, 2, 2],
+            opts,
+            &MapReduce::new(2),
+            Phase3Strategy::ModeShuffle,
+        )
+        .unwrap();
+        let d = dist
+            .tucker
+            .core
+            .sub(&serial.tucker.core)
+            .unwrap()
+            .frobenius_norm();
+        assert!(d < 1e-9, "mode-shuffle disagrees with serial by {d}");
+    }
+
+    #[test]
+    fn phase_stats_are_populated() {
+        let (x1, x2) = sub_tensors(5, 4);
+        let dist = d_m2td(
+            &x1,
+            &x2,
+            1,
+            &[2, 2, 2],
+            M2tdOptions::default(),
+            &MapReduce::new(2),
+        )
+        .unwrap();
+        assert!(dist.phase1.shuffle.map_records > 0);
+        assert!(dist.phase2.shuffle.shuffled_pairs > 0);
+        assert!(dist.phase3.shuffle.reduce_groups >= 1);
+        // Phase 2's shuffle moves every input entry.
+        assert_eq!(dist.phase2.shuffle.map_records, x1.nnz() + x2.nnz());
+    }
+
+    #[test]
+    fn cluster_projection_shows_phase3_dominance() {
+        let (x1, x2) = sub_tensors(8, 7);
+        let dist = d_m2td(
+            &x1,
+            &x2,
+            1,
+            &[3, 3, 3],
+            M2tdOptions::default(),
+            &MapReduce::new(2),
+        )
+        .unwrap();
+        let model = ClusterModel::new(4);
+        let c3 = dist.phase3.on_cluster(&model);
+        // Phase 3 shuffles the (much larger) join tensor.
+        assert!(
+            dist.phase3.shuffle.map_records > dist.phase2.shuffle.map_records,
+            "join tensor should dwarf the input entries"
+        );
+        assert!(c3.total() > 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (x1, x2) = sub_tensors(4, 3);
+        let e = MapReduce::new(2);
+        assert!(d_m2td(&x1, &x2, 0, &[2, 2, 2], M2tdOptions::default(), &e).is_err());
+        assert!(d_m2td(&x1, &x2, 1, &[2, 2], M2tdOptions::default(), &e).is_err());
+        let empty = SparseTensor::empty(&[4, 3]);
+        assert!(d_m2td(&x1, &empty, 1, &[2, 2, 2], M2tdOptions::default(), &e).is_err());
+    }
+}

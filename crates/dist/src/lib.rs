@@ -1,0 +1,26 @@
+//! D-M2TD — the distributed, 3-phase formulation of M2TD
+//! (Section VI-D of the paper), plus the substrates it runs on.
+//!
+//! The paper deploys D-M2TD on an 18-node Hadoop cluster. This crate
+//! substitutes (see DESIGN.md §4):
+//!
+//! * [`MapReduce`] — a real in-process map/shuffle/reduce engine on scoped
+//!   threads, producing results bit-identical to serial execution;
+//! * [`ClusterModel`] — an analytic cost model charging per-record compute
+//!   to `W` virtual servers plus communication per shuffled byte, which
+//!   reproduces Table III's *shape* (phase-3 dominance, diminishing
+//!   returns in `W`) deterministically on one machine;
+//! * [`d_m2td`] — the three phases themselves: parallel sub-tensor
+//!   decomposition, parallel JE-stitching, parallel core recovery. The
+//!   result matches the serial `m2td_core::m2td_decompose` to floating-
+//!   point accumulation order.
+
+mod cluster;
+mod dmtd;
+mod mapreduce;
+
+pub use cluster::{ClusterModel, PhaseCost};
+pub use dmtd::{
+    d_m2td, d_m2td_with_phase3, DistDecomposition, DistError, Phase3Strategy, PhaseStats,
+};
+pub use mapreduce::{MapReduce, ShuffleStats};

@@ -1,0 +1,248 @@
+//! A small, real MapReduce engine on scoped threads.
+//!
+//! Deterministic: whatever the worker count, the reduce phase sees each
+//! key's values in map-input order and keys are processed in sorted order,
+//! so results are identical to a serial run.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Statistics of one MapReduce job, consumed by the cluster cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShuffleStats {
+    /// Number of map input records.
+    pub map_records: usize,
+    /// Number of key/value pairs emitted by the map phase (these cross the
+    /// network in a real deployment).
+    pub shuffled_pairs: usize,
+    /// Number of distinct reduce keys.
+    pub reduce_groups: usize,
+}
+
+/// An in-process MapReduce engine with a fixed worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct MapReduce {
+    workers: usize,
+}
+
+impl MapReduce {
+    /// Creates an engine with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a job: `map` turns each input into key/value pairs; values are
+    /// grouped by key (shuffle); `reduce` folds each group. Returns the
+    /// reduce outputs in ascending key order plus shuffle statistics.
+    ///
+    /// ```
+    /// use m2td_dist::MapReduce;
+    ///
+    /// let engine = MapReduce::new(4);
+    /// let (sums, stats) = engine.run(
+    ///     vec![1u32, 2, 3, 4, 5],
+    ///     |x| vec![(x % 2, x)],                    // key by parity
+    ///     |key, values| (*key, values.iter().sum::<u32>()),
+    /// );
+    /// assert_eq!(sums, vec![(0, 6), (1, 9)]);
+    /// assert_eq!(stats.reduce_groups, 2);
+    /// ```
+    pub fn run<I, K, V, R, M, F>(&self, inputs: Vec<I>, map: M, reduce: F) -> (Vec<R>, ShuffleStats)
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        R: Send,
+        M: Fn(I) -> Vec<(K, V)> + Sync,
+        F: Fn(&K, Vec<V>) -> R + Sync,
+    {
+        let map_records = inputs.len();
+
+        // ---- Map phase: chunk inputs across workers. ----
+        // Each worker keeps (chunk_id, pairs) so the shuffle can restore
+        // the original input order before grouping (determinism).
+        let chunk_size = map_records.div_ceil(self.workers).max(1);
+        let chunks: Vec<(usize, Vec<I>)> = {
+            let mut out = Vec::new();
+            let mut it = inputs.into_iter();
+            let mut id = 0;
+            loop {
+                let chunk: Vec<I> = it.by_ref().take(chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                out.push((id, chunk));
+                id += 1;
+            }
+            out
+        };
+
+        type MappedChunks<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
+        let mapped: MappedChunks<K, V> = Mutex::new(Vec::new());
+        let queue: Mutex<std::vec::IntoIter<(usize, Vec<I>)>> = Mutex::new(chunks.into_iter());
+        thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|_| loop {
+                    let next = queue.lock().next();
+                    match next {
+                        Some((id, chunk)) => {
+                            let mut pairs = Vec::new();
+                            for item in chunk {
+                                pairs.extend(map(item));
+                            }
+                            mapped.lock().push((id, pairs));
+                        }
+                        None => break,
+                    }
+                });
+            }
+        })
+        .expect("map workers must not panic");
+
+        // ---- Shuffle: restore input order, group by key. ----
+        let mut by_chunk = mapped.into_inner();
+        by_chunk.sort_by_key(|&(id, _)| id);
+        let mut shuffled_pairs = 0;
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (_, pairs) in by_chunk {
+            for (k, v) in pairs {
+                shuffled_pairs += 1;
+                groups.entry(k).or_default().push(v);
+            }
+        }
+        let reduce_groups = groups.len();
+
+        // ---- Reduce phase: distribute groups across workers. ----
+        let indexed: Vec<(usize, K, Vec<V>)> = groups
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, v))| (i, k, v))
+            .collect();
+        let reduced: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+        let rqueue: Mutex<std::vec::IntoIter<(usize, K, Vec<V>)>> = Mutex::new(indexed.into_iter());
+        thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|_| loop {
+                    let next = rqueue.lock().next();
+                    match next {
+                        Some((i, k, vs)) => {
+                            let r = reduce(&k, vs);
+                            reduced.lock().push((i, r));
+                        }
+                        None => break,
+                    }
+                });
+            }
+        })
+        .expect("reduce workers must not panic");
+
+        let mut results = reduced.into_inner();
+        results.sort_by_key(|&(i, _)| i);
+        (
+            results.into_iter().map(|(_, r)| r).collect(),
+            ShuffleStats {
+                map_records,
+                shuffled_pairs,
+                reduce_groups,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_style_job() {
+        let engine = MapReduce::new(4);
+        let docs = vec!["a b a", "b c", "a"];
+        let (counts, stats) = engine.run(
+            docs,
+            |doc: &str| doc.split(' ').map(|w| (w.to_string(), 1usize)).collect(),
+            |k, vs| (k.clone(), vs.len()),
+        );
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+        assert_eq!(stats.map_records, 3);
+        assert_eq!(stats.shuffled_pairs, 6);
+        assert_eq!(stats.reduce_groups, 3);
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let job = |w: usize| {
+            MapReduce::new(w).run(
+                inputs.clone(),
+                |x: u64| vec![(x % 7, x)],
+                |k, vs| (*k, vs.iter().sum::<u64>(), vs.len()),
+            )
+        };
+        let (serial, s_stats) = job(1);
+        for w in [2, 3, 8, 32] {
+            let (parallel, p_stats) = job(w);
+            assert_eq!(serial, parallel, "worker count {w} changed results");
+            assert_eq!(s_stats, p_stats);
+        }
+    }
+
+    #[test]
+    fn value_order_within_group_is_input_order() {
+        let engine = MapReduce::new(5);
+        let inputs: Vec<usize> = (0..100).collect();
+        let (groups, _) = engine.run(inputs, |x: usize| vec![(x % 3, x)], |_k, vs| vs);
+        for g in &groups {
+            assert!(
+                g.windows(2).all(|w| w[0] < w[1]),
+                "group not in input order"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let engine = MapReduce::new(3);
+        let (out, stats) = engine.run(
+            Vec::<u32>::new(),
+            |x: u32| vec![(x, x)],
+            |_k, vs: Vec<u32>| vs.len(),
+        );
+        assert!(out.is_empty());
+        assert_eq!(stats.map_records, 0);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let engine = MapReduce::new(0);
+        assert_eq!(engine.workers(), 1);
+        let (out, _) = engine.run(vec![1u8, 2], |x: u8| vec![((), x)], |_, vs: Vec<u8>| vs);
+        assert_eq!(out, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn map_can_emit_multiple_keys() {
+        let engine = MapReduce::new(2);
+        let (out, stats) = engine.run(
+            vec![10u32, 20],
+            |x: u32| vec![(0u8, x), (1u8, x * 2)],
+            |k, vs: Vec<u32>| (*k, vs.iter().sum::<u32>()),
+        );
+        assert_eq!(out, vec![(0, 30), (1, 60)]);
+        assert_eq!(stats.shuffled_pairs, 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Used by the CP-ALS extension (normal-equation solves) and by tests as an
+//! independent check of positive-definiteness.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// The lower-triangular factor.
+    pub l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Recomposes `L Lᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul_transpose(&self.l)
+            .expect("L is square by construction")
+    }
+
+    /// Solves `A x = b` (with `A = L Lᵀ`) by forward and back substitution.
+    #[allow(clippy::needless_range_loop)] // `x` is read before being written at index k
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = crate::solve::solve_lower_triangular(&self.l, b)?;
+        // Back substitution with Lᵀ without materializing the transpose.
+        let n = self.l.rows();
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            let d = self.l.get(i, i);
+            if d.abs() < f64::EPSILON {
+                return Err(LinalgError::SingularMatrix);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+/// Computes the Cholesky factorisation of a symmetric positive-definite
+/// matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for a non-square input.
+/// * [`LinalgError::EmptyInput`] for an empty input.
+/// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { shape: (m, n) });
+    }
+    if n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let ljk = l.get(j, k);
+            d -= ljk * ljk;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let djj = d.sqrt();
+        l.set(j, j, djj);
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / djj);
+        }
+    }
+    Ok(CholeskyFactor { l })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let ch = cholesky(&a).unwrap();
+        assert!((ch.l.get(0, 0) - 2.0).abs() < 1e-14);
+        assert!((ch.l.get(1, 0) - 1.0).abs() < 1e-14);
+        assert!((ch.l.get(1, 1) - 2.0f64.sqrt()).abs() < 1e-14);
+        assert_eq!(ch.l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn reconstruction_round_trip() {
+        // Build an SPD matrix as BᵀB + I.
+        let b = Matrix::from_fn(5, 5, |i, j| ((i * 5 + j) as f64).sin());
+        let mut a = b.transpose_matmul(&b).unwrap();
+        for i in 0..5 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let ch = cholesky(&a).unwrap();
+        let err = ch.reconstruct().sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = cholesky(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-12);
+        assert!((x[1] - x_true[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+        assert!(cholesky(&Matrix::zeros(0, 0)).is_err());
+    }
+}

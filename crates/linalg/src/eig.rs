@@ -1,0 +1,247 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The M2TD pipeline obtains the leading left singular vectors of a (very
+//! wide) matricization `X₍ₙ₎` from the eigendecomposition of the small Gram
+//! matrix `X₍ₙ₎ X₍ₙ₎ᵀ` — mode sizes are the parameter resolutions (tens),
+//! so an `O(I_n³)` dense Jacobi sweep is both simple and fast.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    /// Eigenvalues sorted in decreasing order.
+    pub eigenvalues: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `eigenvalues[j]`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEig {
+    /// Recomposes `V diag(λ) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.eigenvalues.len();
+        let v = &self.eigenvectors;
+        let mut scaled = v.clone();
+        for i in 0..n {
+            for j in 0..n {
+                scaled.set(i, j, v.get(i, j) * self.eigenvalues[j]);
+            }
+        }
+        scaled
+            .matmul_transpose(v)
+            .expect("shapes agree by construction")
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// rotations.
+///
+/// Symmetry is assumed; only the upper triangle of the rotated working copy
+/// is consulted when testing convergence, and the caller is expected to pass
+/// a numerically symmetric matrix (such as a Gram matrix).
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if the input is not square.
+/// * [`LinalgError::EmptyInput`] for an empty matrix.
+/// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not reach
+///   machine-precision scale within the sweep budget (does not occur
+///   for finite symmetric input in practice).
+pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { shape: (m, n) });
+    }
+    if n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(w.get(p, q).abs());
+            }
+        }
+        if off <= tol {
+            return Ok(sort_eig(w, v));
+        }
+        let _ = sweep;
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w.get(p, q);
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = w.get(p, p);
+                let aqq = w.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation W <- JᵀWJ on rows/cols p and q.
+                for k in 0..n {
+                    let wkp = w.get(k, p);
+                    let wkq = w.get(k, q);
+                    w.set(k, p, c * wkp - s * wkq);
+                    w.set(k, q, s * wkp + c * wkq);
+                }
+                for k in 0..n {
+                    let wpk = w.get(p, k);
+                    let wqk = w.get(q, k);
+                    w.set(p, k, c * wpk - s * wqk);
+                    w.set(q, k, s * wpk + c * wqk);
+                }
+                // Accumulate eigenvectors V <- VJ.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        kernel: "symmetric_eig",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Extracts the diagonal as eigenvalues and sorts (value, vector) pairs in
+/// decreasing eigenvalue order.
+fn sort_eig(w: Matrix, v: Matrix) -> SymmetricEig {
+    let n = w.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| w.get(i, i)).collect();
+    idx.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let eigenvalues: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors.set(row, new_col, v.get(row, old_col));
+        }
+    }
+    SymmetricEig {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]).unwrap();
+        let e = symmetric_eig(&a).unwrap();
+        assert!((e.eigenvalues[0] - 7.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eig(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            let x = ((i * 6 + j) as f64).sin();
+            let y = ((j * 6 + i) as f64).sin();
+            x + y // symmetric by construction
+        });
+        let e = symmetric_eig(&a).unwrap();
+        let d = e.reconstruct().sub(&a).unwrap().frobenius_norm();
+        assert!(d < 1e-10, "reconstruction error {d}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_fn(8, 8, |i, j| 1.0 / ((i + j + 1) as f64)); // Hilbert, symmetric
+        let e = symmetric_eig(&a).unwrap();
+        assert!(e.eigenvectors.orthonormality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i + 1) * (j + 1)) as f64);
+        let e = symmetric_eig(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_matrix_eigenvalues_nonnegative() {
+        let x = Matrix::from_fn(4, 9, |i, j| ((i * 9 + j) as f64).cos());
+        let g = x.gram_rows();
+        let e = symmetric_eig(&g).unwrap();
+        for &l in &e.eigenvalues {
+            assert!(l > -1e-9, "Gram eigenvalue {l} should be >= 0");
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            symmetric_eig(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            symmetric_eig(&Matrix::zeros(0, 0)),
+            Err(LinalgError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_spectrum() {
+        let e = symmetric_eig(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l == 0.0));
+        assert!(e.eigenvectors.orthonormality_defect() < 1e-14);
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let e = symmetric_eig(&a).unwrap();
+        for j in 0..3 {
+            let vj = e.eigenvectors.col(j);
+            let av = a.matvec(&vj).unwrap();
+            for i in 0..3 {
+                assert!((av[i] - e.eigenvalues[j] * vj[i]).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type shared by all linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// Library code never panics on malformed input; dimension mismatches and
+/// numerically impossible requests are reported through this enum instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries `(rows_a, cols_a)` and
+    /// `(rows_b, cols_b)` of the offending operands.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Actual shape of the matrix.
+        shape: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The requested `(row, col)` index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A requested rank/size exceeded what the input can provide.
+    RankTooLarge {
+        /// The requested rank.
+        requested: usize,
+        /// The maximum admissible rank.
+        available: usize,
+    },
+    /// The matrix was not positive definite (Cholesky) or was otherwise
+    /// numerically singular.
+    NotPositiveDefinite,
+    /// A triangular or general solve hit a (near-)zero pivot.
+    SingularMatrix,
+    /// An iterative kernel failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the kernel that failed.
+        kernel: &'static str,
+        /// Number of sweeps/iterations attempted.
+        iterations: usize,
+    },
+    /// The input was empty where a non-empty matrix/vector is required.
+    EmptyInput,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::RankTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested rank {requested} exceeds available rank {available}"
+            ),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::SingularMatrix => write!(f, "matrix is singular to working precision"),
+            LinalgError::NoConvergence { kernel, iterations } => {
+                write!(f, "{kernel} failed to converge after {iterations} sweeps")
+            }
+            LinalgError::EmptyInput => write!(f, "input matrix or vector is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&LinalgError::SingularMatrix);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a = LinalgError::NotSquare { shape: (2, 3) };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

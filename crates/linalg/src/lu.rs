@@ -1,0 +1,250 @@
+//! LU factorisation with partial pivoting.
+//!
+//! Used for general (non-SPD) linear solves, determinants and explicit
+//! inverses — e.g. the pseudo-inverse fallback of the least-squares core
+//! projection when a combined factor's Gram is ill-conditioned, and by
+//! tests as an independent check of the triangular solvers.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// An LU factorisation `P A = L U` with row-pivoting permutation `P`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Packed LU matrix: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for determinants.
+    sign: f64,
+}
+
+impl LuFactors {
+    /// The permutation vector.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    /// * [`LinalgError::SingularMatrix`] on a zero pivot.
+    #[allow(clippy::needless_range_loop)] // substitutions read earlier/later x entries
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu_solve",
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.lu.get(i, k) * x[k];
+            }
+            let d = self.lu.get(i, i);
+            if d.abs() < f64::EPSILON {
+                return Err(LinalgError::SingularMatrix);
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Explicit inverse of the original matrix (column-by-column solves).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::SingularMatrix`] when the matrix is singular.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Computes the LU factorisation of a square matrix with partial pivoting.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::EmptyInput`] for shape
+///   problems. Singularity is detected lazily at solve time (the
+///   factorisation itself completes with a zero pivot recorded).
+pub fn lu_decompose(a: &Matrix) -> Result<LuFactors> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { shape: (m, n) });
+    }
+    if n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in the column at or below the
+        // diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = lu.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = lu.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let a = lu.get(col, j);
+                let b = lu.get(pivot_row, j);
+                lu.set(col, j, b);
+                lu.set(pivot_row, j, a);
+            }
+            perm.swap(col, pivot_row);
+            sign = -sign;
+        }
+        let d = lu.get(col, col);
+        if d == 0.0 {
+            continue; // singular column; recorded as a zero pivot
+        }
+        for r in (col + 1)..n {
+            let factor = lu.get(r, col) / d;
+            lu.set(r, col, factor);
+            for j in (col + 1)..n {
+                let cur = lu.get(r, j);
+                lu.set(r, j, cur - factor * lu.get(col, j));
+            }
+        }
+    }
+    Ok(LuFactors { lu, perm, sign })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
+        let x_true = [1.0, 2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let lu = lu_decompose(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]).unwrap();
+        let det = lu_decompose(&a).unwrap().determinant();
+        assert!((det - (-14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_identity_and_permutation() {
+        assert!((lu_decompose(&Matrix::identity(4)).unwrap().determinant() - 1.0).abs() < 1e-14);
+        // A single row swap flips the sign.
+        let mut p = Matrix::identity(3);
+        p.set(0, 0, 0.0);
+        p.set(0, 1, 1.0);
+        p.set(1, 1, 0.0);
+        p.set(1, 0, 1.0);
+        assert!((lu_decompose(&p).unwrap().determinant() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / ((i + j + 1) as f64)
+            }
+        });
+        let inv = lu_decompose(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let defect = prod.sub(&Matrix::identity(5)).unwrap().frobenius_norm();
+        assert!(defect < 1e-11, "A * A^-1 differs from I by {defect}");
+    }
+
+    #[test]
+    fn singular_matrix_fails_at_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let lu = lu_decompose(&a).unwrap();
+        assert!((lu.determinant()).abs() < 1e-12);
+        assert!(matches!(
+            lu.solve(&[1.0, 1.0]),
+            Err(LinalgError::SingularMatrix)
+        ));
+        assert!(lu.inverse().is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = lu_decompose(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(lu_decompose(&Matrix::zeros(2, 3)).is_err());
+        assert!(lu_decompose(&Matrix::zeros(0, 0)).is_err());
+        let lu = lu_decompose(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn agrees_with_spd_solver_on_spd_input() {
+        let b = Matrix::from_fn(4, 4, |i, j| ((i * 4 + j) as f64 * 0.3).sin());
+        let mut a = b.transpose_matmul(&b).unwrap();
+        for i in 0..4 {
+            a.set(i, i, a.get(i, i) + 2.0);
+        }
+        let rhs = [1.0, -1.0, 2.0, 0.5];
+        let x_lu = lu_decompose(&a).unwrap().solve(&rhs).unwrap();
+        let x_ch = crate::solve::solve_spd(&a, &rhs).unwrap();
+        for i in 0..4 {
+            assert!((x_lu[i] - x_ch[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! Dense row-major matrix type.
+
+use crate::error::LinalgError;
+use crate::vecops::{dot, norm2};
+use crate::Result;
+use std::fmt;
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+///
+/// This is the workhorse type of the M2TD reproduction: tensor
+/// matricizations, factor matrices, Gram matrices and cores-in-flight are
+/// all `Matrix` values. The representation is a plain `Vec<f64>` of length
+/// `rows * cols` with entry `(i, j)` stored at `i * cols + j`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a pre-filled row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+                op: "from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices. All rows must have the
+    /// same length; an empty outer slice is rejected.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    left: (1, cols),
+                    right: (1, r.len()),
+                    op: "from_rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` iff the matrix has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Unchecked entry access (debug-asserted).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Unchecked entry assignment (debug-asserted).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Checked entry access.
+    pub fn try_get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (i, j),
+                shape: (self.rows, self.cols),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a freshly allocated vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        debug_assert!(j < self.cols && v.len() == self.rows);
+        for (i, &x) in v.iter().enumerate() {
+            self.data[i * self.cols + j] = x;
+        }
+    }
+
+    /// Euclidean norm of row `i`. This is the "row energy" used by the
+    /// paper's `ROW_SELECT` procedure (Algorithm 5).
+    pub fn row_norm(&self, i: usize) -> f64 {
+        norm2(self.row(i))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses the cache-friendly `i-k-j` loop order on row-major storage.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `selfᵀ * other` without materializing the transpose.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.cols, self.rows),
+                right: other.shape(),
+                op: "transpose_matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aki * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: (other.cols, other.rows),
+                op: "matmul_transpose",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                out.data[i * other.rows + j] = dot(a_row, other.row(j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `self * selfᵀ` (size `rows x rows`), exploiting symmetry.
+    pub fn gram_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            let ri = self.row(i);
+            for j in i..self.rows {
+                let v = dot(ri, self.row(j));
+                out.data[i * self.rows + j] = v;
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: (x.len(), 1),
+                op: "matvec",
+            });
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise average of two equally shaped matrices. This is the
+    /// pivot-factor combination of the paper's M2TD-AVG (Algorithm 2).
+    pub fn average(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "average", |a, b| 0.5 * (a + b))
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| alpha * x).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        norm2(&self.data)
+    }
+
+    /// Largest absolute entry (`max |a_ij|`); zero for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Stacks `self` on top of `other` (row concatenation). This is the
+    /// building block of the paper's M2TD-CONCAT, which concatenates the
+    /// pivot-mode matricizations of the two sub-tensors column-wise; on the
+    /// transposed view that is exactly a vertical stack.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "vstack",
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Places `self` to the left of `other` (column concatenation).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "hstack",
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Returns the sub-matrix consisting of the first `k` columns.
+    pub fn leading_columns(&self, k: usize) -> Result<Matrix> {
+        if k > self.cols {
+            return Err(LinalgError::RankTooLarge {
+                requested: k,
+                available: self.cols,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        Ok(out)
+    }
+
+    /// Measures how far the matrix is from having orthonormal columns:
+    /// `‖selfᵀ self − I‖_F`.
+    pub fn orthonormality_defect(&self) -> f64 {
+        let gram = self
+            .transpose_matmul(self)
+            .expect("self is always row-compatible with itself");
+        let n = gram.rows();
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let target = if i == j { 1.0 } else { 0.0 };
+                let d = gram.get(i, j) - target;
+                acc += d * d;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// Serialized form: `{ rows, cols, data }`, validated on load.
+impl serde::Serialize for Matrix {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Matrix", 3)?;
+        st.serialize_field("rows", &self.rows)?;
+        st.serialize_field("cols", &self.cols)?;
+        st.serialize_field("data", &self.data)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Matrix {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            rows: usize,
+            cols: usize,
+            data: Vec<f64>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Matrix::from_vec(raw.rows, raw.cols, raw.data)
+            .map_err(|e| serde::de::Error::custom(format!("invalid matrix: {e}")))
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4e}", self.get(i, j))?;
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let m = Matrix::identity(2);
+        assert_eq!(m.try_get(1, 1).unwrap(), 1.0);
+        assert!(m.try_get(2, 0).is_err());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 1.5], &[0.0, 1.0]]).unwrap();
+        let fast = a.transpose_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]).unwrap();
+        let fast = a.matmul_transpose(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn gram_rows_is_symmetric_and_correct() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let g = a.gram_rows();
+        let explicit = a.matmul(&a.transpose()).unwrap();
+        assert_eq!(g, explicit);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 6.0]]).unwrap();
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Matrix::from_rows(&[&[4.0, 8.0]]).unwrap()
+        );
+        assert_eq!(
+            b.sub(&a).unwrap(),
+            Matrix::from_rows(&[&[2.0, 4.0]]).unwrap()
+        );
+        assert_eq!(
+            a.average(&b).unwrap(),
+            Matrix::from_rows(&[&[2.0, 4.0]]).unwrap()
+        );
+        assert_eq!(a.scaled(2.0), Matrix::from_rows(&[&[2.0, 4.0]]).unwrap());
+        let c = Matrix::zeros(2, 2);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!(approx(a.frobenius_norm(), 5.0));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.get(1, 0), 3.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h.get(0, 3), 4.0);
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+        assert!(a.hstack(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn leading_columns_truncates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let l = a.leading_columns(2).unwrap();
+        assert_eq!(l, Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 5.0]]).unwrap());
+        assert!(a.leading_columns(4).is_err());
+    }
+
+    #[test]
+    fn orthonormality_defect_of_identity_is_zero() {
+        assert!(Matrix::identity(4).orthonormality_defect() < 1e-14);
+    }
+
+    #[test]
+    fn row_norm_is_energy() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]).unwrap();
+        assert!(approx(a.row_norm(0), 5.0));
+        assert_eq!(a.row_norm(1), 0.0);
+    }
+
+    #[test]
+    fn set_col_writes_column() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set_col(1, &[5.0, 6.0]);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(1, 1), 6.0);
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        // Corrupted length must be rejected.
+        let bad = r#"{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}"#;
+        assert!(serde_json::from_str::<Matrix>(bad).is_err());
+    }
+
+    #[test]
+    fn debug_format_is_truncated() {
+        let big = Matrix::zeros(100, 100);
+        let s = format!("{big:?}");
+        assert!(s.contains('…'));
+        assert!(s.len() < 4000);
+    }
+}

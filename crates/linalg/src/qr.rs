@@ -1,0 +1,183 @@
+//! Householder QR factorisation.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vecops::norm2;
+use crate::Result;
+
+/// The result of a (thin) Householder QR factorisation `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// `m x k` matrix with orthonormal columns, `k = min(m, n)`.
+    pub q: Matrix,
+    /// `k x n` upper-triangular (trapezoidal) factor.
+    pub r: Matrix,
+}
+
+impl QrFactors {
+    /// Recomposes `Q * R`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.q
+            .matmul(&self.r)
+            .expect("Q and R shapes are compatible by construction")
+    }
+}
+
+/// Computes the thin QR factorisation of `a` via Householder reflections.
+///
+/// For an `m x n` input this returns `Q` of shape `m x min(m,n)` with
+/// orthonormal columns and upper-triangular `R` of shape `min(m,n) x n` such
+/// that `a = Q R` up to floating-point error.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] for a matrix with no entries.
+pub fn householder_qr(a: &Matrix) -> Result<QrFactors> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    let k = m.min(n);
+
+    // Work on a mutable copy; reflectors are accumulated into `q`.
+    let mut r = a.clone();
+    // q starts as the m x m identity; we apply each reflector from the right
+    // at the end by instead accumulating them into an explicit matrix.
+    let mut q = Matrix::identity(m);
+
+    // Householder vectors, stored densely per step.
+    let mut v = vec![0.0; m];
+    for col in 0..k {
+        // Build the Householder vector for column `col`, rows col..m.
+        let len = m - col;
+        for (i, vi) in v[..len].iter_mut().enumerate() {
+            *vi = r.get(col + i, col);
+        }
+        let alpha = norm2(&v[..len]);
+        if alpha == 0.0 {
+            continue; // Column already zero below the diagonal.
+        }
+        // Choose sign to avoid cancellation.
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = norm2(&v[..len]);
+        if vnorm == 0.0 {
+            continue;
+        }
+        for x in v[..len].iter_mut() {
+            *x /= vnorm;
+        }
+
+        // Apply reflector H = I - 2 v vᵀ to R (rows col..m, cols col..n).
+        for j in col..n {
+            let mut proj = 0.0;
+            for (i, &vi) in v[..len].iter().enumerate() {
+                proj += vi * r.get(col + i, j);
+            }
+            proj *= 2.0;
+            for (i, &vi) in v[..len].iter().enumerate() {
+                let cur = r.get(col + i, j);
+                r.set(col + i, j, cur - proj * vi);
+            }
+        }
+        // Apply reflector to Q from the right: Q <- Q H.
+        for i in 0..m {
+            let mut proj = 0.0;
+            for (t, &vt) in v[..len].iter().enumerate() {
+                proj += q.get(i, col + t) * vt;
+            }
+            proj *= 2.0;
+            for (t, &vt) in v[..len].iter().enumerate() {
+                let cur = q.get(i, col + t);
+                q.set(i, col + t, cur - proj * vt);
+            }
+        }
+    }
+
+    // Thin factors: keep the first k columns of Q and first k rows of R.
+    let q_thin = q.leading_columns(k)?;
+    let mut r_thin = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in 0..n {
+            // Zero the strictly-lower part explicitly to remove round-off.
+            r_thin.set(i, j, if j >= i { r.get(i, j) } else { 0.0 });
+        }
+    }
+    Ok(QrFactors {
+        q: q_thin,
+        r: r_thin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let d = a.sub(b).unwrap().frobenius_norm();
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ])
+        .unwrap();
+        let qr = householder_qr(&a).unwrap();
+        assert_close(&qr.reconstruct(), &a, 1e-10);
+        assert!(qr.q.orthonormality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn qr_tall_matrix() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let qr = householder_qr(&a).unwrap();
+        assert_eq!(qr.q.shape(), (7, 3));
+        assert_eq!(qr.r.shape(), (3, 3));
+        assert_close(&qr.reconstruct(), &a, 1e-12);
+        assert!(qr.q.orthonormality_defect() < 1e-12);
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        let a = Matrix::from_fn(3, 6, |i, j| 1.0 / ((i + j + 1) as f64));
+        let qr = householder_qr(&a).unwrap();
+        assert_eq!(qr.q.shape(), (3, 3));
+        assert_eq!(qr.r.shape(), (3, 6));
+        assert_close(&qr.reconstruct(), &a, 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 5, |i, j| ((i + 2 * j) as f64).cos());
+        let qr = householder_qr(&a).unwrap();
+        for i in 0..5 {
+            for j in 0..i {
+                assert_eq!(qr.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let qr = householder_qr(&a).unwrap();
+        assert_close(&qr.reconstruct(), &a, 1e-15);
+    }
+
+    #[test]
+    fn qr_rejects_empty() {
+        assert!(householder_qr(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_factors() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = householder_qr(&a).unwrap();
+        assert_close(&qr.reconstruct(), &a, 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Triangular and SPD linear solvers.
+
+use crate::cholesky::cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Solves `L x = b` for lower-triangular `L` by forward substitution.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`] on
+///   shape problems.
+/// * [`LinalgError::SingularMatrix`] on a (near-)zero diagonal entry.
+#[allow(clippy::needless_range_loop)] // forward substitution reads x[k] for k < i
+pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = l.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { shape: (m, n) });
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            left: (m, n),
+            right: (b.len(), 1),
+            op: "solve_lower_triangular",
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * x[k];
+        }
+        let d = l.get(i, i);
+        if d.abs() < f64::EPSILON {
+            return Err(LinalgError::SingularMatrix);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` for upper-triangular `U` by back substitution.
+///
+/// # Errors
+///
+/// Same as [`solve_lower_triangular`].
+#[allow(clippy::needless_range_loop)] // back substitution reads x[k] for k > i
+pub fn solve_upper_triangular(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = u.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { shape: (m, n) });
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            left: (m, n),
+            right: (b.len(), 1),
+            op: "solve_upper_triangular",
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= u.get(i, k) * x[k];
+        }
+        let d = u.get(i, i);
+        if d.abs() < f64::EPSILON {
+            return Err(LinalgError::SingularMatrix);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates Cholesky errors ([`LinalgError::NotPositiveDefinite`], shape
+/// errors) and substitution errors.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    cholesky(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_substitution_known() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower_triangular(&l, &[4.0, 11.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn back_substitution_known() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        let x = solve_upper_triangular(&u, &[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_diagonal_is_detected() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            solve_lower_triangular(&l, &[1.0, 1.0]),
+            Err(LinalgError::SingularMatrix)
+        ));
+    }
+
+    #[test]
+    fn shape_checks() {
+        let l = Matrix::identity(2);
+        assert!(solve_lower_triangular(&l, &[1.0]).is_err());
+        assert!(solve_upper_triangular(&Matrix::zeros(2, 3), &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn spd_solve_round_trip() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
+        let x_true = [1.0, 2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Singular value decomposition.
+//!
+//! Two routes are provided:
+//!
+//! * [`svd`] — a full one-sided Jacobi SVD. Numerically robust and simple;
+//!   used for moderate matrices and as the reference implementation in
+//!   tests and ablation benches.
+//! * [`gram_left_singular_vectors`] — the *Gram trick*: the left singular
+//!   vectors of `A` are the eigenvectors of `A Aᵀ`. The M2TD pipeline only
+//!   ever needs the `r` leading **left** singular vectors of a mode-`n`
+//!   matricization `X₍ₙ₎`, which is a short-and-very-wide matrix
+//!   (`I_n × ∏_{m≠n} I_m`). Forming the tiny `I_n × I_n` Gram matrix and
+//!   running the symmetric Jacobi eigensolver is dramatically cheaper than
+//!   a full SVD of the matricization and is what HOSVD implementations do
+//!   in practice for sparse inputs.
+
+use crate::eig::symmetric_eig;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vecops::norm2;
+use crate::Result;
+
+/// A full (thin) singular value decomposition `A = U diag(σ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `m x k` matrix of left singular vectors (`k = min(m, n)`).
+    pub u: Matrix,
+    /// Singular values, non-negative, decreasing.
+    pub singular_values: Vec<f64>,
+    /// `k x n` matrix of right singular vectors, transposed.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Recomposes `U diag(σ) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..k {
+                us.set(i, j, us.get(i, j) * self.singular_values[j]);
+            }
+        }
+        us.matmul(&self.vt).expect("shapes agree by construction")
+    }
+
+    /// Best rank-`r` approximation (Eckart–Young truncation).
+    pub fn truncated_reconstruct(&self, r: usize) -> Result<Matrix> {
+        let k = self.singular_values.len();
+        if r > k {
+            return Err(LinalgError::RankTooLarge {
+                requested: r,
+                available: k,
+            });
+        }
+        let u_r = self.u.leading_columns(r)?;
+        let mut us = u_r;
+        for i in 0..us.rows() {
+            for j in 0..r {
+                us.set(i, j, us.get(i, j) * self.singular_values[j]);
+            }
+        }
+        // First r rows of Vᵀ.
+        let mut vt_r = Matrix::zeros(r, self.vt.cols());
+        for i in 0..r {
+            vt_r.row_mut(i).copy_from_slice(self.vt.row(i));
+        }
+        us.matmul(&vt_r)
+    }
+}
+
+/// Maximum number of one-sided Jacobi sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` by the one-sided Jacobi method.
+///
+/// For `m < n` the decomposition is computed on `aᵀ` and the factors are
+/// swapped, so callers may pass any shape.
+///
+/// # Errors
+///
+/// * [`LinalgError::EmptyInput`] for an empty matrix.
+/// * [`LinalgError::NoConvergence`] if sweeps do not converge (pathological
+///   non-finite input).
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if m < n {
+        // Work on the transpose and swap factors: A = U S Vᵀ ⇔ Aᵀ = V S Uᵀ.
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.vt.transpose(),
+            singular_values: t.singular_values,
+            vt: t.u.transpose(),
+        });
+    }
+
+    // One-sided Jacobi on columns of a working copy W (m x n): rotate column
+    // pairs until all are mutually orthogonal. V accumulates the rotations.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-15 * scale * scale * (m as f64);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Inner products over columns p and q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let wp = w.get(i, p);
+                    let wq = w.get(i, q);
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if apq.abs() <= tol || apq.abs() <= 1e-15 * (app * aqq).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for i in 0..m {
+                    let wp = w.get(i, p);
+                    let wq = w.get(i, q);
+                    w.set(i, p, c * wp - s * wq);
+                    w.set(i, q, s * wp + c * wq);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, c * vp - s * vq);
+                    v.set(i, q, s * vp + c * vq);
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            kernel: "svd",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Column norms of W are the singular values; normalized columns are U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|j| norm2(&w.col(j))).collect();
+    order.sort_by(|&i, &j| {
+        norms[j]
+            .partial_cmp(&norms[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let k = n; // thin: k = min(m, n) = n here since m >= n
+    let mut u = Matrix::zeros(m, k);
+    let mut vt = Matrix::zeros(k, n);
+    let mut singular_values = Vec::with_capacity(k);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sigma = norms[old_j];
+        singular_values.push(sigma);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set(i, new_j, w.get(i, old_j) / sigma);
+            }
+        } else {
+            // Zero singular value: leave U column zero (tests account for
+            // rank-deficiency; downstream only uses leading columns).
+        }
+        for i in 0..n {
+            vt.set(new_j, i, v.get(i, old_j));
+        }
+    }
+    Ok(Svd {
+        u,
+        singular_values,
+        vt,
+    })
+}
+
+/// Returns the `r` leading left singular vectors of `a` as the columns of an
+/// `a.rows() x r` matrix, computed via the eigendecomposition of the Gram
+/// matrix `a aᵀ`.
+///
+/// # Errors
+///
+/// * [`LinalgError::RankTooLarge`] if `r > a.rows()`.
+/// * [`LinalgError::EmptyInput`] for an empty matrix.
+pub fn gram_left_singular_vectors(a: &Matrix, r: usize) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if r > m {
+        return Err(LinalgError::RankTooLarge {
+            requested: r,
+            available: m,
+        });
+    }
+    let gram = a.gram_rows();
+    let eig = symmetric_eig(&gram)?;
+    eig.eigenvectors.leading_columns(r)
+}
+
+/// Returns the `r` leading left singular vectors of `a`, dispatching to the
+/// cheapest correct route: the Gram trick when the matrix is wider than
+/// tall (the matricization case), a full Jacobi SVD otherwise.
+///
+/// # Errors
+///
+/// Same as [`gram_left_singular_vectors`] / [`svd`].
+pub fn truncated_left_singular_vectors(a: &Matrix, r: usize) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if r > m.min(n.max(m)) || r > m {
+        return Err(LinalgError::RankTooLarge {
+            requested: r,
+            available: m,
+        });
+    }
+    if n >= m {
+        gram_left_singular_vectors(a, r)
+    } else {
+        let s = svd(a)?;
+        if r > s.u.cols() {
+            return Err(LinalgError::RankTooLarge {
+                requested: r,
+                available: s.u.cols(),
+            });
+        }
+        s.u.leading_columns(r)
+    }
+}
+
+/// Checks that two orthonormal bases span the same subspace up to `tol`
+/// (used by tests comparing the Gram route against the full SVD: individual
+/// vectors may differ in sign or rotate within eigenspaces).
+#[cfg(test)]
+pub(crate) fn same_subspace(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    use crate::vecops::dot;
+    if a.shape() != b.shape() {
+        return false;
+    }
+    // Project each column of A onto span(B) and check the residual.
+    let r = a.cols();
+    for j in 0..r {
+        let aj = a.col(j);
+        let mut residual = aj.clone();
+        for k in 0..r {
+            let bk = b.col(k);
+            let coef = dot(&aj, &bk);
+            for (res, &bv) in residual.iter_mut().zip(bk.iter()) {
+                *res -= coef * bv;
+            }
+        }
+        if norm2(&residual) > tol {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let d = a.sub(b).unwrap().frobenius_norm();
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    #[test]
+    fn svd_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -2.0]]).unwrap();
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-12);
+        assert!((s.singular_values[1] - 2.0).abs() < 1e-12);
+        assert_close(&s.reconstruct(), &a, 1e-12);
+    }
+
+    #[test]
+    fn svd_reconstructs_square() {
+        // `sin(a*i + b*j)` alone is rank 2 (angle-sum identity); the product
+        // term makes this genuinely full rank.
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            (((i + 1) * (j + 1)) as f64 + 0.3 * i as f64).sin()
+        });
+        let s = svd(&a).unwrap();
+        assert_close(&s.reconstruct(), &a, 1e-10);
+        assert!(s.u.orthonormality_defect() < 1e-10);
+        assert!(s.vt.transpose().orthonormality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn svd_tall() {
+        let a = Matrix::from_fn(9, 4, |i, j| 1.0 / ((i + j + 1) as f64));
+        let s = svd(&a).unwrap();
+        assert_eq!(s.u.shape(), (9, 4));
+        assert_eq!(s.vt.shape(), (4, 4));
+        assert_close(&s.reconstruct(), &a, 1e-11);
+    }
+
+    #[test]
+    fn svd_wide() {
+        let a = Matrix::from_fn(3, 8, |i, j| ((i + 1) as f64) * ((j + 1) as f64).sqrt());
+        let s = svd(&a).unwrap();
+        assert_eq!(s.u.shape(), (3, 3));
+        assert_eq!(s.vt.shape(), (3, 8));
+        assert_close(&s.reconstruct(), &a, 1e-11);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = Matrix::from_fn(5, 7, |i, j| ((i * j) as f64).cos());
+        let s = svd(&a).unwrap();
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.singular_values.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // outer product => exactly one nonzero singular value.
+        let a = Matrix::from_fn(4, 5, |i, j| ((i + 1) * (j + 1)) as f64);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values[0] > 1.0);
+        for &sv in &s.singular_values[1..] {
+            assert!(sv < 1e-10, "extra singular value {sv}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_best_approximation_error() {
+        // Eckart–Young: truncated reconstruction error equals the tail
+        // singular-value energy.
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            ((i * 5 + j * 2) as f64).sin() + 0.1 * (i as f64)
+        });
+        let s = svd(&a).unwrap();
+        let r = 3;
+        let rec = s.truncated_reconstruct(r).unwrap();
+        let err = a.sub(&rec).unwrap().frobenius_norm();
+        let tail: f64 = s.singular_values[r..]
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt();
+        assert!((err - tail).abs() < 1e-9, "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn truncation_rank_too_large() {
+        let a = Matrix::identity(3);
+        let s = svd(&a).unwrap();
+        assert!(s.truncated_reconstruct(4).is_err());
+    }
+
+    #[test]
+    fn gram_route_matches_full_svd_subspace() {
+        let a = Matrix::from_fn(4, 30, |i, j| ((i * j) as f64 * 0.7 + 0.2 * j as f64).sin());
+        let r = 3;
+        let g = gram_left_singular_vectors(&a, r).unwrap();
+        let s = svd(&a).unwrap();
+        let u_r = s.u.leading_columns(r).unwrap();
+        assert!(
+            same_subspace(&g, &u_r, 1e-8),
+            "Gram and SVD subspaces differ"
+        );
+    }
+
+    #[test]
+    fn gram_vectors_are_orthonormal() {
+        let a = Matrix::from_fn(5, 40, |i, j| ((i + 2 * j) as f64).cos());
+        let g = gram_left_singular_vectors(&a, 4).unwrap();
+        assert!(g.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_dispatch_agrees() {
+        let wide = Matrix::from_fn(4, 20, |i, j| ((i * 3 + j) as f64).sin());
+        let via_dispatch = truncated_left_singular_vectors(&wide, 2).unwrap();
+        let via_gram = gram_left_singular_vectors(&wide, 2).unwrap();
+        assert!(same_subspace(&via_dispatch, &via_gram, 1e-9));
+
+        let tall = wide.transpose();
+        let u = truncated_left_singular_vectors(&tall, 2).unwrap();
+        assert_eq!(u.shape(), (20, 2));
+        assert!(u.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let a = Matrix::identity(3);
+        assert!(gram_left_singular_vectors(&a, 4).is_err());
+        assert!(truncated_left_singular_vectors(&a, 4).is_err());
+        assert!(svd(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Matrix::zeros(3, 4);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values.iter().all(|&x| x == 0.0));
+        assert_close(&s.reconstruct(), &a, 1e-15);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the linear-algebra kernels on random matrices.
+
+use m2td_linalg::{
+    cholesky, householder_qr, khatri_rao, kronecker, lu_decompose, svd, symmetric_eig, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in ±3 and shape up to 7×7.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-3.0f64..3.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
+    })
+}
+
+/// Strategy: a random square matrix.
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-3.0f64..3.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("length matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal(a in matrix_strategy(7)) {
+        let qr = householder_qr(&a).unwrap();
+        let recon = qr.reconstruct();
+        let err = recon.sub(&a).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-9 * (1.0 + a.frobenius_norm()), "QR error {err}");
+        prop_assert!(qr.q.orthonormality_defect() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs_any_shape(a in matrix_strategy(6)) {
+        let s = svd(&a).unwrap();
+        let err = s.reconstruct().sub(&a).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-8 * (1.0 + a.frobenius_norm()), "SVD error {err}");
+        // Singular values decreasing and non-negative.
+        for w in s.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+        // Frobenius norm equals the singular-value energy.
+        let sv_energy: f64 = s.singular_values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!((sv_energy - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn symmetric_eig_reconstructs_gram(a in matrix_strategy(6)) {
+        let gram = a.gram_rows();
+        let e = symmetric_eig(&gram).unwrap();
+        let err = e.reconstruct().sub(&gram).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-8 * (1.0 + gram.frobenius_norm()));
+        // Gram eigenvalues are non-negative.
+        prop_assert!(e.eigenvalues.iter().all(|&l| l > -1e-8));
+    }
+
+    #[test]
+    fn lu_solve_inverts_well_conditioned_systems(a in square_strategy(6), shift in 2.0f64..6.0) {
+        // Diagonal shift keeps the system comfortably non-singular.
+        let n = a.rows();
+        let mut m = a.clone();
+        for i in 0..n {
+            m.set(i, i, m.get(i, i) + shift * 3.0);
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b = m.matvec(&x_true).unwrap();
+        let x = lu_decompose(&m).unwrap().solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-8, "component {i}");
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd(a in matrix_strategy(5)) {
+        // AᵀA + I is SPD.
+        let mut spd = a.transpose_matmul(&a).unwrap();
+        for i in 0..spd.rows() {
+            spd.set(i, i, spd.get(i, i) + 1.0);
+        }
+        let b: Vec<f64> = (0..spd.rows()).map(|i| 1.0 + i as f64).collect();
+        let x_ch = cholesky(&spd).unwrap().solve(&b).unwrap();
+        let x_lu = lu_decompose(&spd).unwrap().solve(&b).unwrap();
+        for (u, v) in x_ch.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn kronecker_norm_is_product_of_norms(a in matrix_strategy(4), b in matrix_strategy(4)) {
+        let k = kronecker(&a, &b);
+        let expected = a.frobenius_norm() * b.frobenius_norm();
+        prop_assert!((k.frobenius_norm() - expected).abs() < 1e-9 * (1.0 + expected));
+    }
+
+    #[test]
+    fn khatri_rao_is_column_subset_of_kronecker(a in matrix_strategy(4), b in matrix_strategy(4)) {
+        // Force equal column counts by truncating.
+        let c = a.cols().min(b.cols());
+        let a = a.leading_columns(c).unwrap();
+        let b = b.leading_columns(c).unwrap();
+        let kr = khatri_rao(&a, &b).unwrap();
+        prop_assert_eq!(kr.shape(), (a.rows() * b.rows(), c));
+        // Column j of A ⊙ B equals a_j ⊗ b_j.
+        for j in 0..c {
+            let col = kr.col(j);
+            let mut expected = Vec::with_capacity(col.len());
+            for i in 0..a.rows() {
+                for p in 0..b.rows() {
+                    expected.push(a.get(i, j) * b.get(p, j));
+                }
+            }
+            for (x, y) in col.iter().zip(expected.iter()) {
+                prop_assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix_strategy(4), b in matrix_strategy(4), c in matrix_strategy(4)) {
+        // Reshape to compatible chain via leading_columns: A(r_a x k), B(k x k2), C(k2 x c)
+        let k = a.cols().min(b.rows());
+        let a = a.leading_columns(k).unwrap();
+        let b_rows = k;
+        let mut b2 = Matrix::zeros(b_rows, b.cols());
+        for i in 0..b_rows.min(b.rows()) {
+            b2.row_mut(i).copy_from_slice(b.row(i));
+        }
+        let k2 = b2.cols().min(c.rows());
+        let b2 = b2.leading_columns(k2).unwrap();
+        let mut c2 = Matrix::zeros(k2, c.cols());
+        for i in 0..k2.min(c.rows()) {
+            c2.row_mut(i).copy_from_slice(c.row(i));
+        }
+        let left = a.matmul(&b2).unwrap().matmul(&c2).unwrap();
+        let right = a.matmul(&b2.matmul(&c2).unwrap()).unwrap();
+        let diff = left.sub(&right).unwrap().frobenius_norm();
+        prop_assert!(diff < 1e-9 * (1.0 + left.frobenius_norm()));
+    }
+
+    #[test]
+    fn transpose_matmul_agrees_with_explicit(a in matrix_strategy(5), b in matrix_strategy(5)) {
+        // Make row counts agree.
+        let rows = a.rows().min(b.rows());
+        let trim = |m: &Matrix| {
+            let mut out = Matrix::zeros(rows, m.cols());
+            for i in 0..rows {
+                out.row_mut(i).copy_from_slice(m.row(i));
+            }
+            out
+        };
+        let a = trim(&a);
+        let b = trim(&b);
+        let fast = a.transpose_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        prop_assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for sampling-plan construction.
+
+use std::fmt;
+
+/// Errors produced while constructing sampling plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// The requested budget exceeds the number of cells available.
+    BudgetTooLarge {
+        /// Requested cell budget.
+        requested: usize,
+        /// Cells available in the (sub-)space.
+        available: usize,
+    },
+    /// The space has no cells (a zero-extent mode or no modes).
+    EmptySpace,
+    /// A PF-partition is structurally invalid for the given mode count.
+    InvalidPartition {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A density fraction was outside `(0, 1]`.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::BudgetTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "budget {requested} exceeds the {available} available cells"
+            ),
+            SamplingError::EmptySpace => write!(f, "the sampling space has no cells"),
+            SamplingError::InvalidPartition { reason } => {
+                write!(f, "invalid PF-partition: {reason}")
+            }
+            SamplingError::InvalidFraction { value } => {
+                write!(f, "density fraction {value} must lie in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SamplingError::BudgetTooLarge {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Additional conventional baselines beyond the paper's three: Latin
+//! hypercube and stratified (jittered-grid) sampling.
+//!
+//! The paper's Section IV compares Random, Grid and Slice sampling. Both
+//! schemes here are standard experiment-design alternatives; the
+//! `extra_baselines` ablation shows that even better space-filling
+//! designs do not close the gap to partition-stitch sampling — the
+//! advantage comes from the density boost, not from where the samples
+//! land.
+
+use crate::error::SamplingError;
+use crate::scheme::SamplingScheme;
+use crate::Result;
+use m2td_tensor::Shape;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+fn check_space(dims: &[usize], budget: usize) -> Result<usize> {
+    let total = Shape::new(dims).num_elements();
+    if total == 0 {
+        return Err(SamplingError::EmptySpace);
+    }
+    if budget > total {
+        return Err(SamplingError::BudgetTooLarge {
+            requested: budget,
+            available: total,
+        });
+    }
+    Ok(total)
+}
+
+/// Latin hypercube sampling: each axis is divided into `budget` strata and
+/// every stratum is used exactly once per axis (via independent random
+/// permutations), giving optimal one-dimensional projections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatinHypercubeSampling;
+
+impl SamplingScheme for LatinHypercubeSampling {
+    fn name(&self) -> &'static str {
+        "latin-hypercube"
+    }
+
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>> {
+        let total = check_space(dims, budget)?;
+        if budget == 0 {
+            return Ok(Vec::new());
+        }
+        let n = dims.len();
+        // One random permutation of 0..budget per axis; stratum i maps to
+        // grid index floor(i * dim / budget) + jitter within the stratum.
+        let mut perms: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut p: Vec<usize> = (0..budget).collect();
+            p.shuffle(rng);
+            perms.push(p);
+        }
+        let mut seen: HashSet<Vec<usize>> = HashSet::with_capacity(budget);
+        let mut plan: Vec<Vec<usize>> = Vec::with_capacity(budget);
+        #[allow(clippy::needless_range_loop)] // `i` selects one stratum per axis
+        for i in 0..budget {
+            let cell: Vec<usize> = (0..n)
+                .map(|axis| {
+                    let stratum = perms[axis][i];
+                    let lo = stratum * dims[axis] / budget;
+                    let hi = (((stratum + 1) * dims[axis]).div_ceil(budget)).min(dims[axis]);
+                    if hi > lo + 1 {
+                        rng.gen_range(lo..hi)
+                    } else {
+                        lo.min(dims[axis] - 1)
+                    }
+                })
+                .collect();
+            if seen.insert(cell.clone()) {
+                plan.push(cell);
+            }
+        }
+        // Collisions can only occur when budget exceeds an axis extent
+        // (several strata share a grid value); top up randomly.
+        let shape = Shape::new(dims);
+        while plan.len() < budget {
+            let cell = shape.multi_index(rng.gen_range(0..total));
+            if seen.insert(cell.clone()) {
+                plan.push(cell);
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Stratified sampling: the space is divided into a balanced lattice of
+/// blocks (one per sample) and a uniformly random cell is drawn inside
+/// each block — grid-like coverage without grid-like regularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StratifiedSampling;
+
+impl StratifiedSampling {
+    /// Balanced per-axis block counts whose product is ≤ budget.
+    fn block_counts(dims: &[usize], budget: usize) -> Vec<usize> {
+        let n = dims.len();
+        let mut k = vec![1usize; n];
+        loop {
+            let product: usize = k.iter().product();
+            let mut best: Option<usize> = None;
+            for m in 0..n {
+                if k[m] >= dims[m] {
+                    continue;
+                }
+                let new_product = product / k[m] * (k[m] + 1);
+                if new_product <= budget && best.is_none_or(|b| k[m] < k[b]) {
+                    best = Some(m);
+                }
+            }
+            match best {
+                Some(m) => k[m] += 1,
+                None => break,
+            }
+        }
+        k
+    }
+}
+
+impl SamplingScheme for StratifiedSampling {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>> {
+        check_space(dims, budget)?;
+        if budget == 0 {
+            return Ok(Vec::new());
+        }
+        let blocks = Self::block_counts(dims, budget);
+        let lattice = Shape::new(&blocks);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut plan = Vec::with_capacity(lattice.num_elements());
+        for block_idx in lattice.iter_indices() {
+            let cell: Vec<usize> = block_idx
+                .iter()
+                .zip(blocks.iter())
+                .zip(dims.iter())
+                .map(|((&b, &k), &d)| {
+                    let lo = b * d / k;
+                    let hi = ((b + 1) * d / k).max(lo + 1).min(d);
+                    if hi > lo + 1 {
+                        rng.gen_range(lo..hi)
+                    } else {
+                        lo
+                    }
+                })
+                .collect();
+            if seen.insert(cell.clone()) {
+                plan.push(cell);
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn assert_valid(plan: &[Vec<usize>], dims: &[usize], budget: usize) {
+        assert!(plan.len() <= budget);
+        let mut seen = HashSet::new();
+        for cell in plan {
+            assert_eq!(cell.len(), dims.len());
+            for (i, d) in cell.iter().zip(dims.iter()) {
+                assert!(i < d, "cell {cell:?} out of bounds");
+            }
+            assert!(seen.insert(cell.clone()));
+        }
+    }
+
+    #[test]
+    fn lhs_exact_budget_and_marginals() {
+        let dims = [8, 8, 8];
+        let budget = 8;
+        let plan = LatinHypercubeSampling
+            .plan(&dims, budget, &mut rng())
+            .unwrap();
+        assert_eq!(plan.len(), budget);
+        assert_valid(&plan, &dims, budget);
+        // With budget == dim, each axis uses every value exactly once.
+        for axis in 0..3 {
+            let values: HashSet<usize> = plan.iter().map(|c| c[axis]).collect();
+            assert_eq!(values.len(), 8, "axis {axis} projections not Latin");
+        }
+    }
+
+    #[test]
+    fn lhs_budget_exceeding_axis_extent() {
+        let dims = [4, 4];
+        let plan = LatinHypercubeSampling.plan(&dims, 10, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 10);
+        assert_valid(&plan, &dims, 10);
+    }
+
+    #[test]
+    fn lhs_rejects_overbudget_and_empty() {
+        assert!(LatinHypercubeSampling.plan(&[2, 2], 5, &mut rng()).is_err());
+        assert!(LatinHypercubeSampling.plan(&[0, 2], 1, &mut rng()).is_err());
+        assert!(LatinHypercubeSampling
+            .plan(&[3, 3], 0, &mut rng())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn stratified_covers_blocks() {
+        let dims = [9, 9];
+        let budget = 9; // 3x3 blocks
+        let plan = StratifiedSampling.plan(&dims, budget, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 9);
+        assert_valid(&plan, &dims, budget);
+        // Exactly one sample in each 3x3 block.
+        let mut blocks = HashSet::new();
+        for cell in &plan {
+            blocks.insert((cell[0] / 3, cell[1] / 3));
+        }
+        assert_eq!(blocks.len(), 9);
+    }
+
+    #[test]
+    fn stratified_under_budget_is_allowed() {
+        let dims = [10, 10];
+        let plan = StratifiedSampling.plan(&dims, 50, &mut rng()).unwrap();
+        assert!(plan.len() >= 40, "only {} of 50", plan.len());
+        assert_valid(&plan, &dims, 50);
+    }
+
+    #[test]
+    fn schemes_are_seed_deterministic() {
+        for scheme in [
+            &LatinHypercubeSampling as &dyn SamplingScheme,
+            &StratifiedSampling,
+        ] {
+            let a = scheme.plan(&[6, 6, 6], 20, &mut rng()).unwrap();
+            let b = scheme.plan(&[6, 6, 6], 20, &mut rng()).unwrap();
+            assert_eq!(a, b, "{} not deterministic", scheme.name());
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LatinHypercubeSampling.name(), "latin-hypercube");
+        assert_eq!(StratifiedSampling.name(), "stratified");
+    }
+}

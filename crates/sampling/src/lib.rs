@@ -1,0 +1,32 @@
+//! Ensemble sampling schemes for the M2TD reproduction.
+//!
+//! Two families, mirroring Sections IV and V of the paper:
+//!
+//! * **Conventional sampling** of the full `N`-mode parameter space at a
+//!   cell budget `B`: [`RandomSampling`], [`GridSampling`] and
+//!   [`SliceSampling`] (the baselines of the evaluation tables).
+//! * **PF-partitioning** ([`PfPartition`]): split the modes into `k` shared
+//!   *pivot* modes and two halves of *free* modes; the remaining modes of
+//!   each sub-system are *fixed* to default values. Each sub-system gets a
+//!   plan of `P × E` cells (`P` pivot configurations × `E` free
+//!   configurations), which the stitch layer later joins.
+//!
+//! All plans are lists of full-tensor multi-indices, so they can be fed
+//! directly to `m2td_sim::EnsembleBuilder::build_sparse`. Budgets are
+//! counted in tensor cells (simulation instances), matching the paper's
+//! accounting in Table I.
+
+mod error;
+mod extra;
+mod multiway;
+mod partition;
+mod scheme;
+
+pub use error::SamplingError;
+pub use extra::{LatinHypercubeSampling, StratifiedSampling};
+pub use multiway::MultiPartition;
+pub use partition::{PfPartition, SubSystem};
+pub use scheme::{GridSampling, RandomSampling, SamplingScheme, SliceSampling};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SamplingError>;

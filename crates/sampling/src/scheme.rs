@@ -1,0 +1,345 @@
+//! Conventional ensemble sampling schemes (Section IV of the paper).
+
+use crate::error::SamplingError;
+use crate::Result;
+use m2td_tensor::Shape;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A strategy for choosing which cells of the full ensemble tensor to
+/// simulate, given a cell budget `B`.
+pub trait SamplingScheme {
+    /// Scheme identifier used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects `budget` distinct cells from a tensor with mode extents
+    /// `dims`. The returned plan contains full multi-indices.
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>>;
+}
+
+fn check_space(dims: &[usize], budget: usize) -> Result<usize> {
+    let total = Shape::new(dims).num_elements();
+    if total == 0 {
+        return Err(SamplingError::EmptySpace);
+    }
+    if budget > total {
+        return Err(SamplingError::BudgetTooLarge {
+            requested: budget,
+            available: total,
+        });
+    }
+    Ok(total)
+}
+
+/// Uniform random sampling of the parameter space — the paper's worst
+/// conventional baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSampling;
+
+impl SamplingScheme for RandomSampling {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>> {
+        let total = check_space(dims, budget)?;
+        let shape = Shape::new(dims);
+        // Rejection sampling of distinct linear indices; if the budget is a
+        // large fraction of the space, fall back to a shuffle.
+        if budget * 4 >= total {
+            let mut all: Vec<usize> = (0..total).collect();
+            all.shuffle(rng);
+            all.truncate(budget);
+            return Ok(all.into_iter().map(|l| shape.multi_index(l)).collect());
+        }
+        let mut chosen = HashSet::with_capacity(budget);
+        while chosen.len() < budget {
+            chosen.insert(rng.gen_range(0..total));
+        }
+        let mut sorted: Vec<usize> = chosen.into_iter().collect();
+        sorted.sort_unstable();
+        Ok(sorted.into_iter().map(|l| shape.multi_index(l)).collect())
+    }
+}
+
+/// Grid sampling: an evenly spaced sub-lattice in every mode, the best
+/// conventional baseline in the paper's tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridSampling;
+
+impl GridSampling {
+    /// Chooses per-mode sub-resolutions whose product is as large as
+    /// possible without exceeding the budget.
+    fn sub_resolutions(dims: &[usize], budget: usize) -> Vec<usize> {
+        let n = dims.len();
+        let mut k: Vec<usize> = vec![1; n];
+        // Grow the lattice in a balanced fashion: always bump the axis with
+        // the smallest current sub-resolution that still fits the budget,
+        // so the final lattice is as cubical (and as large) as possible.
+        loop {
+            let product: usize = k.iter().product();
+            let mut best: Option<usize> = None;
+            for m in 0..n {
+                if k[m] >= dims[m] {
+                    continue;
+                }
+                let new_product = product / k[m] * (k[m] + 1);
+                if new_product <= budget && best.is_none_or(|b| k[m] < k[b]) {
+                    best = Some(m);
+                }
+            }
+            match best {
+                Some(m) => k[m] += 1,
+                None => break,
+            }
+        }
+        k
+    }
+
+    /// `count` evenly spaced indices over `0..dim`.
+    fn spaced_indices(dim: usize, count: usize) -> Vec<usize> {
+        if count == 0 || dim == 0 {
+            return Vec::new();
+        }
+        if count == 1 {
+            return vec![dim / 2];
+        }
+        (0..count).map(|i| (i * (dim - 1)) / (count - 1)).collect()
+    }
+}
+
+impl SamplingScheme for GridSampling {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>> {
+        check_space(dims, budget)?;
+        if budget == 0 {
+            return Ok(Vec::new());
+        }
+        let subres = Self::sub_resolutions(dims, budget);
+        let axes: Vec<Vec<usize>> = dims
+            .iter()
+            .zip(subres.iter())
+            .map(|(&d, &k)| Self::spaced_indices(d, k))
+            .collect();
+        let lattice = Shape::new(&subres);
+        let mut plan = Vec::with_capacity(lattice.num_elements());
+        for lat_idx in lattice.iter_indices() {
+            let cell: Vec<usize> = lat_idx
+                .iter()
+                .zip(axes.iter())
+                .map(|(&li, ax)| ax[li])
+                .collect();
+            plan.push(cell);
+        }
+        Ok(plan)
+    }
+}
+
+/// Slice sampling: full two-dimensional slices through the space, all other
+/// modes fixed at their middle value; axis pairs are visited round-robin
+/// until the budget is exhausted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SliceSampling;
+
+impl SamplingScheme for SliceSampling {
+    fn name(&self) -> &'static str {
+        "slice"
+    }
+
+    fn plan(
+        &self,
+        dims: &[usize],
+        budget: usize,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vec<usize>>> {
+        check_space(dims, budget)?;
+        let n = dims.len();
+        if n < 2 {
+            // Degenerate: fall back to a prefix of the single axis.
+            return Ok((0..budget).map(|i| vec![i]).collect());
+        }
+        let defaults: Vec<usize> = dims.iter().map(|&d| d / 2).collect();
+        let mut plan = Vec::with_capacity(budget);
+        let mut seen = HashSet::with_capacity(budget);
+        'outer: loop {
+            let before = plan.len();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for ia in 0..dims[a] {
+                        for ib in 0..dims[b] {
+                            if plan.len() >= budget {
+                                break 'outer;
+                            }
+                            let mut cell = defaults.clone();
+                            cell[a] = ia;
+                            cell[b] = ib;
+                            if seen.insert(cell.clone()) {
+                                plan.push(cell);
+                            }
+                        }
+                    }
+                }
+            }
+            if plan.len() == before {
+                // All slices exhausted below budget (tiny spaces); the
+                // check_space guard means this can only happen when slices
+                // cannot reach every cell — stop with what we have.
+                break;
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn assert_valid_plan(plan: &[Vec<usize>], dims: &[usize], budget: usize) {
+        assert!(plan.len() <= budget);
+        let mut seen = HashSet::new();
+        for cell in plan {
+            assert_eq!(cell.len(), dims.len());
+            for (i, d) in cell.iter().zip(dims.iter()) {
+                assert!(i < d, "cell {cell:?} out of bounds for {dims:?}");
+            }
+            assert!(seen.insert(cell.clone()), "duplicate cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn random_plan_respects_budget_exactly() {
+        let dims = [5, 6, 4];
+        let plan = RandomSampling.plan(&dims, 30, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 30);
+        assert_valid_plan(&plan, &dims, 30);
+    }
+
+    #[test]
+    fn random_plan_full_space() {
+        let dims = [3, 3];
+        let plan = RandomSampling.plan(&dims, 9, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 9);
+        assert_valid_plan(&plan, &dims, 9);
+    }
+
+    #[test]
+    fn random_rejects_overbudget() {
+        assert!(matches!(
+            RandomSampling.plan(&[2, 2], 5, &mut rng()),
+            Err(SamplingError::BudgetTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_plan_is_a_lattice() {
+        let dims = [10, 10, 10];
+        let plan = GridSampling.plan(&dims, 27, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 27); // 3x3x3 lattice fits exactly
+        assert_valid_plan(&plan, &dims, 27);
+        // Each axis uses exactly 3 distinct values.
+        for m in 0..3 {
+            let distinct: HashSet<usize> = plan.iter().map(|c| c[m]).collect();
+            assert_eq!(distinct.len(), 3);
+        }
+    }
+
+    #[test]
+    fn grid_plan_uneven_budget_stays_under() {
+        let dims = [10, 10];
+        let plan = GridSampling.plan(&dims, 50, &mut rng()).unwrap();
+        assert!(plan.len() <= 50);
+        assert!(plan.len() >= 40, "grid used only {} of 50", plan.len());
+        assert_valid_plan(&plan, &dims, 50);
+    }
+
+    #[test]
+    fn grid_includes_extremes() {
+        let dims = [9, 9];
+        let plan = GridSampling.plan(&dims, 9, &mut rng()).unwrap();
+        let xs: HashSet<usize> = plan.iter().map(|c| c[0]).collect();
+        assert!(xs.contains(&0) && xs.contains(&8));
+    }
+
+    #[test]
+    fn spaced_indices_edge_cases() {
+        assert_eq!(GridSampling::spaced_indices(7, 1), vec![3]);
+        assert_eq!(GridSampling::spaced_indices(5, 5), vec![0, 1, 2, 3, 4]);
+        assert!(GridSampling::spaced_indices(5, 0).is_empty());
+    }
+
+    #[test]
+    fn slice_plan_fixes_other_modes() {
+        let dims = [4, 4, 4, 4];
+        let budget = 16; // exactly one slice
+        let plan = SliceSampling.plan(&dims, budget, &mut rng()).unwrap();
+        assert_eq!(plan.len(), 16);
+        assert_valid_plan(&plan, &dims, budget);
+        // First slice varies modes 0 and 1; modes 2, 3 stay at default (2).
+        for cell in &plan {
+            assert_eq!(cell[2], 2);
+            assert_eq!(cell[3], 2);
+        }
+    }
+
+    #[test]
+    fn slice_plan_cycles_pairs() {
+        let dims = [3, 3, 3];
+        let plan = SliceSampling.plan(&dims, 20, &mut rng()).unwrap();
+        assert_valid_plan(&plan, &dims, 20);
+        assert!(plan.len() >= 19, "slices overlap only at crossings");
+    }
+
+    #[test]
+    fn all_schemes_reject_empty_space() {
+        for scheme in [
+            &RandomSampling as &dyn SamplingScheme,
+            &GridSampling,
+            &SliceSampling,
+        ] {
+            assert!(matches!(
+                scheme.plan(&[0, 3], 1, &mut rng()),
+                Err(SamplingError::EmptySpace)
+            ));
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = RandomSampling.plan(&[6, 6, 6], 20, &mut rng()).unwrap();
+        let b = RandomSampling.plan(&[6, 6, 6], 20, &mut rng()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(RandomSampling.name(), "random");
+        assert_eq!(GridSampling.name(), "grid");
+        assert_eq!(SliceSampling.name(), "slice");
+    }
+}

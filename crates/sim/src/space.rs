@@ -1,0 +1,193 @@
+//! Parameter-space and time-grid descriptions of a simulation ensemble.
+
+/// One simulation parameter: a name and the discrete grid of values it can
+/// take in the ensemble (the paper's "resolution" is `values.len()`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamAxis {
+    /// Human-readable parameter name (e.g. `"phi1"`).
+    pub name: String,
+    /// The discrete values the parameter ranges over.
+    pub values: Vec<f64>,
+}
+
+impl ParamAxis {
+    /// Creates an axis with `resolution` values spaced uniformly over
+    /// `[lo, hi]` (inclusive). `resolution == 1` yields the midpoint.
+    pub fn linspace(name: &str, lo: f64, hi: f64, resolution: usize) -> Self {
+        let values = match resolution {
+            0 => Vec::new(),
+            1 => vec![0.5 * (lo + hi)],
+            n => (0..n)
+                .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+                .collect(),
+        };
+        Self {
+            name: name.to_string(),
+            values,
+        }
+    }
+
+    /// Number of distinct values (the axis resolution).
+    pub fn resolution(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The middle grid value — used as the *fixing constant* when this
+    /// parameter is frozen in a PF-partition, and as the default
+    /// "observed system" coordinate.
+    pub fn default_value(&self) -> f64 {
+        self.values[self.values.len() / 2]
+    }
+
+    /// Index of the default (middle) value.
+    pub fn default_index(&self) -> usize {
+        self.values.len() / 2
+    }
+}
+
+/// An `N`-parameter simulation space: the Cartesian product of its axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterSpace {
+    axes: Vec<ParamAxis>,
+}
+
+impl ParameterSpace {
+    /// Creates a space from its axes.
+    pub fn new(axes: Vec<ParamAxis>) -> Self {
+        Self { axes }
+    }
+
+    /// Number of parameters `N`.
+    pub fn num_params(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// The axes.
+    pub fn axes(&self) -> &[ParamAxis] {
+        &self.axes
+    }
+
+    /// One axis.
+    pub fn axis(&self, i: usize) -> &ParamAxis {
+        &self.axes[i]
+    }
+
+    /// Per-axis resolutions — these are the parameter-mode extents of the
+    /// ensemble tensor.
+    pub fn resolutions(&self) -> Vec<usize> {
+        self.axes.iter().map(|a| a.resolution()).collect()
+    }
+
+    /// Total number of parameter combinations (`Π` resolutions).
+    pub fn num_configs(&self) -> usize {
+        self.axes.iter().map(|a| a.resolution()).product()
+    }
+
+    /// Maps per-axis value indices to concrete parameter values.
+    pub fn values_at(&self, indices: &[usize]) -> Vec<f64> {
+        debug_assert_eq!(indices.len(), self.axes.len());
+        indices
+            .iter()
+            .zip(self.axes.iter())
+            .map(|(&i, a)| a.values[i])
+            .collect()
+    }
+
+    /// The default (middle) index on every axis.
+    pub fn default_indices(&self) -> Vec<usize> {
+        self.axes.iter().map(|a| a.default_index()).collect()
+    }
+
+    /// The default (middle) value on every axis.
+    pub fn default_values(&self) -> Vec<f64> {
+        self.axes.iter().map(|a| a.default_value()).collect()
+    }
+}
+
+/// Uniform sampling grid of the time mode.
+///
+/// The ensemble tensor's last mode indexes `steps` time stamps
+/// `t_k = (k + 1) · t_end / steps`; `substeps` RK4 steps are taken between
+/// consecutive stamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeGrid {
+    /// Total simulated time.
+    pub t_end: f64,
+    /// Number of recorded time stamps (the time-mode extent).
+    pub steps: usize,
+    /// RK4 substeps between consecutive stamps.
+    pub substeps: usize,
+}
+
+impl TimeGrid {
+    /// Creates a time grid.
+    pub fn new(t_end: f64, steps: usize, substeps: usize) -> Self {
+        Self {
+            t_end,
+            steps,
+            substeps,
+        }
+    }
+
+    /// Interval between recorded stamps.
+    pub fn sample_dt(&self) -> f64 {
+        self.t_end / self.steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_count() {
+        let a = ParamAxis::linspace("x", 0.0, 1.0, 5);
+        assert_eq!(a.resolution(), 5);
+        assert_eq!(a.values[0], 0.0);
+        assert_eq!(a.values[4], 1.0);
+        assert!((a.values[2] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linspace_degenerate_resolutions() {
+        assert_eq!(ParamAxis::linspace("x", 0.0, 2.0, 1).values, vec![1.0]);
+        assert!(ParamAxis::linspace("x", 0.0, 2.0, 0).values.is_empty());
+    }
+
+    #[test]
+    fn default_value_is_middle() {
+        let a = ParamAxis::linspace("x", 0.0, 4.0, 5);
+        assert_eq!(a.default_index(), 2);
+        assert_eq!(a.default_value(), 2.0);
+        let even = ParamAxis::linspace("x", 0.0, 3.0, 4);
+        assert_eq!(even.default_index(), 2);
+    }
+
+    #[test]
+    fn space_counts_configs() {
+        let s = ParameterSpace::new(vec![
+            ParamAxis::linspace("a", 0.0, 1.0, 3),
+            ParamAxis::linspace("b", 0.0, 1.0, 4),
+        ]);
+        assert_eq!(s.num_params(), 2);
+        assert_eq!(s.num_configs(), 12);
+        assert_eq!(s.resolutions(), vec![3, 4]);
+    }
+
+    #[test]
+    fn values_at_maps_indices() {
+        let s = ParameterSpace::new(vec![
+            ParamAxis::linspace("a", 0.0, 2.0, 3),
+            ParamAxis::linspace("b", 10.0, 20.0, 2),
+        ]);
+        assert_eq!(s.values_at(&[1, 0]), vec![1.0, 10.0]);
+        assert_eq!(s.values_at(&[2, 1]), vec![2.0, 20.0]);
+        assert_eq!(s.default_indices(), vec![1, 1]);
+    }
+
+    #[test]
+    fn time_grid_dt() {
+        let g = TimeGrid::new(2.0, 8, 10);
+        assert!((g.sample_dt() - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,194 @@
+//! The double equal-length pendulum (Figure 2 of the paper).
+//!
+//! Four ensemble parameters, matching Section VII-A: initial angle `φ₁` and
+//! bob weight `m₁` of the first pendulum, and initial angle `φ₂` and bob
+//! weight `m₂` of the second. Gravity and rod lengths are fixed system
+//! constants. The state is `(θ₁, θ₂, ω₁, ω₂)`.
+
+use crate::ensemble::EnsembleSystem;
+use crate::integrator::{integrate, DynamicalSystem, Trajectory};
+use crate::space::{ParamAxis, ParameterSpace, TimeGrid};
+
+/// Ensemble-level description of the double pendulum.
+#[derive(Debug, Clone, Copy)]
+pub struct DoublePendulum {
+    /// Rod length of the first pendulum (the paper's pendulums are equal
+    /// length; both default to 1).
+    pub l1: f64,
+    /// Rod length of the second pendulum.
+    pub l2: f64,
+    /// Gravitational acceleration.
+    pub g: f64,
+}
+
+impl Default for DoublePendulum {
+    fn default() -> Self {
+        Self {
+            l1: 1.0,
+            l2: 1.0,
+            g: 9.81,
+        }
+    }
+}
+
+/// The instantiated dynamics for one parameter combination.
+struct Dynamics {
+    m1: f64,
+    m2: f64,
+    l1: f64,
+    l2: f64,
+    g: f64,
+}
+
+impl DynamicalSystem for Dynamics {
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn derivative(&self, _t: f64, s: &[f64], out: &mut [f64]) {
+        let (t1, t2, w1, w2) = (s[0], s[1], s[2], s[3]);
+        let (m1, m2, l1, l2, g) = (self.m1, self.m2, self.l1, self.l2, self.g);
+        let d = t1 - t2;
+        let den = 2.0 * m1 + m2 - m2 * (2.0 * d).cos();
+
+        // Standard point-mass double-pendulum equations of motion.
+        let a1 = (-g * (2.0 * m1 + m2) * t1.sin()
+            - m2 * g * (t1 - 2.0 * t2).sin()
+            - 2.0 * d.sin() * m2 * (w2 * w2 * l2 + w1 * w1 * l1 * d.cos()))
+            / (l1 * den);
+        let a2 = (2.0
+            * d.sin()
+            * (w1 * w1 * l1 * (m1 + m2) + g * (m1 + m2) * t1.cos() + w2 * w2 * l2 * m2 * d.cos()))
+            / (l2 * den);
+
+        out[0] = w1;
+        out[1] = w2;
+        out[2] = a1;
+        out[3] = a2;
+    }
+}
+
+impl EnsembleSystem for DoublePendulum {
+    fn name(&self) -> &'static str {
+        "double_pendulum"
+    }
+
+    fn param_names(&self) -> Vec<&'static str> {
+        vec!["phi1", "m1", "phi2", "m2"]
+    }
+
+    fn default_space(&self, resolution: usize) -> ParameterSpace {
+        ParameterSpace::new(vec![
+            ParamAxis::linspace("phi1", 0.2, 1.4, resolution),
+            ParamAxis::linspace("m1", 0.5, 2.0, resolution),
+            ParamAxis::linspace("phi2", 0.2, 1.4, resolution),
+            ParamAxis::linspace("m2", 0.5, 2.0, resolution),
+        ])
+    }
+
+    fn simulate(&self, params: &[f64], grid: &TimeGrid) -> Trajectory {
+        debug_assert_eq!(params.len(), 4);
+        let dyn_sys = Dynamics {
+            m1: params[1],
+            m2: params[3],
+            l1: self.l1,
+            l2: self.l2,
+            g: self.g,
+        };
+        let initial = [params[0], params[2], 0.0, 0.0];
+        integrate(
+            &dyn_sys,
+            &initial,
+            0.0,
+            grid.sample_dt(),
+            grid.steps,
+            grid.substeps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(2.0, 10, 50)
+    }
+
+    #[test]
+    fn small_angle_behaves_like_linear_pendulum() {
+        // For tiny angles and m2 -> 0 the first pendulum approaches the
+        // simple pendulum with frequency sqrt(g/l).
+        let sys = DoublePendulum::default();
+        let traj = sys.simulate(&[0.01, 1.0, 0.01, 0.001], &grid());
+        // Quarter period of the simple pendulum: T/4 = (π/2)·sqrt(l/g).
+        // theta1 should cross zero near there.
+        let mut crossed = false;
+        for k in 1..traj.len() {
+            if traj.state(k)[0].signum() != traj.state(k - 1)[0].signum() {
+                let t_cross = traj.time(k);
+                let quarter = 0.5 * std::f64::consts::PI * (1.0f64 / 9.81).sqrt();
+                assert!(
+                    (t_cross - quarter).abs() < 0.25,
+                    "zero crossing at {t_cross}, expected near {quarter}"
+                );
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed, "pendulum never swung through zero");
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved() {
+        let sys = DoublePendulum::default();
+        let (m1, m2, l1, l2, g) = (1.0, 1.0, 1.0, 1.0, 9.81);
+        let energy = |s: &[f64]| {
+            let (t1, t2, w1, w2) = (s[0], s[1], s[2], s[3]);
+            let v1sq = l1 * l1 * w1 * w1;
+            let v2sq = v1sq + l2 * l2 * w2 * w2 + 2.0 * l1 * l2 * w1 * w2 * (t1 - t2).cos();
+            let kin = 0.5 * m1 * v1sq + 0.5 * m2 * v2sq;
+            let pot = -(m1 + m2) * g * l1 * t1.cos() - m2 * g * l2 * t2.cos();
+            kin + pot
+        };
+        let traj = sys.simulate(&[1.0, 1.0, 0.8, 1.0], &TimeGrid::new(2.0, 20, 200));
+        let e0 = energy(traj.state(0));
+        for k in 0..traj.len() {
+            let ek = energy(traj.state(k));
+            assert!(
+                (ek - e0).abs() < 1e-4 * e0.abs().max(1.0),
+                "energy drifted from {e0} to {ek} at sample {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_depends_on_every_parameter() {
+        let sys = DoublePendulum::default();
+        let base = sys.simulate(&[0.8, 1.0, 0.8, 1.0], &grid());
+        for p in 0..4 {
+            let mut params = [0.8, 1.0, 0.8, 1.0];
+            params[p] += 0.3;
+            let other = sys.simulate(&params, &grid());
+            let d = base.state_distance(&other, base.len() - 1);
+            assert!(d > 1e-4, "parameter {p} had no effect (distance {d})");
+        }
+    }
+
+    #[test]
+    fn default_space_has_four_axes() {
+        let sys = DoublePendulum::default();
+        let space = sys.default_space(7);
+        assert_eq!(space.num_params(), 4);
+        assert_eq!(space.resolutions(), vec![7, 7, 7, 7]);
+        assert_eq!(sys.param_names().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let sys = DoublePendulum::default();
+        let a = sys.simulate(&[0.9, 1.2, 0.4, 0.7], &grid());
+        let b = sys.simulate(&[0.9, 1.2, 0.4, 0.7], &grid());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Lorenz system (Section VII-A), notable for its chaotic solutions.
+//!
+//! Ensemble parameters, as in the paper: the initial `z` coordinate and the
+//! three system parameters `σ, β, ρ`.
+
+use crate::ensemble::EnsembleSystem;
+use crate::integrator::{integrate, DynamicalSystem, Trajectory};
+use crate::space::{ParamAxis, ParameterSpace, TimeGrid};
+
+/// Ensemble-level description of the Lorenz-63 system.
+#[derive(Debug, Clone, Copy)]
+pub struct Lorenz {
+    /// Fixed initial `x` coordinate.
+    pub x0: f64,
+    /// Fixed initial `y` coordinate.
+    pub y0: f64,
+}
+
+impl Default for Lorenz {
+    fn default() -> Self {
+        Self { x0: 1.0, y0: 1.0 }
+    }
+}
+
+struct Dynamics {
+    sigma: f64,
+    beta: f64,
+    rho: f64,
+}
+
+impl DynamicalSystem for Dynamics {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn derivative(&self, _t: f64, s: &[f64], out: &mut [f64]) {
+        let (x, y, z) = (s[0], s[1], s[2]);
+        out[0] = self.sigma * (y - x);
+        out[1] = x * (self.rho - z) - y;
+        out[2] = x * y - self.beta * z;
+    }
+}
+
+impl EnsembleSystem for Lorenz {
+    fn name(&self) -> &'static str {
+        "lorenz"
+    }
+
+    fn param_names(&self) -> Vec<&'static str> {
+        vec!["z0", "sigma", "beta", "rho"]
+    }
+
+    fn default_space(&self, resolution: usize) -> ParameterSpace {
+        ParameterSpace::new(vec![
+            ParamAxis::linspace("z0", 10.0, 30.0, resolution),
+            ParamAxis::linspace("sigma", 8.0, 12.0, resolution),
+            ParamAxis::linspace("beta", 2.0, 3.3, resolution),
+            ParamAxis::linspace("rho", 20.0, 35.0, resolution),
+        ])
+    }
+
+    fn simulate(&self, params: &[f64], grid: &TimeGrid) -> Trajectory {
+        debug_assert_eq!(params.len(), 4);
+        let dyn_sys = Dynamics {
+            sigma: params[1],
+            beta: params[2],
+            rho: params[3],
+        };
+        let initial = [self.x0, self.y0, params[0]];
+        integrate(
+            &dyn_sys,
+            &initial,
+            0.0,
+            grid.sample_dt(),
+            grid.steps,
+            grid.substeps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_at_origin_attracts_for_small_rho() {
+        // For rho < 1 the origin is globally stable.
+        let sys = Lorenz::default();
+        let traj = sys.simulate(&[0.5, 10.0, 8.0 / 3.0, 0.5], &TimeGrid::new(30.0, 10, 200));
+        let last = traj.state(traj.len() - 1);
+        let norm = (last[0] * last[0] + last[1] * last[1] + last[2] * last[2]).sqrt();
+        assert!(norm < 1e-3, "state should decay to origin, norm {norm}");
+    }
+
+    #[test]
+    fn classic_parameters_stay_bounded() {
+        let sys = Lorenz::default();
+        let traj = sys.simulate(
+            &[25.0, 10.0, 8.0 / 3.0, 28.0],
+            &TimeGrid::new(10.0, 100, 50),
+        );
+        for k in 0..traj.len() {
+            for v in traj.state(k) {
+                assert!(v.is_finite() && v.abs() < 100.0, "diverged at {k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sensitive_dependence_on_initial_conditions() {
+        // Chaos: tiny z0 perturbations grow large over time.
+        let sys = Lorenz::default();
+        let grid = TimeGrid::new(25.0, 50, 100);
+        let a = sys.simulate(&[25.0, 10.0, 8.0 / 3.0, 28.0], &grid);
+        let b = sys.simulate(&[25.0001, 10.0, 8.0 / 3.0, 28.0], &grid);
+        let early = a.state_distance(&b, 1);
+        let late = a.state_distance(&b, a.len() - 1);
+        assert!(early < 1e-2);
+        assert!(late > 0.5, "no chaotic divergence: late distance {late}");
+    }
+
+    #[test]
+    fn metadata() {
+        let sys = Lorenz::default();
+        assert_eq!(sys.param_names(), vec!["z0", "sigma", "beta", "rho"]);
+        assert_eq!(sys.default_space(3).resolutions(), vec![3, 3, 3, 3]);
+    }
+}

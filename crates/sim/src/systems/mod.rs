@@ -1,0 +1,18 @@
+//! The dynamic processes used in the paper's evaluation, plus the epidemic
+//! model motivating its introduction.
+//!
+//! Each system implements [`crate::EnsembleSystem`]: it names its four
+//! ensemble parameters, provides default grids for them, and simulates one
+//! parameter combination into a [`crate::Trajectory`].
+
+mod double_pendulum;
+mod lorenz;
+mod rossler;
+mod sir;
+mod triple_pendulum;
+
+pub use double_pendulum::DoublePendulum;
+pub use lorenz::Lorenz;
+pub use rossler::Rossler;
+pub use sir::Sir;
+pub use triple_pendulum::TriplePendulum;

@@ -1,0 +1,150 @@
+//! SIR epidemic model with vaccination.
+//!
+//! The paper's introduction motivates ensemble simulation with epidemic
+//! spread tools (STEM). This model is the example-application counterpart:
+//! a normalized SIR compartment model whose four ensemble parameters are
+//! the transmission rate `β`, the recovery rate `γ`, the initial infected
+//! fraction `i₀`, and a vaccination rate `ν` (an intervention knob decision
+//! makers sweep in scenario studies).
+//!
+//! State `(S, I, R)` as population fractions:
+//! `Ṡ = −β S I − ν S`, `İ = β S I − γ I`, `Ṙ = γ I + ν S`.
+
+use crate::ensemble::EnsembleSystem;
+use crate::integrator::{integrate, DynamicalSystem, Trajectory};
+use crate::space::{ParamAxis, ParameterSpace, TimeGrid};
+
+/// Ensemble-level description of the SIR model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sir;
+
+struct Dynamics {
+    beta: f64,
+    gamma: f64,
+    nu: f64,
+}
+
+impl DynamicalSystem for Dynamics {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn derivative(&self, _t: f64, s: &[f64], out: &mut [f64]) {
+        let (sus, inf, _rec) = (s[0], s[1], s[2]);
+        let new_infections = self.beta * sus * inf;
+        let vaccinated = self.nu * sus;
+        out[0] = -new_infections - vaccinated;
+        out[1] = new_infections - self.gamma * inf;
+        out[2] = self.gamma * inf + vaccinated;
+    }
+}
+
+impl EnsembleSystem for Sir {
+    fn name(&self) -> &'static str {
+        "sir"
+    }
+
+    fn param_names(&self) -> Vec<&'static str> {
+        vec!["beta", "gamma", "i0", "nu"]
+    }
+
+    fn default_space(&self, resolution: usize) -> ParameterSpace {
+        ParameterSpace::new(vec![
+            ParamAxis::linspace("beta", 0.15, 0.6, resolution),
+            ParamAxis::linspace("gamma", 0.05, 0.25, resolution),
+            ParamAxis::linspace("i0", 0.001, 0.05, resolution),
+            ParamAxis::linspace("nu", 0.0, 0.05, resolution),
+        ])
+    }
+
+    fn simulate(&self, params: &[f64], grid: &TimeGrid) -> Trajectory {
+        debug_assert_eq!(params.len(), 4);
+        let dyn_sys = Dynamics {
+            beta: params[0],
+            gamma: params[1],
+            nu: params[3],
+        };
+        let i0 = params[2];
+        let initial = [1.0 - i0, i0, 0.0];
+        integrate(
+            &dyn_sys,
+            &initial,
+            0.0,
+            grid.sample_dt(),
+            grid.steps,
+            grid.substeps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(100.0, 20, 20)
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let traj = Sir.simulate(&[0.4, 0.1, 0.01, 0.01], &grid());
+        for k in 0..traj.len() {
+            let s = traj.state(k);
+            let total = s[0] + s[1] + s[2];
+            assert!((total - 1.0).abs() < 1e-9, "population leaked: {total}");
+        }
+    }
+
+    #[test]
+    fn compartments_stay_nonnegative() {
+        let traj = Sir.simulate(&[0.6, 0.05, 0.05, 0.05], &grid());
+        for k in 0..traj.len() {
+            for v in traj.state(k) {
+                assert!(*v > -1e-9, "negative compartment {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn epidemic_grows_when_r0_above_one() {
+        // beta/gamma = 4 with no vaccination: infections must first rise.
+        let traj = Sir.simulate(&[0.4, 0.1, 0.01, 0.0], &grid());
+        let peak: f64 = (0..traj.len())
+            .map(|k| traj.state(k)[1])
+            .fold(0.0, f64::max);
+        assert!(peak > 0.1, "epidemic never took off, peak {peak}");
+    }
+
+    #[test]
+    fn epidemic_dies_when_r0_below_one() {
+        let traj = Sir.simulate(&[0.05, 0.25, 0.01, 0.0], &grid());
+        let last_infected = traj.state(traj.len() - 1)[1];
+        assert!(
+            last_infected < 0.005,
+            "infections persisted: {last_infected}"
+        );
+    }
+
+    #[test]
+    fn vaccination_reduces_final_size() {
+        let no_vax = Sir.simulate(&[0.4, 0.1, 0.01, 0.0], &grid());
+        let vax = Sir.simulate(&[0.4, 0.1, 0.01, 0.05], &grid());
+        let attack = |t: &Trajectory| t.state(t.len() - 1)[2] + t.state(t.len() - 1)[1];
+        // With vaccination, fewer people pass through infection; compare
+        // susceptibles never infected: S_end + vaccinated-into-R makes the
+        // raw R comparison unfair, so compare peak infections instead.
+        let peak = |t: &Trajectory| (0..t.len()).map(|k| t.state(k)[1]).fold(0.0, f64::max);
+        assert!(
+            peak(&vax) < peak(&no_vax),
+            "vaccination did not lower the peak"
+        );
+        let _ = attack;
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(Sir.param_names(), vec!["beta", "gamma", "i0", "nu"]);
+        assert_eq!(Sir.default_space(4).num_configs(), 256);
+        assert_eq!(Sir.name(), "sir");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for JE-stitching.
+
+use m2td_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while stitching sub-ensembles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StitchError {
+    /// `k` must satisfy `1 <= k < min(order(X1), order(X2))`.
+    InvalidPivotCount {
+        /// The supplied `k`.
+        k: usize,
+        /// Orders of the two sub-tensors.
+        orders: (usize, usize),
+    },
+    /// The two sub-tensors disagree on a pivot-mode extent.
+    PivotDimMismatch {
+        /// The offending pivot mode (sub-tensor position).
+        mode: usize,
+        /// The two extents.
+        dims: (usize, usize),
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::InvalidPivotCount { k, orders } => write!(
+                f,
+                "pivot count {k} invalid for sub-tensors of orders {} and {}",
+                orders.0, orders.1
+            ),
+            StitchError::PivotDimMismatch { mode, dims } => write!(
+                f,
+                "pivot mode {mode} has extent {} in X1 but {} in X2",
+                dims.0, dims.1
+            ),
+            StitchError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StitchError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for StitchError {
+    fn from(e: TensorError) -> Self {
+        StitchError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StitchError::PivotDimMismatch {
+            mode: 0,
+            dims: (4, 5),
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+        use std::error::Error;
+        let t: StitchError = TensorError::EmptyTensor.into();
+        assert!(t.source().is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! The join and zero-join stitching kernels.
+
+use crate::error::StitchError;
+use crate::Result;
+use m2td_tensor::{Shape, SparseTensor};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which stitching rule to apply (Section V-C.1 vs V-C.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StitchKind {
+    /// Plain join: only pairs where both simulations exist.
+    Join,
+    /// Zero-join: missing partners are treated as simulations with value 0,
+    /// producing `x/2` entries and boosting effective density.
+    ZeroJoin,
+}
+
+/// Summary statistics of a stitch, used by experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StitchReport {
+    /// Number of entries in the join tensor.
+    pub join_nnz: usize,
+    /// Effective density of the join tensor.
+    pub join_density: f64,
+    /// Number of pivot configurations present in both sub-ensembles.
+    pub shared_pivot_configs: usize,
+    /// Input entry counts `(nnz(X1), nnz(X2))`.
+    pub input_nnz: (usize, usize),
+}
+
+/// Per-sub-tensor index decomposition: entries grouped by pivot
+/// configuration, with each entry keyed by its free-lattice linear index.
+struct Grouped {
+    /// pivot linear index -> (free linear index -> value)
+    by_pivot: HashMap<u64, HashMap<u64, f64>>,
+    /// All distinct free configurations appearing anywhere.
+    free_set: BTreeSet<u64>,
+    free_shape: Shape,
+}
+
+fn group(x: &SparseTensor, k: usize) -> Grouped {
+    let pivot_shape = Shape::new(&x.dims()[..k]);
+    let free_shape = Shape::new(&x.dims()[k..]);
+    let mut by_pivot: HashMap<u64, HashMap<u64, f64>> = HashMap::new();
+    let mut free_set = BTreeSet::new();
+    for (idx, v) in x.iter() {
+        let p = pivot_shape.linear_index(&idx[..k]) as u64;
+        let f = free_shape.linear_index(&idx[k..]) as u64;
+        by_pivot.entry(p).or_default().insert(f, v);
+        free_set.insert(f);
+    }
+    Grouped {
+        by_pivot,
+        free_set,
+        free_shape,
+    }
+}
+
+/// Stitches two sub-ensemble tensors into the join tensor `J`.
+///
+/// `x1` and `x2` must share their first `k` (pivot) modes; the result has
+/// modes `[pivot…, free₁…, free₂…]` and extents taken from the inputs.
+///
+/// ```
+/// use m2td_stitch::{stitch, StitchKind};
+/// use m2td_tensor::SparseTensor;
+///
+/// // Two sub-ensembles sharing a 2-value pivot mode.
+/// let x1 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 1], 2.0)]).unwrap();
+/// let x2 = SparseTensor::from_entries(&[2, 3], &[(vec![0, 2], 4.0)]).unwrap();
+/// let (j, report) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+/// assert_eq!(j.dims(), &[2, 2, 3]);
+/// assert_eq!(j.get(&[0, 1, 2]), Some(3.0)); // (2 + 4) / 2
+/// assert_eq!(report.shared_pivot_configs, 1);
+/// ```
+///
+/// # Errors
+///
+/// * [`StitchError::InvalidPivotCount`] if `k` is 0 or not smaller than
+///   both orders.
+/// * [`StitchError::PivotDimMismatch`] if the pivot extents disagree.
+pub fn stitch(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    kind: StitchKind,
+) -> Result<(SparseTensor, StitchReport)> {
+    if k == 0 || k >= x1.order() || k >= x2.order() {
+        return Err(StitchError::InvalidPivotCount {
+            k,
+            orders: (x1.order(), x2.order()),
+        });
+    }
+    for m in 0..k {
+        if x1.dims()[m] != x2.dims()[m] {
+            return Err(StitchError::PivotDimMismatch {
+                mode: m,
+                dims: (x1.dims()[m], x2.dims()[m]),
+            });
+        }
+    }
+
+    let g1 = group(x1, k);
+    let g2 = group(x2, k);
+
+    // Join tensor shape: pivot dims + free1 dims + free2 dims.
+    let mut join_dims: Vec<usize> = x1.dims()[..k].to_vec();
+    join_dims.extend_from_slice(&x1.dims()[k..]);
+    join_dims.extend_from_slice(&x2.dims()[k..]);
+    let join_shape = Shape::new(&join_dims);
+    let pivot_shape = Shape::new(&x1.dims()[..k]);
+
+    let mut entries: Vec<(u64, f64)> = Vec::new();
+    let mut shared_pivots = 0usize;
+    let n_total = join_dims.len();
+    let mut idx = vec![0usize; n_total];
+
+    let emit = |idx: &mut Vec<usize>,
+                entries: &mut Vec<(u64, f64)>,
+                pivot_lin: u64,
+                f1: u64,
+                f2: u64,
+                value: f64| {
+        pivot_shape.multi_index_into(pivot_lin as usize, &mut idx[..k]);
+        let f1_len = g1.free_shape.order();
+        g1.free_shape
+            .multi_index_into(f1 as usize, &mut idx[k..k + f1_len]);
+        g2.free_shape
+            .multi_index_into(f2 as usize, &mut idx[k + f1_len..]);
+        entries.push((join_shape.linear_index(idx) as u64, value));
+    };
+
+    // All pivot configurations appearing in either sub-ensemble.
+    let mut pivots: BTreeSet<u64> = g1.by_pivot.keys().copied().collect();
+    pivots.extend(g2.by_pivot.keys().copied());
+
+    for &p in &pivots {
+        let e1 = g1.by_pivot.get(&p);
+        let e2 = g2.by_pivot.get(&p);
+        if e1.is_some() && e2.is_some() {
+            shared_pivots += 1;
+        }
+        match kind {
+            StitchKind::Join => {
+                if let (Some(m1), Some(m2)) = (e1, e2) {
+                    for (&f1, &v1) in m1 {
+                        for (&f2, &v2) in m2 {
+                            emit(&mut idx, &mut entries, p, f1, f2, 0.5 * (v1 + v2));
+                        }
+                    }
+                }
+            }
+            StitchKind::ZeroJoin => {
+                // Pair every present x1 entry with every free2 config ever
+                // selected; missing partners count as 0. Then cover the
+                // (missing, present) pairs from the x2 side.
+                if let Some(m1) = e1 {
+                    for (&f1, &v1) in m1 {
+                        for &f2 in &g2.free_set {
+                            let v2 = e2.and_then(|m| m.get(&f2)).copied().unwrap_or(0.0);
+                            emit(&mut idx, &mut entries, p, f1, f2, 0.5 * (v1 + v2));
+                        }
+                    }
+                }
+                if let Some(m2) = e2 {
+                    for (&f2, &v2) in m2 {
+                        for &f1 in &g1.free_set {
+                            let x1_present = e1.map(|m| m.contains_key(&f1)).unwrap_or(false);
+                            if x1_present {
+                                continue; // already emitted above
+                            }
+                            emit(&mut idx, &mut entries, p, f1, f2, 0.5 * v2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    entries.sort_unstable_by_key(|&(l, _)| l);
+    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+    let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+    let report = StitchReport {
+        join_nnz: join.nnz(),
+        join_density: join.density(),
+        shared_pivot_configs: shared_pivots,
+        input_nnz: (x1.nnz(), x2.nnz()),
+    };
+    Ok((join, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// X1: modes [pivot(2), a(2)]; X2: modes [pivot(2), b(3)].
+    fn small_inputs() -> (SparseTensor, SparseTensor) {
+        let x1 = SparseTensor::from_entries(
+            &[2, 2],
+            &[(vec![0, 0], 1.0), (vec![0, 1], 2.0), (vec![1, 0], 3.0)],
+        )
+        .unwrap();
+        let x2 = SparseTensor::from_entries(
+            &[2, 3],
+            &[(vec![0, 0], 10.0), (vec![0, 2], 20.0), (vec![1, 1], 30.0)],
+        )
+        .unwrap();
+        (x1, x2)
+    }
+
+    #[test]
+    fn join_produces_all_matching_pairs() {
+        let (x1, x2) = small_inputs();
+        let (j, report) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        assert_eq!(j.dims(), &[2, 2, 3]);
+        // Pivot 0: X1 has {a=0: 1, a=1: 2}, X2 has {b=0: 10, b=2: 20} => 4 pairs.
+        // Pivot 1: X1 has {a=0: 3}, X2 has {b=1: 30} => 1 pair.
+        assert_eq!(j.nnz(), 5);
+        assert_eq!(report.join_nnz, 5);
+        assert_eq!(report.shared_pivot_configs, 2);
+        assert_eq!(j.get(&[0, 0, 0]), Some(5.5)); // (1+10)/2
+        assert_eq!(j.get(&[0, 1, 2]), Some(11.0)); // (2+20)/2
+        assert_eq!(j.get(&[1, 0, 1]), Some(16.5)); // (3+30)/2
+        assert_eq!(j.get(&[0, 0, 1]), None); // b=1 missing at pivot 0
+    }
+
+    #[test]
+    fn zero_join_adds_half_entries() {
+        let (x1, x2) = small_inputs();
+        let (j, _) = stitch(&x1, &x2, 1, StitchKind::ZeroJoin).unwrap();
+        // Pivot 0: x1 entries (2) x F2 {0,1,2} = 6; x2-only pairs: b=... f1 set {0,1}
+        //   x2 entries at pivot 0 with f1 not in x1[0]: none missing (both f1 present).
+        // Pivot 1: x1 entry (a=0) x F2 (3) = 3; x2 entry (b=1) x F1 {0,1}: f1=1 missing => 1.
+        assert_eq!(j.nnz(), 10);
+        // Missing partner at pivot 0, b=1: value 2/2 = 1 for (a=1).
+        assert_eq!(j.get(&[0, 1, 1]), Some(1.0));
+        // x2-side zero-join at pivot 1: (a=1, b=1) = 30/2.
+        assert_eq!(j.get(&[1, 1, 1]), Some(15.0));
+        // Matching pairs still averaged.
+        assert_eq!(j.get(&[0, 0, 0]), Some(5.5));
+    }
+
+    #[test]
+    fn zero_join_is_superset_of_join() {
+        let (x1, x2) = small_inputs();
+        let (j, _) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        let (zj, _) = stitch(&x1, &x2, 1, StitchKind::ZeroJoin).unwrap();
+        assert!(zj.nnz() >= j.nnz());
+        for (idx, v) in j.iter() {
+            assert_eq!(
+                zj.get(&idx),
+                Some(v),
+                "join entry {idx:?} lost in zero-join"
+            );
+        }
+    }
+
+    #[test]
+    fn full_density_join_equals_zero_join() {
+        // When every (pivot, free) pair exists, zero-join degenerates to join.
+        let full = |dims: &[usize], offset: f64| {
+            let shape = Shape::new(dims);
+            let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+                .map(|l| (shape.multi_index(l), l as f64 + offset))
+                .collect();
+            SparseTensor::from_entries(dims, &entries).unwrap()
+        };
+        let x1 = full(&[3, 2], 1.0);
+        let x2 = full(&[3, 2], 100.0);
+        let (j, _) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        let (zj, _) = stitch(&x1, &x2, 1, StitchKind::ZeroJoin).unwrap();
+        assert_eq!(j, zj);
+        assert_eq!(j.nnz(), 3 * 2 * 2);
+        assert!((j.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_density_squares() {
+        // P pivots, E free configs each, fully crossed: join nnz = P * E^2
+        // from 2 * P * E input cells (Figure 6 of the paper).
+        let p = 4;
+        let e = 5;
+        let mk = |seed: f64| {
+            let entries: Vec<(Vec<usize>, f64)> = (0..p)
+                .flat_map(|pi| (0..e).map(move |fi| (vec![pi, fi], seed + (pi * e + fi) as f64)))
+                .collect();
+            SparseTensor::from_entries(&[p, e], &entries).unwrap()
+        };
+        let x1 = mk(0.0);
+        let x2 = mk(50.0);
+        let (j, report) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        assert_eq!(report.input_nnz, (p * e, p * e));
+        assert_eq!(j.nnz(), p * e * e);
+    }
+
+    #[test]
+    fn multi_pivot_stitch() {
+        // k = 2 pivot modes.
+        let x1 = SparseTensor::from_entries(&[2, 2, 2], &[(vec![0, 1, 0], 2.0)]).unwrap();
+        let x2 = SparseTensor::from_entries(&[2, 2, 3], &[(vec![0, 1, 2], 4.0)]).unwrap();
+        let (j, r) = stitch(&x1, &x2, 2, StitchKind::Join).unwrap();
+        assert_eq!(j.dims(), &[2, 2, 2, 3]);
+        assert_eq!(j.get(&[0, 1, 0, 2]), Some(3.0));
+        assert_eq!(r.shared_pivot_configs, 1);
+    }
+
+    #[test]
+    fn disjoint_pivots_produce_empty_join() {
+        let x1 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 1.0)]).unwrap();
+        let x2 = SparseTensor::from_entries(&[2, 2], &[(vec![1, 0], 1.0)]).unwrap();
+        let (j, r) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        assert_eq!(j.nnz(), 0);
+        assert_eq!(r.shared_pivot_configs, 0);
+        // Zero-join still produces the half entries.
+        let (zj, _) = stitch(&x1, &x2, 1, StitchKind::ZeroJoin).unwrap();
+        assert_eq!(zj.nnz(), 2);
+        assert_eq!(zj.get(&[0, 0, 0]), Some(0.5));
+        assert_eq!(zj.get(&[1, 0, 0]), Some(0.5));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x1, x2) = small_inputs();
+        assert!(matches!(
+            stitch(&x1, &x2, 0, StitchKind::Join),
+            Err(StitchError::InvalidPivotCount { .. })
+        ));
+        assert!(matches!(
+            stitch(&x1, &x2, 2, StitchKind::Join),
+            Err(StitchError::InvalidPivotCount { .. })
+        ));
+        let bad = SparseTensor::from_entries(&[3, 2], &[(vec![0, 0], 1.0)]).unwrap();
+        assert!(matches!(
+            stitch(&x1, &bad, 1, StitchKind::Join),
+            Err(StitchError::PivotDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_values_are_symmetric_in_inputs() {
+        // stitch(x1, x2) and stitch(x2, x1) hold the same values with
+        // free-mode blocks swapped.
+        let (x1, x2) = small_inputs();
+        let (j12, _) = stitch(&x1, &x2, 1, StitchKind::Join).unwrap();
+        let (j21, _) = stitch(&x2, &x1, 1, StitchKind::Join).unwrap();
+        assert_eq!(j12.nnz(), j21.nnz());
+        for (idx, v) in j12.iter() {
+            let swapped = vec![idx[0], idx[2], idx[1]];
+            assert_eq!(j21.get(&swapped), Some(v));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Multi-way JE-stitching — an extension beyond the paper.
+//!
+//! The paper partitions a system into exactly **two** sub-systems. Nothing
+//! in the join construction requires that: `S` sub-ensembles sharing the
+//! same `k` pivot modes can be stitched into a join tensor with modes
+//! `[pivot…, free₁…, …, free_S…]`, each cell averaging the `S` source
+//! simulations. Finer partitions buy exponentially more effective density
+//! per simulation (each sub-space is smaller), at the cost of fixing more
+//! parameters per sub-system — the `ablation_partitions` bench quantifies
+//! the trade-off.
+//!
+//! For `S = 2` this reduces exactly to [`crate::stitch`] (tested).
+
+use crate::error::StitchError;
+use crate::join::{StitchKind, StitchReport};
+use crate::Result;
+use m2td_tensor::{Shape, SparseTensor};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-sub-tensor grouping by pivot configuration.
+struct Grouped {
+    by_pivot: BTreeMap<u64, BTreeMap<u64, f64>>,
+    free_set: Vec<u64>,
+    free_shape: Shape,
+}
+
+fn group(x: &SparseTensor, k: usize) -> Grouped {
+    let pivot_shape = Shape::new(&x.dims()[..k]);
+    let free_shape = Shape::new(&x.dims()[k..]);
+    let mut by_pivot: BTreeMap<u64, BTreeMap<u64, f64>> = BTreeMap::new();
+    let mut free_set = BTreeSet::new();
+    for (idx, v) in x.iter() {
+        let p = pivot_shape.linear_index(&idx[..k]) as u64;
+        let f = free_shape.linear_index(&idx[k..]) as u64;
+        by_pivot.entry(p).or_default().insert(f, v);
+        free_set.insert(f);
+    }
+    Grouped {
+        by_pivot,
+        free_set: free_set.into_iter().collect(),
+        free_shape,
+    }
+}
+
+/// Stitches `S ≥ 2` sub-ensemble tensors sharing their first `k` (pivot)
+/// modes into one join tensor.
+///
+/// * [`StitchKind::Join`]: a join cell exists when **every** sub-system
+///   has a simulation at that (pivot, free) combination; its value is the
+///   mean of the `S` sources.
+/// * [`StitchKind::ZeroJoin`]: a join cell exists when **any** sub-system
+///   has a simulation there (free coordinates restricted to each
+///   sub-system's globally selected free set); missing sources count as 0.
+///
+/// # Errors
+///
+/// * [`StitchError::InvalidPivotCount`] if fewer than two sub-tensors are
+///   supplied or `k` is not smaller than every order.
+/// * [`StitchError::PivotDimMismatch`] if pivot extents disagree.
+pub fn stitch_multi(
+    subs: &[&SparseTensor],
+    k: usize,
+    kind: StitchKind,
+) -> Result<(SparseTensor, StitchReport)> {
+    if subs.len() < 2 {
+        return Err(StitchError::InvalidPivotCount {
+            k,
+            orders: (subs.len(), 0),
+        });
+    }
+    for x in subs {
+        if k == 0 || k >= x.order() {
+            return Err(StitchError::InvalidPivotCount {
+                k,
+                orders: (subs[0].order(), x.order()),
+            });
+        }
+    }
+    for m in 0..k {
+        for x in &subs[1..] {
+            if x.dims()[m] != subs[0].dims()[m] {
+                return Err(StitchError::PivotDimMismatch {
+                    mode: m,
+                    dims: (subs[0].dims()[m], x.dims()[m]),
+                });
+            }
+        }
+    }
+
+    let groups: Vec<Grouped> = subs.iter().map(|x| group(x, k)).collect();
+    let s_count = subs.len() as f64;
+
+    // Join shape: pivot dims + concatenated free dims.
+    let mut join_dims: Vec<usize> = subs[0].dims()[..k].to_vec();
+    for x in subs {
+        join_dims.extend_from_slice(&x.dims()[k..]);
+    }
+    let join_shape = Shape::new(&join_dims);
+    let pivot_shape = Shape::new(&subs[0].dims()[..k]);
+
+    // Pivot configurations: intersection for join, union for zero-join.
+    let pivots: Vec<u64> = match kind {
+        StitchKind::Join => {
+            let mut it = groups.iter();
+            let first: BTreeSet<u64> = it.next().unwrap().by_pivot.keys().copied().collect();
+            groups[1..]
+                .iter()
+                .fold(first, |acc, g| {
+                    acc.intersection(&g.by_pivot.keys().copied().collect())
+                        .copied()
+                        .collect()
+                })
+                .into_iter()
+                .collect()
+        }
+        StitchKind::ZeroJoin => {
+            let mut all = BTreeSet::new();
+            for g in &groups {
+                all.extend(g.by_pivot.keys().copied());
+            }
+            all.into_iter().collect()
+        }
+    };
+    let shared_pivots = {
+        let mut it = groups.iter();
+        let first: BTreeSet<u64> = it.next().unwrap().by_pivot.keys().copied().collect();
+        groups[1..]
+            .iter()
+            .fold(first, |acc, g| {
+                acc.intersection(&g.by_pivot.keys().copied().collect())
+                    .copied()
+                    .collect()
+            })
+            .len()
+    };
+
+    let mut entries: Vec<(u64, f64)> = Vec::new();
+    let mut idx = vec![0usize; join_dims.len()];
+    // Recursive cartesian enumeration over per-sub free choices.
+    let mut choice = vec![0u64; groups.len()];
+    for &p in &pivots {
+        enumerate(
+            &groups,
+            kind,
+            p,
+            0,
+            &mut choice,
+            &mut |choice: &[u64], sum: f64, present: usize| {
+                if present == 0 {
+                    return;
+                }
+                if kind == StitchKind::Join && present != groups.len() {
+                    return;
+                }
+                pivot_shape.multi_index_into(p as usize, &mut idx[..k]);
+                let mut offset = k;
+                for (g, &f) in groups.iter().zip(choice.iter()) {
+                    let len = g.free_shape.order();
+                    g.free_shape
+                        .multi_index_into(f as usize, &mut idx[offset..offset + len]);
+                    offset += len;
+                }
+                entries.push((join_shape.linear_index(&idx) as u64, sum / s_count));
+            },
+        );
+    }
+
+    entries.sort_unstable_by_key(|&(l, _)| l);
+    entries.dedup_by_key(|&mut (l, _)| l);
+    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+    let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+    let report = StitchReport {
+        join_nnz: join.nnz(),
+        join_density: join.density(),
+        shared_pivot_configs: shared_pivots,
+        input_nnz: (subs[0].nnz(), subs.last().unwrap().nnz()),
+    };
+    Ok((join, report))
+}
+
+/// Enumerates free-coordinate combinations for pivot `p`. For `Join`,
+/// iterates each sub-system's *present* entries; for `ZeroJoin`, each
+/// sub-system's global free set (missing values contribute 0).
+fn enumerate(
+    groups: &[Grouped],
+    kind: StitchKind,
+    p: u64,
+    depth: usize,
+    choice: &mut Vec<u64>,
+    emit: &mut impl FnMut(&[u64], f64, usize),
+) {
+    // Accumulate (sum, present) incrementally via recursion results: we
+    // recompute per leaf for clarity; group maps are BTreeMaps so lookups
+    // are cheap at the scales involved.
+    if depth == groups.len() {
+        let mut sum = 0.0;
+        let mut present = 0;
+        for (g, &f) in groups.iter().zip(choice.iter()) {
+            if let Some(v) = g.by_pivot.get(&p).and_then(|m| m.get(&f)) {
+                sum += v;
+                present += 1;
+            }
+        }
+        emit(choice, sum, present);
+        return;
+    }
+    let g = &groups[depth];
+    match kind {
+        StitchKind::Join => {
+            if let Some(m) = g.by_pivot.get(&p) {
+                for &f in m.keys() {
+                    choice[depth] = f;
+                    enumerate(groups, kind, p, depth + 1, choice, emit);
+                }
+            }
+        }
+        StitchKind::ZeroJoin => {
+            for &f in &g.free_set {
+                choice[depth] = f;
+                enumerate(groups, kind, p, depth + 1, choice, emit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::stitch;
+
+    fn full(dims: &[usize], offset: f64) -> SparseTensor {
+        let shape = Shape::new(dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .map(|l| (shape.multi_index(l), offset + l as f64))
+            .collect();
+        SparseTensor::from_entries(dims, &entries).unwrap()
+    }
+
+    #[test]
+    fn two_way_multi_matches_pairwise_stitch() {
+        let x1 = full(&[3, 2], 1.0);
+        let x2 = full(&[3, 4], 100.0);
+        for kind in [StitchKind::Join, StitchKind::ZeroJoin] {
+            let (pair, pr) = stitch(&x1, &x2, 1, kind).unwrap();
+            let (multi, mr) = stitch_multi(&[&x1, &x2], 1, kind).unwrap();
+            assert_eq!(pair, multi, "{kind:?} disagrees with pairwise stitch");
+            assert_eq!(pr.join_nnz, mr.join_nnz);
+            assert_eq!(pr.shared_pivot_configs, mr.shared_pivot_configs);
+        }
+    }
+
+    #[test]
+    fn two_way_multi_matches_pairwise_on_thin_inputs() {
+        let thin = |x: &SparseTensor, m: usize| {
+            let entries: Vec<(Vec<usize>, f64)> = x
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % m != 0)
+                .map(|(_, e)| e)
+                .collect();
+            SparseTensor::from_entries(x.dims(), &entries).unwrap()
+        };
+        let x1 = thin(&full(&[4, 3], 1.0), 3);
+        let x2 = thin(&full(&[4, 5], 50.0), 4);
+        for kind in [StitchKind::Join, StitchKind::ZeroJoin] {
+            let (pair, _) = stitch(&x1, &x2, 1, kind).unwrap();
+            let (multi, _) = stitch_multi(&[&x1, &x2], 1, kind).unwrap();
+            assert_eq!(pair, multi, "{kind:?} disagrees on thin inputs");
+        }
+    }
+
+    #[test]
+    fn three_way_join_counts_and_values() {
+        let x1 = full(&[2, 2], 0.0);
+        let x2 = full(&[2, 3], 10.0);
+        let x3 = full(&[2, 2], 100.0);
+        let (j, report) = stitch_multi(&[&x1, &x2, &x3], 1, StitchKind::Join).unwrap();
+        assert_eq!(j.dims(), &[2, 2, 3, 2]);
+        assert_eq!(j.nnz(), 2 * 2 * 3 * 2);
+        assert_eq!(report.shared_pivot_configs, 2);
+        // Spot-check a value: mean of the three sources.
+        let v = j.get(&[1, 0, 2, 1]).unwrap();
+        let expected =
+            (x1.get(&[1, 0]).unwrap() + x2.get(&[1, 2]).unwrap() + x3.get(&[1, 1]).unwrap()) / 3.0;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_way_zero_join_fills_missing_with_zero() {
+        let x1 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 3.0)]).unwrap();
+        let x2 = SparseTensor::from_entries(&[2, 2], &[(vec![0, 1], 6.0)]).unwrap();
+        let x3 = SparseTensor::from_entries(&[2, 2], &[(vec![1, 0], 9.0)]).unwrap();
+        let (j, _) = stitch_multi(&[&x1, &x2, &x3], 1, StitchKind::ZeroJoin).unwrap();
+        // Pivot 0: x1 and x2 present, x3 absent -> (3 + 6 + 0)/3 at their
+        // free choices.
+        assert_eq!(j.get(&[0, 0, 1, 0]), Some(3.0));
+        // Pivot 1: only x3 -> 9/3.
+        assert_eq!(j.get(&[1, 0, 1, 0]), Some(3.0));
+        // Plain join is empty (no pivot has all three).
+        let (pj, _) = stitch_multi(&[&x1, &x2, &x3], 1, StitchKind::Join).unwrap();
+        assert_eq!(pj.nnz(), 0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = full(&[2, 2], 0.0);
+        assert!(stitch_multi(&[&x], 1, StitchKind::Join).is_err());
+        assert!(stitch_multi(&[&x, &x], 0, StitchKind::Join).is_err());
+        assert!(stitch_multi(&[&x, &x], 2, StitchKind::Join).is_err());
+        let bad = full(&[3, 2], 0.0);
+        assert!(stitch_multi(&[&x, &bad], 1, StitchKind::Join).is_err());
+    }
+
+    #[test]
+    fn four_way_effective_density() {
+        // 4 sub-systems, each P x E complete: join has P * E^4 cells from
+        // 4 * P * E inputs.
+        let p = 3;
+        let e = 2;
+        let subs: Vec<SparseTensor> = (0..4).map(|s| full(&[p, e], s as f64 * 10.0)).collect();
+        let refs: Vec<&SparseTensor> = subs.iter().collect();
+        let (j, _) = stitch_multi(&refs, 1, StitchKind::Join).unwrap();
+        assert_eq!(j.nnz(), p * e.pow(4));
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type for tensor operations.
+
+use m2td_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by tensor kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an index) disagreed on shape.
+    ShapeMismatch {
+        /// The expected shape.
+        expected: Vec<usize>,
+        /// The shape that was actually supplied.
+        actual: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A mode id was `>=` the tensor order.
+    InvalidMode {
+        /// The offending mode.
+        mode: usize,
+        /// The tensor order (number of modes).
+        order: usize,
+    },
+    /// A multi-index had a component outside the mode's extent.
+    IndexOutOfBounds {
+        /// The offending multi-index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A target rank exceeded the corresponding mode size.
+    RankTooLarge {
+        /// The mode whose rank was too large.
+        mode: usize,
+        /// The requested rank.
+        requested: usize,
+        /// The mode size.
+        available: usize,
+    },
+    /// The number of ranks/factors did not match the tensor order.
+    WrongNumberOfRanks {
+        /// Number supplied.
+        supplied: usize,
+        /// Tensor order.
+        order: usize,
+    },
+    /// A tensor with zero total elements was supplied where data is needed.
+    EmptyTensor,
+    /// Saving or loading a tensor artifact failed (I/O or malformed data).
+    Serialization {
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::InvalidMode { mode, order } => {
+                write!(f, "mode {mode} is invalid for an order-{order} tensor")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankTooLarge {
+                mode,
+                requested,
+                available,
+            } => write!(
+                f,
+                "rank {requested} for mode {mode} exceeds mode size {available}"
+            ),
+            TensorError::WrongNumberOfRanks { supplied, order } => {
+                write!(f, "{supplied} ranks supplied for an order-{order} tensor")
+            }
+            TensorError::EmptyTensor => write!(f, "tensor has no elements"),
+            TensorError::Serialization { message } => {
+                write!(f, "serialization error: {message}")
+            }
+            TensorError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for TensorError {
+    fn from(e: LinalgError) -> Self {
+        TensorError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::RankTooLarge {
+            mode: 2,
+            requested: 9,
+            available: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4') && s.contains('2'));
+    }
+
+    #[test]
+    fn linalg_errors_convert_and_chain() {
+        let e: TensorError = LinalgError::SingularMatrix.into();
+        assert!(matches!(e, TensorError::Linalg(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! HOOI — Higher-Order Orthogonal Iteration.
+//!
+//! An optional refinement over HOSVD (extension beyond the paper, used by
+//! the `ablation_hooi` bench): starting from the HOSVD factors, each sweep
+//! re-optimizes every factor against the projection of the tensor onto the
+//! other factors, monotonically improving the Tucker fit.
+
+use crate::dense::DenseTensor;
+use crate::hosvd::{dense_core, gram_factor, hosvd_dense, hosvd_sparse, sparse_core, CoreOrdering};
+use crate::sparse::SparseTensor;
+use crate::ttm::{ttm_dense_transposed, ttm_sparse_transposed};
+use crate::tucker::TuckerDecomp;
+use crate::Result;
+use m2td_linalg::Matrix;
+
+/// Options controlling the HOOI iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct HooiOptions {
+    /// Maximum number of full sweeps over all modes.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the relative change of the core norm
+    /// between sweeps.
+    pub tolerance: f64,
+}
+
+impl Default for HooiOptions {
+    fn default() -> Self {
+        Self {
+            max_sweeps: 10,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// Result alias carrying the decomposition and the number of sweeps used.
+pub type HooiOutcome = (TuckerDecomp, usize);
+
+/// HOOI on a dense tensor. Initializes with [`hosvd_dense`].
+pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result<HooiOutcome> {
+    let init = hosvd_dense(x, ranks)?;
+    let mut factors = init.factors;
+    let mut prev_core_norm = init.core.frobenius_norm();
+    let mut sweeps = 0;
+
+    for sweep in 1..=opts.max_sweeps {
+        sweeps = sweep;
+        for mode in 0..x.order() {
+            // Project onto all factors except `mode`, then refit that mode.
+            let mut acc: Option<DenseTensor> = None;
+            for (m, f) in factors.iter().enumerate() {
+                if m == mode {
+                    continue;
+                }
+                let next = match &acc {
+                    None => ttm_dense_transposed(x, m, f)?,
+                    Some(t) => ttm_dense_transposed(t, m, f)?,
+                };
+                acc = Some(next);
+            }
+            let projected = acc.expect("order >= 2 for HOOI inputs");
+            let unfolded = projected.unfold(mode)?;
+            let gram = unfolded.gram_rows();
+            factors[mode] = gram_factor(&gram, ranks[mode])?;
+        }
+        let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+        let norm = core.frobenius_norm();
+        let rel_change = if prev_core_norm > 0.0 {
+            (norm - prev_core_norm).abs() / prev_core_norm
+        } else {
+            0.0
+        };
+        prev_core_norm = norm;
+        if rel_change < opts.tolerance {
+            break;
+        }
+    }
+
+    let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    Ok((TuckerDecomp::new(core, factors)?, sweeps))
+}
+
+/// HOOI on a sparse tensor. Initializes with [`hosvd_sparse`]; the first
+/// projection of every sweep uses the sparse scatter kernel so the cost per
+/// sweep stays `O(nnz · r)` plus dense work on the shrunk intermediates.
+pub fn hooi_sparse(x: &SparseTensor, ranks: &[usize], opts: HooiOptions) -> Result<HooiOutcome> {
+    let init = hosvd_sparse(x, ranks)?;
+    let mut factors = init.factors;
+    let mut prev_core_norm = init.core.frobenius_norm();
+    let mut sweeps = 0;
+
+    for sweep in 1..=opts.max_sweeps {
+        sweeps = sweep;
+        for mode in 0..x.order() {
+            let projected = project_all_but_sparse(x, &factors, mode)?;
+            let unfolded = projected.unfold(mode)?;
+            let gram = unfolded.gram_rows();
+            factors[mode] = gram_factor(&gram, ranks[mode])?;
+        }
+        let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+        let norm = core.frobenius_norm();
+        let rel_change = if prev_core_norm > 0.0 {
+            (norm - prev_core_norm).abs() / prev_core_norm
+        } else {
+            0.0
+        };
+        prev_core_norm = norm;
+        if rel_change < opts.tolerance {
+            break;
+        }
+    }
+
+    let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    Ok((TuckerDecomp::new(core, factors)?, sweeps))
+}
+
+/// Projects a sparse tensor onto every factor except `skip`.
+fn project_all_but_sparse(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    skip: usize,
+) -> Result<DenseTensor> {
+    let mut acc: Option<DenseTensor> = None;
+    for (m, f) in factors.iter().enumerate() {
+        if m == skip {
+            continue;
+        }
+        let next = match &acc {
+            None => ttm_sparse_transposed(x, m, f)?,
+            Some(t) => ttm_dense_transposed(t, m, f)?,
+        };
+        acc = Some(next);
+    }
+    Ok(acc.expect("order >= 2 for HOOI inputs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_tensor() -> DenseTensor {
+        DenseTensor::from_fn(&[5, 4, 3], |i| {
+            ((i[0] + 1) * (i[1] + 2)) as f64 + ((i[2] * (i[0] + 1)) as f64).sin() * 3.0
+        })
+    }
+
+    #[test]
+    fn hooi_never_worse_than_hosvd() {
+        let x = test_tensor();
+        let ranks = [2, 2, 2];
+        let hosvd_err = hosvd_dense(&x, &ranks).unwrap().relative_error(&x).unwrap();
+        let (hooi, sweeps) = hooi_dense(&x, &ranks, HooiOptions::default()).unwrap();
+        let hooi_err = hooi.relative_error(&x).unwrap();
+        assert!(sweeps >= 1);
+        assert!(
+            hooi_err <= hosvd_err + 1e-10,
+            "HOOI err {hooi_err} worse than HOSVD err {hosvd_err}"
+        );
+    }
+
+    #[test]
+    fn hooi_exact_at_full_rank() {
+        let x = test_tensor();
+        let (t, _) = hooi_dense(&x, &[5, 4, 3], HooiOptions::default()).unwrap();
+        assert!(t.relative_error(&x).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_hooi_matches_dense_hooi() {
+        let x = test_tensor();
+        let s = SparseTensor::from_dense(&x);
+        let opts = HooiOptions {
+            max_sweeps: 4,
+            tolerance: 0.0, // force all sweeps in both variants
+        };
+        let (td, _) = hooi_dense(&x, &[2, 2, 2], opts).unwrap();
+        let (ts, _) = hooi_sparse(&s, &[2, 2, 2], opts).unwrap();
+        let ed = td.relative_error(&x).unwrap();
+        let es = ts.relative_error(&x).unwrap();
+        assert!((ed - es).abs() < 1e-8, "dense {ed} vs sparse {es}");
+    }
+
+    #[test]
+    fn hooi_respects_max_sweeps() {
+        let x = test_tensor();
+        let opts = HooiOptions {
+            max_sweeps: 1,
+            tolerance: 0.0,
+        };
+        let (_, sweeps) = hooi_dense(&x, &[2, 2, 2], opts).unwrap();
+        assert_eq!(sweeps, 1);
+    }
+
+    #[test]
+    fn hooi_propagates_rank_errors() {
+        let x = test_tensor();
+        assert!(hooi_dense(&x, &[9, 2, 2], HooiOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! HOSVD — Higher-Order SVD (Algorithm 1 of the paper).
+//!
+//! For each mode `n`, the factor `U⁽ⁿ⁾` collects the `r_n` leading left
+//! singular vectors of the mode-`n` matricization; the core is then
+//! recovered as `G = X ×₁ U⁽¹⁾ᵀ ⋯ ×_N U⁽ᴺ⁾ᵀ`.
+//!
+//! The left singular vectors are obtained through the Gram trick
+//! (eigenvectors of `X₍ₙ₎X₍ₙ₎ᵀ`, an `I_n × I_n` problem) — see
+//! [`m2td_linalg::gram_left_singular_vectors`] — which keeps both dense and
+//! sparse HOSVD linear in the number of stored entries.
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::sparse::SparseTensor;
+use crate::ttm::{ttm_dense_transposed, ttm_sparse_transposed};
+use crate::tucker::TuckerDecomp;
+use crate::Result;
+use m2td_linalg::{symmetric_eig, Matrix};
+
+/// Ordering strategy for the TTM chain that recovers the core tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreOrdering {
+    /// Multiply modes in natural order `1, …, N`.
+    Natural,
+    /// Multiply the mode with the largest shrink ratio `I_n / r_n` first,
+    /// minimizing the size of the intermediate tensors. This is the
+    /// default and the subject of the `ablation_ttm_order` bench.
+    BestShrinkFirst,
+}
+
+/// Validates a rank vector against a shape.
+fn check_ranks(dims: &[usize], ranks: &[usize]) -> Result<()> {
+    if ranks.len() != dims.len() {
+        return Err(TensorError::WrongNumberOfRanks {
+            supplied: ranks.len(),
+            order: dims.len(),
+        });
+    }
+    for (mode, (&r, &d)) in ranks.iter().zip(dims.iter()).enumerate() {
+        if r == 0 || r > d {
+            return Err(TensorError::RankTooLarge {
+                mode,
+                requested: r,
+                available: d,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Returns the `r` leading eigenvectors of a Gram matrix as a factor.
+pub(crate) fn gram_factor(gram: &Matrix, r: usize) -> Result<Matrix> {
+    let eig = symmetric_eig(gram)?;
+    Ok(eig.eigenvectors.leading_columns(r)?)
+}
+
+/// Mode order for a core-recovery TTM chain.
+pub(crate) fn core_mode_order(
+    dims: &[usize],
+    ranks: &[usize],
+    ordering: CoreOrdering,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..dims.len()).collect();
+    if ordering == CoreOrdering::BestShrinkFirst {
+        order.sort_by(|&a, &b| {
+            let ra = dims[a] as f64 / ranks[a] as f64;
+            let rb = dims[b] as f64 / ranks[b] as f64;
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    order
+}
+
+/// Recovers the core `G = X ×₁ U⁽¹⁾ᵀ ⋯ ×_N U⁽ᴺ⁾ᵀ` from a sparse tensor.
+///
+/// The first product uses the sparse scatter kernel (cost `O(nnz · r)`),
+/// everything after runs on the already-shrunk dense intermediate.
+pub fn sparse_core(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    ordering: CoreOrdering,
+) -> Result<DenseTensor> {
+    if factors.len() != x.order() {
+        return Err(TensorError::WrongNumberOfRanks {
+            supplied: factors.len(),
+            order: x.order(),
+        });
+    }
+    let ranks: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
+    let order = core_mode_order(x.dims(), &ranks, ordering);
+    let mut acc = ttm_sparse_transposed(x, order[0], &factors[order[0]])?;
+    for &mode in &order[1..] {
+        acc = ttm_dense_transposed(&acc, mode, &factors[mode])?;
+    }
+    Ok(acc)
+}
+
+/// Recovers the core from a dense tensor.
+pub fn dense_core(
+    x: &DenseTensor,
+    factors: &[Matrix],
+    ordering: CoreOrdering,
+) -> Result<DenseTensor> {
+    if factors.len() != x.order() {
+        return Err(TensorError::WrongNumberOfRanks {
+            supplied: factors.len(),
+            order: x.order(),
+        });
+    }
+    let ranks: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
+    let order = core_mode_order(x.dims(), &ranks, ordering);
+    let mut acc: Option<DenseTensor> = None;
+    for &mode in &order {
+        let next = match &acc {
+            None => ttm_dense_transposed(x, mode, &factors[mode])?,
+            Some(t) => ttm_dense_transposed(t, mode, &factors[mode])?,
+        };
+        acc = Some(next);
+    }
+    Ok(acc.expect("order is non-empty for non-empty tensors"))
+}
+
+/// Suggests per-mode target ranks: for every mode, the smallest rank whose
+/// leading Gram eigenvalues capture at least `energy_fraction` of that
+/// mode's total energy. A principled alternative to hand-picking a uniform
+/// rank — exposed to users via `m2td-cli --rank auto`-style workflows.
+///
+/// # Errors
+///
+/// [`TensorError::EmptyTensor`] for an all-null tensor; an invalid
+/// fraction (outside `(0, 1]`) is clamped into range.
+pub fn suggest_ranks(x: &SparseTensor, energy_fraction: f64) -> Result<Vec<usize>> {
+    if x.nnz() == 0 {
+        return Err(TensorError::EmptyTensor);
+    }
+    let target = energy_fraction.clamp(f64::MIN_POSITIVE, 1.0);
+    let mut ranks = Vec::with_capacity(x.order());
+    for mode in 0..x.order() {
+        let gram = x.unfold_gram(mode)?;
+        let eig = symmetric_eig(&gram)?;
+        // Gram eigenvalues are the squared singular values of the
+        // matricization; clamp tiny negatives from round-off.
+        let total: f64 = eig.eigenvalues.iter().map(|&l| l.max(0.0)).sum();
+        if total <= 0.0 {
+            ranks.push(1);
+            continue;
+        }
+        let mut acc = 0.0;
+        let mut r = 0;
+        for &l in &eig.eigenvalues {
+            acc += l.max(0.0);
+            r += 1;
+            if acc >= target * total {
+                break;
+            }
+        }
+        ranks.push(r.max(1));
+    }
+    Ok(ranks)
+}
+
+/// HOSVD of a dense tensor at the given per-mode target ranks.
+///
+/// # Errors
+///
+/// * [`TensorError::WrongNumberOfRanks`] / [`TensorError::RankTooLarge`]
+///   for invalid rank vectors.
+/// * [`TensorError::EmptyTensor`] for tensors without elements.
+pub fn hosvd_dense(x: &DenseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
+    check_ranks(x.dims(), ranks)?;
+    if x.num_elements() == 0 {
+        return Err(TensorError::EmptyTensor);
+    }
+    let mut factors = Vec::with_capacity(x.order());
+    for (mode, &r) in ranks.iter().enumerate() {
+        let unfolded = x.unfold(mode)?;
+        let gram = unfolded.gram_rows();
+        factors.push(gram_factor(&gram, r)?);
+    }
+    let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    TuckerDecomp::new(core, factors)
+}
+
+/// HOSVD of a sparse tensor at the given per-mode target ranks.
+///
+/// Null cells are treated as zeros, exactly as the paper's conventional
+/// baselines decompose a sampled ensemble tensor.
+///
+/// ```
+/// use m2td_tensor::{hosvd_sparse, SparseTensor};
+///
+/// let x = SparseTensor::from_entries(
+///     &[4, 4, 4],
+///     &[(vec![0, 1, 2], 3.0), (vec![3, 2, 1], -1.0)],
+/// ).unwrap();
+/// let tucker = hosvd_sparse(&x, &[2, 2, 2]).unwrap();
+/// // Two isolated cells are exactly representable at rank 2.
+/// let err = tucker.relative_error(&x.to_dense().unwrap()).unwrap();
+/// assert!(err < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// As [`hosvd_dense`]; an all-null tensor additionally errors with
+/// [`TensorError::EmptyTensor`].
+pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
+    check_ranks(x.dims(), ranks)?;
+    if x.nnz() == 0 {
+        return Err(TensorError::EmptyTensor);
+    }
+    let mut factors = Vec::with_capacity(x.order());
+    for (mode, &r) in ranks.iter().enumerate() {
+        let gram = x.unfold_gram(mode)?;
+        factors.push(gram_factor(&gram, r)?);
+    }
+    let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    TuckerDecomp::new(core, factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_tensor() -> DenseTensor {
+        DenseTensor::from_fn(&[4, 5, 3], |i| {
+            ((i[0] + 1) * (i[1] + 2)) as f64 + ((i[2] * i[0]) as f64).sin()
+        })
+    }
+
+    #[test]
+    fn full_rank_hosvd_is_exact() {
+        let x = test_tensor();
+        let t = hosvd_dense(&x, &[4, 5, 3]).unwrap();
+        assert!(t.relative_error(&x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn rank_one_tensor_decomposes_exactly_at_rank_one() {
+        let x = DenseTensor::from_fn(&[3, 4, 5], |i| {
+            (i[0] + 1) as f64 * (i[1] + 1) as f64 * (i[2] + 1) as f64
+        });
+        let t = hosvd_dense(&x, &[1, 1, 1]).unwrap();
+        assert!(t.relative_error(&x).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_rank() {
+        let x = test_tensor();
+        let e1 = hosvd_dense(&x, &[1, 1, 1])
+            .unwrap()
+            .relative_error(&x)
+            .unwrap();
+        let e2 = hosvd_dense(&x, &[2, 2, 2])
+            .unwrap()
+            .relative_error(&x)
+            .unwrap();
+        let e3 = hosvd_dense(&x, &[4, 5, 3])
+            .unwrap()
+            .relative_error(&x)
+            .unwrap();
+        assert!(e1 >= e2 - 1e-12, "e1={e1} e2={e2}");
+        assert!(e2 >= e3 - 1e-12, "e2={e2} e3={e3}");
+    }
+
+    #[test]
+    fn hosvd_error_bound_holds() {
+        // HOSVD truncation satisfies ‖X − X̃‖ ≤ √N · best rank-(r…) error;
+        // a weaker easily-checkable property: relative error ≤ 1 for any
+        // rank, with orthonormal factors.
+        let x = test_tensor();
+        let t = hosvd_dense(&x, &[2, 2, 2]).unwrap();
+        assert!(t.relative_error(&x).unwrap() <= 1.0 + 1e-12);
+        for f in &t.factors {
+            assert!(f.orthonormality_defect() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_hosvd_matches_dense_on_same_data() {
+        let x = test_tensor();
+        let s = SparseTensor::from_dense(&x);
+        let td = hosvd_dense(&x, &[2, 3, 2]).unwrap();
+        let ts = hosvd_sparse(&s, &[2, 3, 2]).unwrap();
+        let ed = td.relative_error(&x).unwrap();
+        let es = ts.relative_error(&x).unwrap();
+        assert!(
+            (ed - es).abs() < 1e-8,
+            "dense err {ed} vs sparse err {es} should agree"
+        );
+    }
+
+    #[test]
+    fn core_orderings_agree() {
+        let x = test_tensor();
+        let s = SparseTensor::from_dense(&x);
+        let factors: Vec<Matrix> = (0..3)
+            .map(|m| gram_factor(&s.unfold_gram(m).unwrap(), 2).unwrap())
+            .collect();
+        let natural = sparse_core(&s, &factors, CoreOrdering::Natural).unwrap();
+        let best = sparse_core(&s, &factors, CoreOrdering::BestShrinkFirst).unwrap();
+        let d = natural.sub(&best).unwrap().frobenius_norm();
+        assert!(d < 1e-10, "orderings disagree by {d}");
+    }
+
+    #[test]
+    fn invalid_ranks_are_rejected() {
+        let x = test_tensor();
+        assert!(matches!(
+            hosvd_dense(&x, &[4, 5]),
+            Err(TensorError::WrongNumberOfRanks { .. })
+        ));
+        assert!(matches!(
+            hosvd_dense(&x, &[5, 5, 3]),
+            Err(TensorError::RankTooLarge { .. })
+        ));
+        assert!(matches!(
+            hosvd_dense(&x, &[0, 5, 3]),
+            Err(TensorError::RankTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sparse_tensor_rejected() {
+        let s = SparseTensor::empty(&[3, 3]);
+        assert!(matches!(
+            hosvd_sparse(&s, &[1, 1]),
+            Err(TensorError::EmptyTensor)
+        ));
+    }
+
+    #[test]
+    fn very_sparse_tensor_decomposes_without_panic() {
+        let s =
+            SparseTensor::from_entries(&[6, 6, 6], &[(vec![0, 0, 0], 1.0), (vec![5, 5, 5], -2.0)])
+                .unwrap();
+        let t = hosvd_sparse(&s, &[2, 2, 2]).unwrap();
+        // Two isolated entries are exactly representable at rank 2.
+        let dense = s.to_dense().unwrap();
+        assert!(t.relative_error(&dense).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn suggest_ranks_at_full_energy_reconstruct_exactly() {
+        // Whatever ranks 100% energy suggests, HOSVD at those ranks must
+        // be an (FP-)exact decomposition.
+        let x = test_tensor();
+        let s = SparseTensor::from_dense(&x);
+        let ranks = suggest_ranks(&s, 1.0).unwrap();
+        let tucker = hosvd_sparse(&s, &ranks).unwrap();
+        let err = tucker.relative_error(&x).unwrap();
+        assert!(err < 1e-6, "full-energy ranks {ranks:?} gave error {err}");
+    }
+
+    #[test]
+    fn suggest_ranks_low_for_rank_one_data() {
+        let x = DenseTensor::from_fn(&[5, 6, 4], |i| {
+            (i[0] + 1) as f64 * (i[1] + 1) as f64 * (i[2] + 1) as f64
+        });
+        let s = SparseTensor::from_dense(&x);
+        let ranks = suggest_ranks(&s, 0.999).unwrap();
+        assert_eq!(ranks, vec![1, 1, 1], "rank-1 tensor should need rank 1");
+    }
+
+    #[test]
+    fn suggest_ranks_monotone_in_energy() {
+        let x = test_tensor();
+        let s = SparseTensor::from_dense(&x);
+        let lo = suggest_ranks(&s, 0.5).unwrap();
+        let hi = suggest_ranks(&s, 0.99).unwrap();
+        for (a, b) in lo.iter().zip(hi.iter()) {
+            assert!(a <= b);
+        }
+        // Suggested ranks actually achieve the target accuracy-ish: the
+        // HOSVD error at the 0.99-energy ranks is small.
+        let tucker = hosvd_sparse(&s, &hi).unwrap();
+        let err = tucker.relative_error(&x).unwrap();
+        assert!(err < 0.2, "suggested ranks gave error {err}");
+    }
+
+    #[test]
+    fn suggest_ranks_rejects_empty() {
+        let s = SparseTensor::empty(&[3, 3]);
+        assert!(suggest_ranks(&s, 0.9).is_err());
+    }
+
+    #[test]
+    fn core_mode_order_prefers_big_shrink() {
+        let order = core_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::BestShrinkFirst);
+        assert_eq!(order[0], 0); // 100/2 = 50 shrink
+        assert_eq!(order[1], 2); // 50/2 = 25
+        assert_eq!(order[2], 1); // 10/5 = 2
+        let natural = core_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::Natural);
+        assert_eq!(natural, vec![0, 1, 2]);
+    }
+}

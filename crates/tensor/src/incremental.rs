@@ -1,0 +1,235 @@
+//! Incrementally grown ensembles with always-current Gram matrices.
+//!
+//! The paper's related work (Section II-A) distinguishes *multiple-run*
+//! ensemble design — sample the whole budget up front, the regime of the
+//! main pipeline — from *single-run replication*, where simulation
+//! instances are allocated incrementally, each new result informing the
+//! next choice. [`IncrementalEnsemble`] supports that regime: adding one
+//! simulation cell updates every mode's Gram matrix `X₍ₙ₎X₍ₙ₎ᵀ` in
+//! `O(Σ_n column-occupancy)` instead of recomputing from scratch, so the
+//! per-mode factor matrices (and with them an M2TD decomposition) can be
+//! refreshed after every allocation step.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::sparse::SparseTensor;
+use crate::Result;
+use m2td_linalg::{symmetric_eig, Matrix};
+use std::collections::HashMap;
+
+/// A sparse tensor under construction, with per-mode Gram matrices
+/// maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct IncrementalEnsemble {
+    shape: Shape,
+    /// Stored entries as (linear index, value).
+    entries: HashMap<u64, f64>,
+    /// Per mode: unfolding column id → occupants `(mode index, value)`.
+    columns: Vec<HashMap<u64, Vec<(u32, f64)>>>,
+    /// Per mode: the running Gram matrix `X₍ₙ₎X₍ₙ₎ᵀ`.
+    grams: Vec<Matrix>,
+}
+
+impl IncrementalEnsemble {
+    /// Creates an empty ensemble over the given mode extents.
+    pub fn new(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let order = shape.order();
+        Self {
+            shape,
+            entries: HashMap::new(),
+            columns: (0..order).map(|_| HashMap::new()).collect(),
+            grams: dims.iter().map(|&d| Matrix::zeros(d, d)).collect(),
+        }
+    }
+
+    /// Number of stored simulation cells.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Mode extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Current density.
+    pub fn density(&self) -> f64 {
+        let total = self.shape.num_elements();
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Adds one simulation result, updating all mode Grams.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::IndexOutOfBounds`] for invalid coordinates or a
+    ///   duplicate cell.
+    pub fn add(&mut self, index: &[usize], value: f64) -> Result<()> {
+        self.shape.check_index(index)?;
+        let lin = self.shape.linear_index(index) as u64;
+        if self.entries.contains_key(&lin) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims().to_vec(),
+            });
+        }
+        self.entries.insert(lin, value);
+
+        for (mode, (cols, gram)) in self
+            .columns
+            .iter_mut()
+            .zip(self.grams.iter_mut())
+            .enumerate()
+        {
+            let col_id = self.shape.unfold_col_index(mode, index) as u64;
+            let i = index[mode];
+            let occupants = cols.entry(col_id).or_default();
+            // Rank-1 update: G += v·(e_i cᵀ + c e_iᵀ) + v² e_i e_iᵀ where
+            // c is the column's current content. Occupants always have
+            // mode indices distinct from `i` — an equal index would be the
+            // same tensor cell, rejected as a duplicate above.
+            for &(j, vj) in occupants.iter() {
+                let j = j as usize;
+                debug_assert_ne!(i, j, "duplicate cell slipped past validation");
+                let cur = gram.get(i, j);
+                gram.set(i, j, cur + value * vj);
+                let cur = gram.get(j, i);
+                gram.set(j, i, cur + value * vj);
+            }
+            let cur = gram.get(i, i);
+            gram.set(i, i, cur + value * value);
+            occupants.push((i as u32, value));
+        }
+        Ok(())
+    }
+
+    /// The running Gram matrix of mode `n`.
+    pub fn gram(&self, mode: usize) -> Result<&Matrix> {
+        self.shape.check_mode(mode)?;
+        Ok(&self.grams[mode])
+    }
+
+    /// The `r` leading factor vectors of mode `n` from the running Gram.
+    pub fn factor(&self, mode: usize, r: usize) -> Result<Matrix> {
+        let gram = self.gram(mode)?;
+        let eig = symmetric_eig(gram)?;
+        Ok(eig.eigenvectors.leading_columns(r)?)
+    }
+
+    /// Materializes the current ensemble as a [`SparseTensor`].
+    pub fn to_sparse(&self) -> SparseTensor {
+        let mut pairs: Vec<(u64, f64)> = self.entries.iter().map(|(&l, &v)| (l, v)).collect();
+        pairs.sort_unstable_by_key(|&(l, _)| l);
+        let (indices, values): (Vec<u64>, Vec<f64>) = pairs.into_iter().unzip();
+        SparseTensor::from_sorted_linear(self.dims(), indices, values)
+            .expect("entries are validated on insertion")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_all(inc: &mut IncrementalEnsemble, cells: &[(Vec<usize>, f64)]) {
+        for (idx, v) in cells {
+            inc.add(idx, *v).unwrap();
+        }
+    }
+
+    fn cells() -> Vec<(Vec<usize>, f64)> {
+        vec![
+            (vec![0, 0, 0], 1.0),
+            (vec![1, 0, 0], -2.0),
+            (vec![0, 1, 1], 3.0),
+            (vec![2, 1, 1], 0.5),
+            (vec![2, 2, 0], 4.0),
+            (vec![1, 2, 0], -1.5),
+        ]
+    }
+
+    #[test]
+    fn incremental_grams_match_batch_grams() {
+        let mut inc = IncrementalEnsemble::new(&[3, 3, 2]);
+        add_all(&mut inc, &cells());
+        let sparse = inc.to_sparse();
+        for mode in 0..3 {
+            let incremental = inc.gram(mode).unwrap();
+            let batch = sparse.unfold_gram(mode).unwrap();
+            let diff = incremental.sub(&batch).unwrap().frobenius_norm();
+            assert!(diff < 1e-12, "mode {mode} gram diff {diff}");
+        }
+    }
+
+    #[test]
+    fn grams_stay_consistent_after_every_single_add() {
+        let mut inc = IncrementalEnsemble::new(&[3, 3, 2]);
+        for (idx, v) in cells() {
+            inc.add(&idx, v).unwrap();
+            let sparse = inc.to_sparse();
+            for mode in 0..3 {
+                let diff = inc
+                    .gram(mode)
+                    .unwrap()
+                    .sub(&sparse.unfold_gram(mode).unwrap())
+                    .unwrap()
+                    .frobenius_norm();
+                assert!(diff < 1e-12, "drift after adding {idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn factors_match_batch_factors() {
+        let mut inc = IncrementalEnsemble::new(&[4, 4, 3]);
+        // A denser, structured fill.
+        let shape = Shape::new(&[4, 4, 3]);
+        for l in 0..shape.num_elements() {
+            if l % 2 == 0 {
+                let idx = shape.multi_index(l);
+                inc.add(&idx, ((l as f64) * 0.37).sin() + 1.0).unwrap();
+            }
+        }
+        let sparse = inc.to_sparse();
+        for mode in 0..3 {
+            let f_inc = inc.factor(mode, 2).unwrap();
+            let gram = sparse.unfold_gram(mode).unwrap();
+            let eig = symmetric_eig(&gram).unwrap();
+            let f_batch = eig.eigenvectors.leading_columns(2).unwrap();
+            let diff = f_inc.sub(&f_batch).unwrap().frobenius_norm();
+            assert!(diff < 1e-9, "mode {mode} factor diff {diff}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_bad_indices_rejected() {
+        let mut inc = IncrementalEnsemble::new(&[2, 2]);
+        inc.add(&[0, 1], 1.0).unwrap();
+        assert!(inc.add(&[0, 1], 2.0).is_err());
+        assert!(inc.add(&[2, 0], 1.0).is_err());
+        assert!(inc.add(&[0], 1.0).is_err());
+        assert_eq!(inc.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_ensemble_accessors() {
+        let inc = IncrementalEnsemble::new(&[3, 3]);
+        assert_eq!(inc.nnz(), 0);
+        assert_eq!(inc.density(), 0.0);
+        assert_eq!(inc.gram(0).unwrap().frobenius_norm(), 0.0);
+        assert!(inc.gram(2).is_err());
+        assert_eq!(inc.to_sparse().nnz(), 0);
+    }
+
+    #[test]
+    fn density_tracks_insertions() {
+        let mut inc = IncrementalEnsemble::new(&[2, 2]);
+        inc.add(&[0, 0], 1.0).unwrap();
+        inc.add(&[1, 1], 1.0).unwrap();
+        assert!((inc.density() - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,196 @@
+//! Serialization: save and load tensors and Tucker decompositions as JSON.
+//!
+//! A decomposed ensemble is the *product* of an expensive pipeline
+//! (simulation budget + stitching + decomposition); persisting it lets an
+//! analyst decompose once and explore (reconstruct cells, inspect factors)
+//! in later sessions. All loads validate structural invariants and reject
+//! corrupt files.
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::sparse::SparseTensor;
+use crate::tucker::TuckerDecomp;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Serialized form of a dense tensor.
+#[derive(Serialize, Deserialize)]
+struct DenseRaw {
+    dims: Vec<usize>,
+    data: Vec<f64>,
+}
+
+/// Serialized form of a sparse tensor.
+#[derive(Serialize, Deserialize)]
+struct SparseRaw {
+    dims: Vec<usize>,
+    indices: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// Serialized form of a Tucker decomposition.
+#[derive(Serialize, Deserialize)]
+struct TuckerRaw {
+    core: DenseRaw,
+    factors: Vec<m2td_linalg::Matrix>,
+}
+
+impl Serialize for DenseTensor {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        DenseRaw {
+            dims: self.dims().to_vec(),
+            data: self.as_slice().to_vec(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for DenseTensor {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let raw = DenseRaw::deserialize(deserializer)?;
+        DenseTensor::from_vec(&raw.dims, raw.data)
+            .map_err(|e| serde::de::Error::custom(format!("invalid dense tensor: {e}")))
+    }
+}
+
+impl Serialize for SparseTensor {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        let (indices, values): (Vec<u64>, Vec<f64>) = self.iter_linear().unzip();
+        SparseRaw {
+            dims: self.dims().to_vec(),
+            indices,
+            values,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SparseTensor {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let raw = SparseRaw::deserialize(deserializer)?;
+        SparseTensor::from_sorted_linear(&raw.dims, raw.indices, raw.values)
+            .map_err(|e| serde::de::Error::custom(format!("invalid sparse tensor: {e}")))
+    }
+}
+
+impl Serialize for TuckerDecomp {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        TuckerRaw {
+            core: DenseRaw {
+                dims: self.core.dims().to_vec(),
+                data: self.core.as_slice().to_vec(),
+            },
+            factors: self.factors.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TuckerDecomp {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let raw = TuckerRaw::deserialize(deserializer)?;
+        let core = DenseTensor::from_vec(&raw.core.dims, raw.core.data)
+            .map_err(|e| serde::de::Error::custom(format!("invalid core: {e}")))?;
+        TuckerDecomp::new(core, raw.factors)
+            .map_err(|e| serde::de::Error::custom(format!("invalid decomposition: {e}")))
+    }
+}
+
+/// Writes any serializable artifact as pretty JSON.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| TensorError::Serialization {
+        message: format!("serialize: {e}"),
+    })?;
+    std::fs::write(path, json).map_err(|e| TensorError::Serialization {
+        message: format!("write {}: {e}", path.display()),
+    })?;
+    Ok(())
+}
+
+/// Loads a JSON artifact written by [`save_json`].
+pub fn load_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T> {
+    let text = std::fs::read_to_string(path).map_err(|e| TensorError::Serialization {
+        message: format!("read {}: {e}", path.display()),
+    })?;
+    serde_json::from_str(&text).map_err(|e| TensorError::Serialization {
+        message: format!("deserialize: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosvd::hosvd_dense;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("m2td_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let t = DenseTensor::from_fn(&[3, 4], |i| (i[0] * 4 + i[1]) as f64);
+        let path = tmp("dense.json");
+        save_json(&t, &path).unwrap();
+        let back: DenseTensor = load_json(&path).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let t =
+            SparseTensor::from_entries(&[4, 4, 4], &[(vec![0, 1, 2], 1.5), (vec![3, 3, 3], -2.0)])
+                .unwrap();
+        let path = tmp("sparse.json");
+        save_json(&t, &path).unwrap();
+        let back: SparseTensor = load_json(&path).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tucker_round_trip_preserves_reconstruction() {
+        let x = DenseTensor::from_fn(&[4, 3, 3], |i| {
+            ((i[0] + 1) * (i[1] + 2)) as f64 + (i[2] as f64).sin()
+        });
+        let tucker = hosvd_dense(&x, &[2, 2, 2]).unwrap();
+        let path = tmp("tucker.json");
+        save_json(&tucker, &path).unwrap();
+        let back: TuckerDecomp = load_json(&path).unwrap();
+        let a = tucker.reconstruct().unwrap();
+        let b = back.reconstruct().unwrap();
+        assert!(a.sub(&b).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let path = tmp("corrupt.json");
+        std::fs::write(&path, r#"{"dims":[2,2],"data":[1.0]}"#).unwrap();
+        assert!(load_json::<DenseTensor>(&path).is_err());
+        std::fs::write(&path, r#"{"dims":[2,2],"indices":[5],"values":[1.0]}"#).unwrap();
+        assert!(load_json::<SparseTensor>(&path).is_err());
+        std::fs::write(&path, "not json").unwrap();
+        assert!(load_json::<DenseTensor>(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_json::<DenseTensor>(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

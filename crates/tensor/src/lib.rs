@@ -1,0 +1,55 @@
+//! Tensor substrate for the M2TD reproduction.
+//!
+//! Provides the data structures and decomposition kernels the paper builds
+//! on: dense and sparse (COO) tensors, mode-`n` matricization (unfolding),
+//! tensor-times-matrix (TTM) products, Tucker decompositions via HOSVD
+//! (Algorithm 1 of the paper) with an optional HOOI refinement, and a CP-ALS
+//! baseline.
+//!
+//! # Conventions
+//!
+//! Mode-`n` unfolding follows Kolda & Bader: tensor element
+//! `(i₁, …, i_N)` maps to matrix entry `(i_n, j)` with
+//! `j = Σ_{k≠n} i_k · J_k`, `J_k = Π_{m<k, m≠n} I_m`.
+//!
+//! # Example
+//!
+//! ```
+//! use m2td_tensor::{DenseTensor, hosvd_dense};
+//!
+//! // A 4x5x6 separable (rank-1) tensor decomposes exactly at rank 1.
+//! let t = DenseTensor::from_fn(&[4, 5, 6], |idx| {
+//!     (idx[0] + 1) as f64 * (idx[1] + 1) as f64 * (idx[2] + 1) as f64
+//! });
+//! let tucker = hosvd_dense(&t, &[1, 1, 1]).unwrap();
+//! assert!(tucker.relative_error(&t).unwrap() < 1e-12);
+//! ```
+
+mod cp;
+mod dense;
+mod error;
+mod hooi;
+mod hosvd;
+mod incremental;
+mod io;
+mod shape;
+mod sparse;
+mod ttm;
+mod ttv;
+mod tucker;
+
+pub use cp::{cp_als, CpDecomp, CpOptions};
+pub use dense::DenseTensor;
+pub use error::TensorError;
+pub use hooi::{hooi_dense, hooi_sparse, HooiOptions};
+pub use hosvd::{dense_core, hosvd_dense, hosvd_sparse, sparse_core, suggest_ranks, CoreOrdering};
+pub use incremental::IncrementalEnsemble;
+pub use io::{load_json, save_json};
+pub use shape::Shape;
+pub use sparse::SparseTensor;
+pub use ttm::{ttm_dense, ttm_dense_transposed, ttm_sparse, ttm_sparse_transposed};
+pub use ttv::{ttv_dense, ttv_sparse};
+pub use tucker::TuckerDecomp;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

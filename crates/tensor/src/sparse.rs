@@ -1,0 +1,420 @@
+//! Sparse COO tensor.
+//!
+//! Simulation ensembles are inherently sparse (Section I-B of the paper):
+//! a budget `B` of simulations in an `I₁×…×I_N` space leaves almost every
+//! cell null. `SparseTensor` stores the executed simulations as sorted
+//! `(linear index, value)` pairs.
+//!
+//! Null cells and *zero-valued results* are distinct concepts in the
+//! ensemble setting: a stored entry with value `0.0` is a simulation that
+//! ran and produced 0, while an absent entry is a simulation that never
+//! ran. The decomposition kernels, like the paper's, treat absent cells as
+//! zeros; the stitching layer (crate `m2td-stitch`) is where the
+//! distinction matters.
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+use m2td_linalg::Matrix;
+use std::collections::{BTreeMap, HashMap};
+
+/// A sparse `N`-mode tensor in coordinate format, sorted by row-major
+/// linear index, with at most one entry per coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor {
+    shape: Shape,
+    /// Row-major linear indices, strictly increasing.
+    indices: Vec<u64>,
+    /// Values, parallel to `indices`.
+    values: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Creates an empty sparse tensor of the given shape.
+    pub fn empty(dims: &[usize]) -> Self {
+        Self {
+            shape: Shape::new(dims),
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a sparse tensor from `(multi-index, value)` pairs.
+    ///
+    /// Duplicate coordinates are rejected; out-of-bounds indices error.
+    pub fn from_entries(dims: &[usize], entries: &[(Vec<usize>, f64)]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(entries.len());
+        for (idx, v) in entries {
+            shape.check_index(idx)?;
+            pairs.push((shape.linear_index(idx) as u64, *v));
+        }
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: shape.multi_index(w[0].0 as usize),
+                    shape: dims.to_vec(),
+                });
+            }
+        }
+        let (indices, values) = pairs.into_iter().unzip();
+        Ok(Self {
+            shape,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a sparse tensor by running `f` on a caller-supplied list of
+    /// multi-indices (the "ensemble plan"). Duplicates in the plan are
+    /// collapsed to the *first* occurrence.
+    pub fn from_plan(
+        dims: &[usize],
+        plan: &[Vec<usize>],
+        mut f: impl FnMut(&[usize]) -> f64,
+    ) -> Result<Self> {
+        let shape = Shape::new(dims);
+        let mut map: HashMap<u64, f64> = HashMap::with_capacity(plan.len());
+        for idx in plan {
+            shape.check_index(idx)?;
+            let lin = shape.linear_index(idx) as u64;
+            map.entry(lin).or_insert_with(|| f(idx));
+        }
+        let mut pairs: Vec<(u64, f64)> = map.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let (indices, values) = pairs.into_iter().unzip();
+        Ok(Self {
+            shape,
+            indices,
+            values,
+        })
+    }
+
+    /// Creates a sparse tensor from pre-sorted, strictly increasing linear
+    /// indices and parallel values. This is the fast path used by the
+    /// stitching layer, which produces entries already in row-major order.
+    ///
+    /// Returns an error if the invariants do not hold.
+    pub fn from_sorted_linear(dims: &[usize], indices: Vec<u64>, values: Vec<f64>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if indices.len() != values.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![indices.len()],
+                actual: vec![values.len()],
+                op: "from_sorted_linear",
+            });
+        }
+        let total = shape.num_elements() as u64;
+        if indices.last().is_some_and(|&l| l >= total) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: shape.multi_index(*indices.last().unwrap() as usize % total.max(1) as usize),
+                shape: dims.to_vec(),
+            });
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![],
+                actual: vec![],
+                op: "from_sorted_linear (indices not strictly increasing)",
+            });
+        }
+        Ok(Self {
+            shape,
+            indices,
+            values,
+        })
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Mode extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Tensor order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of cells that are stored: `nnz / Π I_n`.
+    pub fn density(&self) -> f64 {
+        let total = self.shape.num_elements();
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Returns the stored value at `index`, or `None` when the cell is null
+    /// (i.e. the simulation was never run).
+    pub fn get(&self, index: &[usize]) -> Option<f64> {
+        self.shape.check_index(index).ok()?;
+        let lin = self.shape.linear_index(index) as u64;
+        self.indices
+            .binary_search(&lin)
+            .ok()
+            .map(|pos| self.values[pos])
+    }
+
+    /// Iterates over `(multi-index, value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&lin, &v)| (self.shape.multi_index(lin as usize), v))
+    }
+
+    /// Iterates over raw `(linear index, value)` pairs.
+    pub fn iter_linear(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&l, &v)| (l, v))
+    }
+
+    /// Frobenius norm over the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        m2td_linalg::norm2(&self.values)
+    }
+
+    /// Materializes the tensor densely (nulls become 0). Intended for small
+    /// shapes (tests, ground-truth comparison); errors on empty shapes.
+    pub fn to_dense(&self) -> Result<DenseTensor> {
+        let mut out = DenseTensor::zeros(self.dims());
+        if out.num_elements() == 0 && self.nnz() > 0 {
+            return Err(TensorError::EmptyTensor);
+        }
+        let data = out.as_mut_slice();
+        for (&lin, &v) in self.indices.iter().zip(self.values.iter()) {
+            data[lin as usize] = v;
+        }
+        Ok(out)
+    }
+
+    /// Builds a sparse tensor from the non-zero cells of a dense tensor.
+    pub fn from_dense(dense: &DenseTensor) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (lin, &v) in dense.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                indices.push(lin as u64);
+                values.push(v);
+            }
+        }
+        Self {
+            shape: dense.shape().clone(),
+            indices,
+            values,
+        }
+    }
+
+    /// Mode-`n` matricization materialized densely
+    /// (`I_n × Π_{m≠n} I_m`). Only for small tensors/tests — the pipeline
+    /// itself uses [`Self::unfold_gram`].
+    pub fn unfold(&self, mode: usize) -> Result<Matrix> {
+        self.shape.check_mode(mode)?;
+        let rows = self.shape.dim(mode);
+        let cols = self.shape.unfold_cols(mode);
+        let mut out = Matrix::zeros(rows, cols);
+        let mut idx = vec![0usize; self.order()];
+        for (&lin, &v) in self.indices.iter().zip(self.values.iter()) {
+            self.shape.multi_index_into(lin as usize, &mut idx);
+            out.set(idx[mode], self.shape.unfold_col_index(mode, &idx), v);
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix of the mode-`n` matricization, `X₍ₙ₎ X₍ₙ₎ᵀ`
+    /// (`I_n × I_n`), computed directly from the sparse entries without
+    /// materializing the (enormous) unfolding.
+    ///
+    /// Entries are grouped by their unfolding column (the "rest index");
+    /// each group contributes the outer product of its column vector.
+    pub fn unfold_gram(&self, mode: usize) -> Result<Matrix> {
+        self.shape.check_mode(mode)?;
+        let n = self.shape.dim(mode);
+        let mut out = Matrix::zeros(n, n);
+
+        // Group (mode index, value) by unfolding column. BTreeMap keeps
+        // the accumulation order deterministic, so Gram matrices (and the
+        // eigenvectors derived from them) are bit-identical across runs
+        // and across the serial/distributed code paths.
+        let mut cols: BTreeMap<u64, Vec<(u32, f64)>> = BTreeMap::new();
+        let mut idx = vec![0usize; self.order()];
+        for (&lin, &v) in self.indices.iter().zip(self.values.iter()) {
+            self.shape.multi_index_into(lin as usize, &mut idx);
+            let c = self.shape.unfold_col_index(mode, &idx) as u64;
+            cols.entry(c).or_default().push((idx[mode] as u32, v));
+        }
+        for group in cols.values() {
+            for &(i, vi) in group {
+                for &(j, vj) in group {
+                    if j >= i {
+                        let cur = out.get(i as usize, j as usize);
+                        out.set(i as usize, j as usize, cur + vi * vj);
+                    }
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensor {
+        SparseTensor::from_entries(
+            &[3, 4, 2],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![1, 2, 0], -2.0),
+                (vec![2, 3, 1], 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_get() {
+        let t = sample();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.get(&[1, 2, 0]), Some(-2.0));
+        assert_eq!(t.get(&[1, 2, 1]), None);
+        assert_eq!(t.get(&[9, 9, 9]), None);
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        let r = SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 1.0), (vec![0, 0], 2.0)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(SparseTensor::from_entries(&[2, 2], &[(vec![2, 0], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn density_calculation() {
+        let t = sample();
+        assert!((t.density() - 3.0 / 24.0).abs() < 1e-15);
+        assert_eq!(SparseTensor::empty(&[0]).density(), 0.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let t = sample();
+        let d = t.to_dense().unwrap();
+        assert_eq!(d.get(&[2, 3, 1]), 3.0);
+        assert_eq!(d.get(&[0, 1, 0]), 0.0);
+        let back = SparseTensor::from_dense(&d);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_plan_runs_oracle_once_per_cell() {
+        let mut calls = 0;
+        let plan = vec![vec![0, 0], vec![1, 1], vec![0, 0]];
+        let t = SparseTensor::from_plan(&[2, 2], &plan, |idx| {
+            calls += 1;
+            (idx[0] + idx[1]) as f64
+        })
+        .unwrap();
+        assert_eq!(calls, 2, "duplicate plan entries must not re-run");
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(&[1, 1]), Some(2.0));
+    }
+
+    #[test]
+    fn sparse_unfold_matches_dense_unfold() {
+        let t = sample();
+        let d = t.to_dense().unwrap();
+        for mode in 0..3 {
+            let su = t.unfold(mode).unwrap();
+            let du = d.unfold(mode).unwrap();
+            assert_eq!(su, du, "unfold mismatch in mode {mode}");
+        }
+    }
+
+    #[test]
+    fn unfold_gram_matches_explicit_gram() {
+        let t = sample();
+        for mode in 0..3 {
+            let g = t.unfold_gram(mode).unwrap();
+            let m = t.unfold(mode).unwrap();
+            let explicit = m.gram_rows();
+            let diff = g.sub(&explicit).unwrap().frobenius_norm();
+            assert!(diff < 1e-12, "gram mismatch in mode {mode}: {diff}");
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_counts_stored_values() {
+        let t =
+            SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 3.0), (vec![1, 1], 4.0)]).unwrap();
+        assert!((t.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iter_is_sorted_row_major() {
+        let t = sample();
+        let idxs: Vec<_> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(idxs[0], vec![0, 0, 0]);
+        assert_eq!(idxs[2], vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn empty_tensor_behaviour() {
+        let t = SparseTensor::empty(&[4, 4]);
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.frobenius_norm(), 0.0);
+        let g = t.unfold_gram(0).unwrap();
+        assert_eq!(g.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_linear_validates() {
+        let ok = SparseTensor::from_sorted_linear(&[2, 2], vec![0, 3], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.get(&[1, 1]), Some(2.0));
+        // Length mismatch.
+        assert!(SparseTensor::from_sorted_linear(&[2, 2], vec![0], vec![1.0, 2.0]).is_err());
+        // Out of range.
+        assert!(SparseTensor::from_sorted_linear(&[2, 2], vec![4], vec![1.0]).is_err());
+        // Not strictly increasing.
+        assert!(SparseTensor::from_sorted_linear(&[2, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseTensor::from_sorted_linear(&[2, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn stored_zero_differs_from_null() {
+        let t = SparseTensor::from_entries(&[2, 2], &[(vec![0, 1], 0.0)]).unwrap();
+        assert_eq!(t.get(&[0, 1]), Some(0.0));
+        assert_eq!(t.get(&[1, 0]), None);
+        assert_eq!(t.nnz(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Tensor-times-matrix (mode-`n`) products.
+//!
+//! `Y = X ×_n U` replaces mode `n` of `X` (extent `I_n`) with the row
+//! dimension of `U`. In Tucker/HOSVD pipelines `U` is either a factor
+//! matrix (reconstruction) or a transposed factor matrix (core recovery:
+//! `G = X ×₁ U⁽¹⁾ᵀ ⋯ ×_N U⁽ᴺ⁾ᵀ`, the final step of Algorithms 1, 2 and 4
+//! of the paper).
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::sparse::SparseTensor;
+use crate::Result;
+use m2td_linalg::Matrix;
+
+/// Dense mode-`n` product `X ×_n U` where `U` is `J × I_n`.
+///
+/// Computed as `Y₍ₙ₎ = U · X₍ₙ₎` followed by folding.
+pub fn ttm_dense(x: &DenseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.cols() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![u.rows(), x.shape().dim(mode)],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_dense",
+        });
+    }
+    let unfolded = x.unfold(mode)?;
+    let product = u.matmul(&unfolded)?;
+    let out_dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| if m == mode { u.rows() } else { d })
+        .collect();
+    DenseTensor::fold(&product, mode, &out_dims)
+}
+
+/// Dense mode-`n` product with the transpose, `X ×_n Uᵀ`, where `U` is
+/// `I_n × J`. Avoids materializing `Uᵀ`.
+pub fn ttm_dense_transposed(x: &DenseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.rows() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![x.shape().dim(mode), u.cols()],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_dense_transposed",
+        });
+    }
+    let unfolded = x.unfold(mode)?;
+    let product = u.transpose_matmul(&unfolded)?;
+    let out_dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| if m == mode { u.cols() } else { d })
+        .collect();
+    DenseTensor::fold(&product, mode, &out_dims)
+}
+
+/// Sparse mode-`n` product `X ×_n U` (`U` is `J × I_n`), producing a dense
+/// tensor. Each stored entry scatters into `J` output cells, so the cost is
+/// `O(nnz · J)` — independent of the full tensor size.
+pub fn ttm_sparse(x: &SparseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.cols() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![u.rows(), x.shape().dim(mode)],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_sparse",
+        });
+    }
+    scatter_sparse(x, mode, u.rows(), |j, i_n| u.get(j, i_n))
+}
+
+/// Sparse mode-`n` product with the transpose, `X ×_n Uᵀ`, where `U` is
+/// `I_n × J`. This is the first (and only sparse) step of the paper's core
+/// recovery `G = J ×₁ U⁽¹⁾ᵀ ⋯`.
+pub fn ttm_sparse_transposed(x: &SparseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.rows() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![x.shape().dim(mode), u.cols()],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_sparse_transposed",
+        });
+    }
+    scatter_sparse(x, mode, u.cols(), |j, i_n| u.get(i_n, j))
+}
+
+/// Shared scatter kernel: output mode-`n` extent is `j_dim`, with
+/// coefficient `coef(j, i_n)` applied to each stored entry.
+fn scatter_sparse(
+    x: &SparseTensor,
+    mode: usize,
+    j_dim: usize,
+    coef: impl Fn(usize, usize) -> f64,
+) -> Result<DenseTensor> {
+    let out_dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| if m == mode { j_dim } else { d })
+        .collect();
+    let mut out = DenseTensor::zeros(&out_dims);
+    let out_shape = out.shape().clone();
+    let data = out.as_mut_slice();
+
+    let mut idx = vec![0usize; x.order()];
+    for (lin, v) in x.iter_linear() {
+        x.shape().multi_index_into(lin as usize, &mut idx);
+        let i_n = idx[mode];
+        // Linear index in the output with mode set to 0, then step by the
+        // output stride of `mode` for each j.
+        idx[mode] = 0;
+        let base = out_shape.linear_index(&idx);
+        idx[mode] = i_n;
+        let stride = if j_dim > 1 {
+            // stride of `mode` in the output
+            out_shape.linear_index(&{
+                let mut one = vec![0usize; x.order()];
+                one[mode] = 1;
+                one
+            })
+        } else {
+            0
+        };
+        for j in 0..j_dim {
+            data[base + j * stride] += coef(j, i_n) * v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_3x4x2() -> DenseTensor {
+        DenseTensor::from_fn(&[3, 4, 2], |i| (1 + i[0] + 3 * i[1] + 12 * i[2]) as f64)
+    }
+
+    #[test]
+    fn ttm_identity_is_noop() {
+        let t = dense_3x4x2();
+        for mode in 0..3 {
+            let id = Matrix::identity(t.dims()[mode]);
+            let y = ttm_dense(&t, mode, &id).unwrap();
+            assert_eq!(y, t);
+        }
+    }
+
+    #[test]
+    fn ttm_known_small_case() {
+        // 2x2 tensor (matrix): X ×_0 U == U * X.
+        let x = DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let u = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(); // 1x2
+        let y = ttm_dense(&x, 0, &u).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.get(&[0, 0]), 4.0); // col sums
+        assert_eq!(y.get(&[0, 1]), 6.0);
+    }
+
+    #[test]
+    fn ttm_changes_only_target_mode() {
+        let t = dense_3x4x2();
+        let u = Matrix::from_fn(2, 4, |i, j| (i + j) as f64);
+        let y = ttm_dense(&t, 1, &u).unwrap();
+        assert_eq!(y.dims(), &[3, 2, 2]);
+    }
+
+    #[test]
+    fn ttm_transposed_matches_explicit_transpose() {
+        let t = dense_3x4x2();
+        let u = Matrix::from_fn(4, 2, |i, j| ((i * 2 + j) as f64).sin());
+        let fast = ttm_dense_transposed(&t, 1, &u).unwrap();
+        let slow = ttm_dense(&t, 1, &u.transpose()).unwrap();
+        let d = fast.sub(&slow).unwrap().frobenius_norm();
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn sparse_ttm_matches_dense_ttm() {
+        let d = dense_3x4x2();
+        let s = SparseTensor::from_dense(&d);
+        let u = Matrix::from_fn(2, 3, |i, j| ((i + 2 * j) as f64).cos());
+        let via_sparse = ttm_sparse(&s, 0, &u).unwrap();
+        let via_dense = ttm_dense(&d, 0, &u).unwrap();
+        let diff = via_sparse.sub(&via_dense).unwrap().frobenius_norm();
+        assert!(diff < 1e-12, "sparse/dense TTM mismatch: {diff}");
+    }
+
+    #[test]
+    fn sparse_ttm_transposed_matches_dense() {
+        let d = dense_3x4x2();
+        let s = SparseTensor::from_dense(&d);
+        for mode in 0..3 {
+            let u = Matrix::from_fn(d.dims()[mode], 2, |i, j| ((i * 3 + j) as f64).sin());
+            let a = ttm_sparse_transposed(&s, mode, &u).unwrap();
+            let b = ttm_dense_transposed(&d, mode, &u).unwrap();
+            let diff = a.sub(&b).unwrap().frobenius_norm();
+            assert!(diff < 1e-12, "mode {mode} mismatch: {diff}");
+        }
+    }
+
+    #[test]
+    fn sparse_ttm_on_truly_sparse_input() {
+        let s = SparseTensor::from_entries(&[3, 3, 3], &[(vec![1, 1, 1], 2.0)]).unwrap();
+        let u = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let y = ttm_sparse(&s, 2, &u).unwrap();
+        assert_eq!(y.dims(), &[3, 3, 2]);
+        // y[1,1,j] = u[j,1] * 2
+        assert_eq!(y.get(&[1, 1, 0]), 2.0);
+        assert_eq!(y.get(&[1, 1, 1]), 8.0);
+        assert_eq!(y.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let t = dense_3x4x2();
+        let s = SparseTensor::from_dense(&t);
+        let u = Matrix::zeros(2, 5);
+        assert!(ttm_dense(&t, 0, &u).is_err());
+        assert!(ttm_dense_transposed(&t, 0, &u).is_err());
+        assert!(ttm_sparse(&s, 0, &u).is_err());
+        assert!(ttm_sparse_transposed(&s, 0, &u).is_err());
+        assert!(ttm_dense(&t, 3, &u).is_err());
+    }
+
+    #[test]
+    fn ttm_composition_commutes_across_modes() {
+        // (X ×_0 A) ×_2 B == (X ×_2 B) ×_0 A for distinct modes.
+        let t = dense_3x4x2();
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(3, 2, |i, j| (i * j + 1) as f64);
+        let ab = ttm_dense(&ttm_dense(&t, 0, &a).unwrap(), 2, &b).unwrap();
+        let ba = ttm_dense(&ttm_dense(&t, 2, &b).unwrap(), 0, &a).unwrap();
+        let d = ab.sub(&ba).unwrap().frobenius_norm();
+        assert!(d < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Tensor-times-vector (mode contraction).
+//!
+//! `Y = X ×̄_n v` contracts mode `n` against a vector, dropping that mode
+//! from the result. Analysts use this to aggregate an ensemble tensor
+//! along a mode — e.g. a time-weighted summary of the distance tensor, or
+//! marginalizing a nuisance parameter.
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::sparse::SparseTensor;
+use crate::Result;
+
+fn contracted_dims(dims: &[usize], mode: usize) -> Vec<usize> {
+    dims.iter()
+        .enumerate()
+        .filter(|&(m, _)| m != mode)
+        .map(|(_, &d)| d)
+        .collect()
+}
+
+/// Dense mode-`n` vector contraction.
+///
+/// # Errors
+///
+/// * [`TensorError::InvalidMode`] for a bad mode.
+/// * [`TensorError::ShapeMismatch`] when `v.len() != I_n`.
+pub fn ttv_dense(x: &DenseTensor, mode: usize, v: &[f64]) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if v.len() != x.dims()[mode] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![x.dims()[mode]],
+            actual: vec![v.len()],
+            op: "ttv_dense",
+        });
+    }
+    let out_dims = contracted_dims(x.dims(), mode);
+    let mut out = DenseTensor::zeros(&out_dims);
+    let out_shape = out.shape().clone();
+    let data = out.as_mut_slice();
+    let mut idx = vec![0usize; x.order()];
+    let mut out_idx = vec![0usize; out_dims.len()];
+    for (lin, &val) in x.as_slice().iter().enumerate() {
+        x.shape().multi_index_into(lin, &mut idx);
+        let coef = v[idx[mode]];
+        if coef == 0.0 || val == 0.0 {
+            continue;
+        }
+        let mut o = 0;
+        for (m, &i) in idx.iter().enumerate() {
+            if m != mode {
+                out_idx[o] = i;
+                o += 1;
+            }
+        }
+        data[out_shape.linear_index(&out_idx)] += coef * val;
+    }
+    Ok(out)
+}
+
+/// Sparse mode-`n` vector contraction; cost `O(nnz)`.
+///
+/// # Errors
+///
+/// As [`ttv_dense`].
+pub fn ttv_sparse(x: &SparseTensor, mode: usize, v: &[f64]) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if v.len() != x.dims()[mode] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![x.dims()[mode]],
+            actual: vec![v.len()],
+            op: "ttv_sparse",
+        });
+    }
+    let out_dims = contracted_dims(x.dims(), mode);
+    let mut out = DenseTensor::zeros(&out_dims);
+    let out_shape = out.shape().clone();
+    let data = out.as_mut_slice();
+    let mut idx = vec![0usize; x.order()];
+    let mut out_idx = vec![0usize; out_dims.len()];
+    for (lin, val) in x.iter_linear() {
+        x.shape().multi_index_into(lin as usize, &mut idx);
+        let coef = v[idx[mode]];
+        if coef == 0.0 {
+            continue;
+        }
+        let mut o = 0;
+        for (m, &i) in idx.iter().enumerate() {
+            if m != mode {
+                out_idx[o] = i;
+                o += 1;
+            }
+        }
+        data[out_shape.linear_index(&out_idx)] += coef * val;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor() -> DenseTensor {
+        DenseTensor::from_fn(&[3, 4, 2], |i| (i[0] * 8 + i[1] * 2 + i[2] + 1) as f64)
+    }
+
+    #[test]
+    fn contraction_with_ones_is_mode_sum() {
+        let t = tensor();
+        let y = ttv_dense(&t, 1, &[1.0; 4]).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        // Sum over j of t[i, j, k].
+        let expected: f64 = (0..4).map(|j| t.get(&[1, j, 0])).sum();
+        assert_eq!(y.get(&[1, 0]), expected);
+    }
+
+    #[test]
+    fn contraction_with_basis_vector_extracts_slice() {
+        let t = tensor();
+        let mut e2 = vec![0.0; 4];
+        e2[2] = 1.0;
+        let y = ttv_dense(&t, 1, &e2).unwrap();
+        for i in 0..3 {
+            for k in 0..2 {
+                assert_eq!(y.get(&[i, k]), t.get(&[i, 2, k]));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let d = tensor();
+        let s = SparseTensor::from_dense(&d);
+        let v = [0.5, -1.0, 2.0];
+        let yd = ttv_dense(&d, 0, &v).unwrap();
+        let ys = ttv_sparse(&s, 0, &v).unwrap();
+        let diff = yd.sub(&ys).unwrap().frobenius_norm();
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn ttv_is_linear() {
+        let t = tensor();
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, 0.0, -1.0, 2.0];
+        let sum: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
+        let ya = ttv_dense(&t, 1, &a).unwrap();
+        let yb = ttv_dense(&t, 1, &b).unwrap();
+        let ysum = ttv_dense(&t, 1, &sum).unwrap();
+        let diff = ya.add(&yb).unwrap().sub(&ysum).unwrap().frobenius_norm();
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let t = tensor();
+        assert!(ttv_dense(&t, 3, &[1.0]).is_err());
+        assert!(ttv_dense(&t, 1, &[1.0; 3]).is_err());
+        let s = SparseTensor::from_dense(&t);
+        assert!(ttv_sparse(&s, 9, &[1.0]).is_err());
+        assert!(ttv_sparse(&s, 0, &[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn order_two_contraction_is_matvec() {
+        let t = DenseTensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let y = ttv_dense(&t, 1, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y.dims(), &[2]);
+        assert_eq!(y.get(&[0]), 3.0);
+        assert_eq!(y.get(&[1]), 12.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Tucker decomposition container and reconstruction.
+
+use crate::dense::DenseTensor;
+use crate::error::TensorError;
+use crate::ttm::ttm_dense;
+use crate::Result;
+use m2td_linalg::Matrix;
+
+/// A Tucker decomposition `[G; U⁽¹⁾, …, U⁽ᴺ⁾]` of an `N`-mode tensor.
+///
+/// `factors[n]` has shape `I_n × r_n` and the core `G` has shape
+/// `r₁ × … × r_N`. Reconstruction computes
+/// `X̃ = G ×₁ U⁽¹⁾ ×₂ U⁽²⁾ ⋯ ×_N U⁽ᴺ⁾` (Section III-B of the paper).
+#[derive(Debug, Clone)]
+pub struct TuckerDecomp {
+    /// The dense core tensor (`r₁ × … × r_N`).
+    pub core: DenseTensor,
+    /// Per-mode factor matrices (`I_n × r_n`).
+    pub factors: Vec<Matrix>,
+}
+
+impl TuckerDecomp {
+    /// Creates a decomposition after validating that factor column counts
+    /// match the core dimensions.
+    pub fn new(core: DenseTensor, factors: Vec<Matrix>) -> Result<Self> {
+        if factors.len() != core.order() {
+            return Err(TensorError::WrongNumberOfRanks {
+                supplied: factors.len(),
+                order: core.order(),
+            });
+        }
+        for (n, f) in factors.iter().enumerate() {
+            if f.cols() != core.dims()[n] {
+                return Err(TensorError::ShapeMismatch {
+                    expected: vec![f.rows(), core.dims()[n]],
+                    actual: vec![f.rows(), f.cols()],
+                    op: "TuckerDecomp::new",
+                });
+            }
+        }
+        Ok(Self { core, factors })
+    }
+
+    /// The target ranks `(r₁, …, r_N)`.
+    pub fn ranks(&self) -> &[usize] {
+        self.core.dims()
+    }
+
+    /// The reconstructed tensor's mode extents `(I₁, …, I_N)`.
+    pub fn output_dims(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.rows()).collect()
+    }
+
+    /// Recomposes the full tensor `X̃ = G ×₁ U⁽¹⁾ ⋯ ×_N U⁽ᴺ⁾`.
+    pub fn reconstruct(&self) -> Result<DenseTensor> {
+        let mut acc = self.core.clone();
+        for (mode, u) in self.factors.iter().enumerate() {
+            acc = ttm_dense(&acc, mode, u)?;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates a single reconstructed cell without materializing the
+    /// full tensor: `X̃[i] = Σ_g G[g] · Π_n U⁽ⁿ⁾[i_n, g_n]`.
+    ///
+    /// Cost is `Π r_n` per cell — the right tool for in-fill queries
+    /// ("how would this unsimulated configuration behave?") against a
+    /// decomposition of a large ensemble.
+    pub fn cell(&self, index: &[usize]) -> Result<f64> {
+        if index.len() != self.factors.len() {
+            return Err(TensorError::WrongNumberOfRanks {
+                supplied: index.len(),
+                order: self.factors.len(),
+            });
+        }
+        for (n, (&i, f)) in index.iter().zip(self.factors.iter()).enumerate() {
+            if i >= f.rows() {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.output_dims(),
+                });
+            }
+            let _ = n;
+        }
+        let mut acc = 0.0;
+        let core_shape = self.core.shape().clone();
+        let mut g_idx = vec![0usize; core_shape.order()];
+        for (lin, &g) in self.core.as_slice().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            core_shape.multi_index_into(lin, &mut g_idx);
+            let mut term = g;
+            for (n, (&i, f)) in index.iter().zip(self.factors.iter()).enumerate() {
+                term *= f.get(i, g_idx[n]);
+            }
+            acc += term;
+        }
+        Ok(acc)
+    }
+
+    /// Relative Frobenius reconstruction error
+    /// `‖X̃ − Y‖_F / ‖Y‖_F` against a reference tensor `Y`.
+    pub fn relative_error(&self, reference: &DenseTensor) -> Result<f64> {
+        let recon = self.reconstruct()?;
+        let diff = recon.sub(reference)?;
+        let denom = reference.frobenius_norm();
+        if denom == 0.0 {
+            return Ok(if diff.frobenius_norm() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            });
+        }
+        Ok(diff.frobenius_norm() / denom)
+    }
+
+    /// The paper's accuracy metric (Section VII-D):
+    /// `accuracy = 1 − ‖X̃ − Y‖_F / ‖Y‖_F`.
+    pub fn accuracy(&self, reference: &DenseTensor) -> Result<f64> {
+        Ok(1.0 - self.relative_error(reference)?)
+    }
+
+    /// Number of parameters stored by the decomposition (core + factors);
+    /// the compression ratio against the dense tensor follows directly.
+    pub fn num_parameters(&self) -> usize {
+        self.core.num_elements()
+            + self
+                .factors
+                .iter()
+                .map(|f| f.rows() * f.cols())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_mismatches() {
+        let core = DenseTensor::zeros(&[2, 2]);
+        // Wrong factor count.
+        assert!(TuckerDecomp::new(core.clone(), vec![Matrix::zeros(3, 2)]).is_err());
+        // Wrong factor columns.
+        assert!(
+            TuckerDecomp::new(core.clone(), vec![Matrix::zeros(3, 2), Matrix::zeros(3, 3)])
+                .is_err()
+        );
+        assert!(TuckerDecomp::new(core, vec![Matrix::zeros(3, 2), Matrix::zeros(3, 2)]).is_ok());
+    }
+
+    #[test]
+    fn identity_factors_reconstruct_core() {
+        let core = DenseTensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let t = TuckerDecomp::new(core.clone(), vec![Matrix::identity(2), Matrix::identity(3)])
+            .unwrap();
+        assert_eq!(t.reconstruct().unwrap(), core);
+        assert!(t.relative_error(&core).unwrap() < 1e-15);
+        assert!((t.accuracy(&core).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_one_outer_product() {
+        // core = [[2]], factors a=[1,2]ᵀ, b=[3,4,5]ᵀ => X = 2·a bᵀ.
+        let core = DenseTensor::from_vec(&[1, 1], vec![2.0]).unwrap();
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0], &[4.0], &[5.0]]).unwrap();
+        let t = TuckerDecomp::new(core, vec![a, b]).unwrap();
+        let x = t.reconstruct().unwrap();
+        assert_eq!(x.dims(), &[2, 3]);
+        assert_eq!(x.get(&[0, 0]), 6.0);
+        assert_eq!(x.get(&[1, 2]), 20.0);
+    }
+
+    #[test]
+    fn relative_error_zero_reference() {
+        let core = DenseTensor::zeros(&[1, 1]);
+        let t = TuckerDecomp::new(core, vec![Matrix::zeros(2, 1), Matrix::zeros(2, 1)]).unwrap();
+        let zero_ref = DenseTensor::zeros(&[2, 2]);
+        assert_eq!(t.relative_error(&zero_ref).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cell_matches_full_reconstruction() {
+        let core = DenseTensor::from_fn(&[2, 2], |i| (i[0] * 2 + i[1] + 1) as f64);
+        let a = Matrix::from_fn(4, 2, |i, j| ((i + j) as f64 * 0.7).sin());
+        let b = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f64 * 0.3).cos());
+        let t = TuckerDecomp::new(core, vec![a, b]).unwrap();
+        let full = t.reconstruct().unwrap();
+        for i in 0..4 {
+            for j in 0..3 {
+                let direct = t.cell(&[i, j]).unwrap();
+                assert!(
+                    (direct - full.get(&[i, j])).abs() < 1e-12,
+                    "cell ({i},{j}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cell_validates_index() {
+        let core = DenseTensor::zeros(&[1, 1]);
+        let t = TuckerDecomp::new(core, vec![Matrix::zeros(2, 1), Matrix::zeros(2, 1)]).unwrap();
+        assert!(t.cell(&[0]).is_err());
+        assert!(t.cell(&[2, 0]).is_err());
+        assert_eq!(t.cell(&[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn num_parameters_counts_core_and_factors() {
+        let core = DenseTensor::zeros(&[2, 2]);
+        let t = TuckerDecomp::new(core, vec![Matrix::zeros(5, 2), Matrix::zeros(6, 2)]).unwrap();
+        assert_eq!(t.num_parameters(), 4 + 10 + 12);
+        assert_eq!(t.output_dims(), vec![5, 6]);
+        assert_eq!(t.ranks(), &[2, 2]);
+    }
+}

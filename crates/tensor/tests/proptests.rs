@@ -1,0 +1,156 @@
+//! Property-based tests of the tensor kernels on random tensors.
+
+use m2td_linalg::Matrix;
+use m2td_tensor::{
+    hosvd_dense, hosvd_sparse, ttm_dense, ttm_dense_transposed, ttv_dense, DenseTensor,
+    IncrementalEnsemble, Shape, SparseTensor,
+};
+use proptest::prelude::*;
+
+/// Strategy: random tensor dims, 2–4 modes of extent 2–5.
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..=5, 2..=4)
+}
+
+/// Strategy: a dense tensor with entries in ±2.
+fn dense_strategy() -> impl Strategy<Value = DenseTensor> {
+    dims_strategy().prop_flat_map(|dims| {
+        let total = Shape::new(&dims).num_elements();
+        prop::collection::vec(-2.0f64..2.0, total)
+            .prop_map(move |data| DenseTensor::from_vec(&dims, data).expect("length matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unfold_fold_round_trips_every_mode(t in dense_strategy()) {
+        for mode in 0..t.order() {
+            let m = t.unfold(mode).unwrap();
+            let back = DenseTensor::fold(&m, mode, t.dims()).unwrap();
+            prop_assert_eq!(&back, &t, "mode {} round trip failed", mode);
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_frobenius_norm(t in dense_strategy()) {
+        for mode in 0..t.order() {
+            let m = t.unfold(mode).unwrap();
+            prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ttm_with_identity_is_identity(t in dense_strategy()) {
+        for mode in 0..t.order() {
+            let id = Matrix::identity(t.dims()[mode]);
+            let y = ttm_dense(&t, mode, &id).unwrap();
+            prop_assert_eq!(&y, &t);
+        }
+    }
+
+    #[test]
+    fn ttm_is_linear_in_the_matrix(t in dense_strategy(), alpha in -2.0f64..2.0) {
+        let mode = 0;
+        let d = t.dims()[mode];
+        let u = Matrix::from_fn(2, d, |i, j| ((i * d + j) as f64 * 0.37).sin());
+        let scaled = ttm_dense(&t, mode, &u.scaled(alpha)).unwrap();
+        let then_scaled = ttm_dense(&t, mode, &u).unwrap().scaled(alpha);
+        let diff = scaled.sub(&then_scaled).unwrap().frobenius_norm();
+        prop_assert!(diff < 1e-10 * (1.0 + then_scaled.frobenius_norm()));
+    }
+
+    #[test]
+    fn ttm_transpose_consistency(t in dense_strategy()) {
+        for mode in 0..t.order() {
+            let d = t.dims()[mode];
+            let u = Matrix::from_fn(d, 2.min(d), |i, j| ((i + 3 * j) as f64 * 0.29).cos());
+            let a = ttm_dense_transposed(&t, mode, &u).unwrap();
+            let b = ttm_dense(&t, mode, &u.transpose()).unwrap();
+            prop_assert!(a.sub(&b).unwrap().frobenius_norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ttv_equals_ttm_with_row_vector(t in dense_strategy()) {
+        let mode = t.order() - 1;
+        let d = t.dims()[mode];
+        let v: Vec<f64> = (0..d).map(|i| (i as f64 * 0.61).sin() + 0.5).collect();
+        let via_ttv = ttv_dense(&t, mode, &v).unwrap();
+        let row = Matrix::from_vec(1, d, v.clone()).unwrap();
+        let via_ttm = ttm_dense(&t, mode, &row).unwrap();
+        // via_ttm keeps the contracted mode with extent 1.
+        prop_assert_eq!(via_ttv.num_elements(), via_ttm.num_elements());
+        for (a, b) in via_ttv.as_slice().iter().zip(via_ttm.as_slice().iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hosvd_full_rank_is_exact_and_energy_preserving(t in dense_strategy()) {
+        let ranks: Vec<usize> = t.dims().to_vec();
+        let tucker = hosvd_dense(&t, &ranks).unwrap();
+        prop_assert!(tucker.relative_error(&t).unwrap() < 1e-8);
+        // Orthonormal factors preserve core energy.
+        let core_norm = tucker.core.frobenius_norm();
+        prop_assert!((core_norm - t.frobenius_norm()).abs() < 1e-8 * (1.0 + core_norm));
+    }
+
+    #[test]
+    fn hosvd_truncation_error_monotone_in_rank(t in dense_strategy()) {
+        let r_small: Vec<usize> = t.dims().iter().map(|_| 1usize).collect();
+        let r_big: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
+        let e_small = hosvd_dense(&t, &r_small).unwrap().relative_error(&t).unwrap();
+        let e_big = hosvd_dense(&t, &r_big).unwrap().relative_error(&t).unwrap();
+        prop_assert!(e_big <= e_small + 1e-9, "rank 2 error {e_big} > rank 1 error {e_small}");
+    }
+
+    #[test]
+    fn sparse_and_dense_hosvd_agree(t in dense_strategy()) {
+        let sparse = SparseTensor::from_dense(&t);
+        prop_assume!(sparse.nnz() > 0);
+        let ranks: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
+        let ed = hosvd_dense(&t, &ranks).unwrap().relative_error(&t).unwrap();
+        let es = hosvd_sparse(&sparse, &ranks).unwrap().relative_error(&t).unwrap();
+        prop_assert!((ed - es).abs() < 1e-7, "dense {ed} vs sparse {es}");
+    }
+
+    #[test]
+    fn incremental_grams_equal_batch_for_random_fills(t in dense_strategy(), keep in 1usize..5) {
+        let mut inc = IncrementalEnsemble::new(t.dims());
+        let shape = t.shape().clone();
+        let mut count = 0;
+        for (lin, &v) in t.as_slice().iter().enumerate() {
+            if lin % keep == 0 && v != 0.0 {
+                inc.add(&shape.multi_index(lin), v).unwrap();
+                count += 1;
+            }
+        }
+        prop_assume!(count > 0);
+        let sparse = inc.to_sparse();
+        for mode in 0..t.order() {
+            let diff = inc
+                .gram(mode)
+                .unwrap()
+                .sub(&sparse.unfold_gram(mode).unwrap())
+                .unwrap()
+                .frobenius_norm();
+            prop_assert!(diff < 1e-10, "mode {mode} incremental gram drift {diff}");
+        }
+    }
+
+    #[test]
+    fn tucker_cell_agrees_with_reconstruction(t in dense_strategy()) {
+        let ranks: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
+        let tucker = hosvd_dense(&t, &ranks).unwrap();
+        let full = tucker.reconstruct().unwrap();
+        // Spot-check a quarter of the cells.
+        let shape = t.shape().clone();
+        for lin in (0..t.num_elements()).step_by(4) {
+            let idx = shape.multi_index(lin);
+            let direct = tucker.cell(&idx).unwrap();
+            prop_assert!((direct - full.get(&idx)).abs() < 1e-9);
+        }
+    }
+}

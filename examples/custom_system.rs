@@ -1,0 +1,127 @@
+//! Bringing your own dynamical system to the M2TD pipeline.
+//!
+//! Everything in the library is generic over [`m2td::sim::EnsembleSystem`];
+//! this example defines a *driven damped oscillator* from scratch —
+//! `ẍ = −ω² x − 2ζω ẋ + A sin(Ω t)` — wires it into a workbench, and runs
+//! the full partition-stitch pipeline against a conventional baseline.
+//!
+//! ```text
+//! cargo run --release --example custom_system
+//! ```
+
+use m2td::core::{M2tdOptions, Workbench, WorkbenchConfig};
+use m2td::sampling::RandomSampling;
+use m2td::sim::{
+    integrate, DynamicalSystem, EnsembleSystem, ParamAxis, ParameterSpace, TimeGrid, Trajectory,
+};
+
+/// Ensemble description: four tunable parameters.
+struct DrivenOscillator;
+
+/// Instantiated dynamics for one parameter combination.
+struct Dynamics {
+    omega: f64,
+    zeta: f64,
+    amplitude: f64,
+    drive_freq: f64,
+}
+
+impl DynamicalSystem for Dynamics {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn derivative(&self, t: f64, s: &[f64], out: &mut [f64]) {
+        let (x, v) = (s[0], s[1]);
+        out[0] = v;
+        out[1] = -self.omega * self.omega * x - 2.0 * self.zeta * self.omega * v
+            + self.amplitude * (self.drive_freq * t).sin();
+    }
+}
+
+impl EnsembleSystem for DrivenOscillator {
+    fn name(&self) -> &'static str {
+        "driven_oscillator"
+    }
+
+    fn param_names(&self) -> Vec<&'static str> {
+        vec!["omega", "zeta", "amplitude", "drive_freq"]
+    }
+
+    fn default_space(&self, resolution: usize) -> ParameterSpace {
+        ParameterSpace::new(vec![
+            ParamAxis::linspace("omega", 1.0, 4.0, resolution),
+            ParamAxis::linspace("zeta", 0.05, 0.5, resolution),
+            ParamAxis::linspace("amplitude", 0.5, 2.0, resolution),
+            ParamAxis::linspace("drive_freq", 0.5, 4.0, resolution),
+        ])
+    }
+
+    fn simulate(&self, params: &[f64], grid: &TimeGrid) -> Trajectory {
+        let dynamics = Dynamics {
+            omega: params[0],
+            zeta: params[1],
+            amplitude: params[2],
+            drive_freq: params[3],
+        };
+        // Start at rest; the drive does the work.
+        integrate(
+            &dynamics,
+            &[1.0, 0.0],
+            0.0,
+            grid.sample_dt(),
+            grid.steps,
+            grid.substeps,
+        )
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = DrivenOscillator;
+    let cfg = WorkbenchConfig {
+        resolution: 8,
+        time_steps: 8,
+        t_end: 6.0,
+        substeps: 24,
+        rank: 3,
+        seed: 61,
+        noise_sigma: 0.0,
+    };
+    println!(
+        "custom system '{}' with parameters {:?}",
+        system.name(),
+        system.param_names()
+    );
+
+    let bench = Workbench::new(&system, cfg)?;
+    let pivot = bench.n_modes() - 1; // time
+    let m2td = bench.run_m2td(pivot, M2tdOptions::default(), 1.0, 1.0)?;
+    let budget = bench.m2td_budget(pivot, 1.0, 1.0)?;
+    let random = bench.run_conventional(&RandomSampling, budget)?;
+
+    println!("\nat a budget of {budget} ensemble cells:");
+    println!("  {:<12} accuracy {:.4}", m2td.method, m2td.accuracy);
+    println!("  {:<12} accuracy {:.2e}", random.method, random.accuracy);
+
+    // Resonance check through the decomposition: the drive_freq factor's
+    // leading pattern should vary most near resonance (drive ≈ omega).
+    let (x1, x2, partition) = bench.subsystems(pivot, 1.0, 1.0, 1.0)?;
+    let ranks: Vec<usize> = partition
+        .join_modes()
+        .iter()
+        .map(|&m| 3usize.min(bench.full_dims()[m]))
+        .collect();
+    let d = m2td::core::m2td_decompose(&x1, &x2, partition.k(), &ranks, M2tdOptions::default())?;
+    let pos = partition
+        .join_modes()
+        .iter()
+        .position(|&m| m == 3)
+        .expect("drive_freq is a mode");
+    let f = &d.tucker.factors[pos];
+    println!("\ndrive_freq factor row energies (higher = more distinctive dynamics):");
+    for i in 0..f.rows() {
+        let bar = "#".repeat((f.row_norm(i) * 40.0) as usize);
+        println!("  drive_freq[{i}] {bar}");
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Multi-way partitioning: how fine should you slice the system?
+//!
+//! The paper always splits into two sub-systems. This library generalizes
+//! PF-partitioning to `S` groups (`m2td::sampling::MultiPartition` +
+//! `m2td::core::m2td_decompose_multi`): with 4 free modes you can run
+//! 2 groups of 2, or 4 groups of 1. Finer groups need exponentially fewer
+//! simulations to reach full sub-space density, but fix more parameters
+//! per run — this example measures the trade-off on the double pendulum
+//! and reports accuracy per simulation cell.
+//!
+//! ```text
+//! cargo run --release --example finer_partitions
+//! ```
+
+use m2td::core::{M2tdOptions, Workbench, WorkbenchConfig};
+use m2td::sampling::RandomSampling;
+use m2td::sim::systems::DoublePendulum;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = DoublePendulum::default();
+    let cfg = WorkbenchConfig {
+        resolution: 12,
+        time_steps: 12,
+        t_end: 2.0,
+        substeps: 16,
+        rank: 4,
+        seed: 42,
+        noise_sigma: 0.0,
+    };
+    let bench = Workbench::new(&system, cfg)?;
+    let pivot = bench.n_modes() - 1;
+
+    println!("partition granularity on the double pendulum (pivot = t):\n");
+    println!(
+        "{:>8}  {:>10}  {:>8}  {:>14}",
+        "groups", "accuracy", "cells", "acc / 1k cells"
+    );
+    for groups in [2usize, 4] {
+        let r = bench.run_m2td_multi(pivot, groups, M2tdOptions::default(), 1.0, 1.0)?;
+        println!(
+            "{:>8}  {:>10.4}  {:>8}  {:>14.3}",
+            groups,
+            r.accuracy,
+            r.cells,
+            r.accuracy / (r.cells as f64 / 1000.0)
+        );
+    }
+
+    // What could conventional sampling do with the *fine* partition's tiny
+    // budget?
+    let fine = bench.run_m2td_multi(pivot, 4, M2tdOptions::default(), 1.0, 1.0)?;
+    let random = bench.run_conventional(&RandomSampling, fine.cells)?;
+    println!(
+        "\nwith only {} cells: 4-way M2TD {:.4} vs random sampling {:.2e} — {}x",
+        fine.cells,
+        fine.accuracy,
+        random.accuracy,
+        (fine.accuracy / random.accuracy.max(f64::MIN_POSITIVE)) as u64
+    );
+    println!("\ntakeaway: finer partitions are the budget-constrained regime's tool —");
+    println!("they concede accuracy to the 2-way split but dominate any conventional");
+    println!("scheme at the same (much smaller) simulation budget.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # m2td — Multi-Task Tensor Decomposition for Sparse Ensemble Simulations
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for the
+//! architecture overview and DESIGN.md for the paper-to-module map.
+//!
+//! The typical entry point is [`core::Workbench`], which wires a dynamical
+//! system ([`sim`]), a sampling scheme ([`sampling`]), JE-stitching
+//! ([`stitch`]) and an M2TD decomposition strategy ([`core`]) into a single
+//! scored experiment:
+//!
+//! ```
+//! use m2td::prelude::*;
+//! use m2td::sim::systems::Sir;
+//!
+//! let system = Sir;
+//! let cfg = WorkbenchConfig {
+//!     resolution: 4,
+//!     time_steps: 4,
+//!     t_end: 40.0,
+//!     substeps: 8,
+//!     rank: 2,
+//!     seed: 1,
+//!     noise_sigma: 0.0,
+//! };
+//! let bench = Workbench::new(&system, cfg)?;
+//! let report = bench.run_m2td(4, M2tdOptions::default(), 1.0, 1.0)?;
+//! assert!(report.accuracy > 0.0);
+//! # Ok::<(), m2td::core::CoreError>(())
+//! ```
+
+pub use m2td_core as core;
+pub use m2td_dist as dist;
+pub use m2td_linalg as linalg;
+pub use m2td_sampling as sampling;
+pub use m2td_sim as sim;
+pub use m2td_stitch as stitch;
+pub use m2td_tensor as tensor;
+
+/// Convenience prelude importing the most common types.
+pub mod prelude {
+    pub use m2td_core::{
+        m2td_decompose, M2tdOptions, PivotCombine, RunReport, Workbench, WorkbenchConfig,
+    };
+    pub use m2td_linalg::Matrix;
+    pub use m2td_sampling::{PfPartition, SamplingScheme};
+    pub use m2td_sim::{EnsembleBuilder, EnsembleSystem, ParameterSpace, TimeGrid};
+    pub use m2td_stitch::{stitch, StitchKind};
+    pub use m2td_tensor::{DenseTensor, SparseTensor, TuckerDecomp};
+}

@@ -1,0 +1,102 @@
+//! Integration: decompose an ensemble, persist the model, reload it in a
+//! "new session", and run the analyst-facing readings on it.
+
+use m2td::core::analysis::{
+    core_spectrum, dominant_interactions, mode_energy_profile, pattern_representatives,
+    spectrum_energy_fraction,
+};
+use m2td::core::{m2td_decompose, M2tdOptions, Workbench, WorkbenchConfig};
+use m2td::sim::systems::Sir;
+use m2td::tensor::{load_json, save_json, TuckerDecomp};
+
+fn workbench() -> Workbench<'static> {
+    static SYS: Sir = Sir;
+    let cfg = WorkbenchConfig {
+        resolution: 5,
+        time_steps: 5,
+        t_end: 40.0,
+        substeps: 8,
+        rank: 3,
+        seed: 99,
+        noise_sigma: 0.0,
+    };
+    Workbench::new(&SYS, cfg).unwrap()
+}
+
+#[test]
+fn decompose_save_load_analyze() {
+    let w = workbench();
+    let (x1, x2, partition) = w.subsystems(4, 1.0, 1.0, 1.0).unwrap();
+    let ranks: Vec<usize> = partition
+        .join_modes()
+        .iter()
+        .map(|&m| 3usize.min(w.full_dims()[m]))
+        .collect();
+    let d = m2td_decompose(&x1, &x2, partition.k(), &ranks, M2tdOptions::default()).unwrap();
+    let acc_before = w.accuracy_join_order(&d.tucker, &partition).unwrap();
+
+    // Persist and reload.
+    let dir = std::env::temp_dir().join("m2td_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    save_json(&d.tucker, &path).unwrap();
+    let loaded: TuckerDecomp = load_json(&path).unwrap();
+
+    // The reloaded model scores identically.
+    let acc_after = w.accuracy_join_order(&loaded, &partition).unwrap();
+    assert!((acc_before - acc_after).abs() < 1e-12);
+
+    // Analyst readings run on the reloaded model.
+    for mode in 0..loaded.factors.len() {
+        let profile = mode_energy_profile(&loaded, mode).unwrap();
+        assert_eq!(profile.len(), loaded.factors[mode].rows());
+        assert!(profile.iter().all(|&e| e.is_finite() && e >= 0.0));
+    }
+    let spectrum = core_spectrum(&loaded);
+    assert!(!spectrum.is_empty());
+    assert!(spectrum.windows(2).all(|w| w[0] >= w[1]));
+    // The few strongest interactions carry most of the energy.
+    let f = spectrum_energy_fraction(&loaded, 5);
+    assert!(f > 0.5, "top-5 interactions carry only {f} of the energy");
+    let top = dominant_interactions(&loaded, 3);
+    assert!(!top.is_empty());
+    assert_eq!(top[0].pattern.len(), loaded.factors.len());
+    // Representatives index real rows.
+    for mode in 0..loaded.factors.len() {
+        for rep in pattern_representatives(&loaded, mode).unwrap() {
+            assert!(rep < loaded.factors[mode].rows());
+        }
+    }
+
+    // In-fill queries on the reloaded model agree with reconstruction.
+    let recon = loaded.reconstruct().unwrap();
+    let idx = vec![1usize, 2, 1, 0, 2];
+    assert!((loaded.cell(&idx).unwrap() - recon.get(&idx)).abs() < 1e-12);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_model_is_rejected_on_load() {
+    let w = workbench();
+    let (x1, x2, partition) = w.subsystems(4, 1.0, 1.0, 1.0).unwrap();
+    let ranks: Vec<usize> = partition
+        .join_modes()
+        .iter()
+        .map(|&m| 2usize.min(w.full_dims()[m]))
+        .collect();
+    let d = m2td_decompose(&x1, &x2, partition.k(), &ranks, M2tdOptions::default()).unwrap();
+
+    let dir = std::env::temp_dir().join("m2td_persistence_tamper");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    save_json(&d.tucker, &path).unwrap();
+
+    // Corrupt the core dims so factors no longer match.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let tampered = text.replacen("2", "3", 1);
+    std::fs::write(&path, tampered).unwrap();
+    assert!(load_json::<TuckerDecomp>(&path).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
