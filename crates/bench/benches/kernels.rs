@@ -1,8 +1,11 @@
 //! Micro-benchmarks of the numerical kernels underlying M2TD: SVD routes,
 //! symmetric eigendecomposition, sparse/dense TTM, Gram computation and
-//! stitching.
+//! stitching — plus the serial-vs-parallel sweep that anchors the perf
+//! trajectory in `BENCH_kernels.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use m2td_bench::criterion_group;
+use m2td_bench::harness::{BatchSize, Criterion};
+use m2td_bench::registry::bench_thread_counts;
 use m2td_linalg::{gram_left_singular_vectors, householder_qr, svd, symmetric_eig, Matrix};
 use m2td_stitch::{stitch, StitchKind};
 use m2td_tensor::{
@@ -180,6 +183,47 @@ fn bench_incremental_gram(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial-vs-parallel sweep of the two headline kernels — `gram_rows` on
+/// a 512×512 matricization and `ttm_sparse_transposed` on a >10⁵-nnz
+/// tensor — at every thread count from [`bench_thread_counts`]. Each
+/// record carries its `threads` tag, and parallel results are asserted
+/// bitwise-equal to the serial baseline before timing starts.
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let counts = bench_thread_counts();
+
+    let a = Matrix::from_fn(512, 512, |i, j| ((i * 13 + j * 7) as f64 * 0.003).sin());
+    let sparse = full_sparse(&[24, 24, 20, 10]); // 115_200 stored entries
+    let u = Matrix::from_fn(24, 4, |i, j| ((i * 4 + j) as f64 * 0.17).cos());
+
+    m2td_par::set_max_threads(1);
+    let gram_serial = a.gram_rows();
+    let ttm_serial = ttm_sparse_transposed(&sparse, 0, &u).unwrap();
+
+    let mut g = c.benchmark_group("parallel_speedup");
+    g.sample_size(10);
+    for &threads in &counts {
+        m2td_par::set_max_threads(threads);
+        assert_eq!(
+            a.gram_rows(),
+            gram_serial,
+            "gram_rows diverged at t={threads}"
+        );
+        assert_eq!(
+            ttm_sparse_transposed(&sparse, 0, &u).unwrap(),
+            ttm_serial,
+            "ttm_sparse_transposed diverged at t={threads}"
+        );
+        g.bench_function(format!("gram_rows_512_t{threads}"), |b| {
+            b.iter(|| black_box(&a).gram_rows())
+        });
+        g.bench_function(format!("ttm_sparse_transposed_115k_t{threads}"), |b| {
+            b.iter(|| ttm_sparse_transposed(black_box(&sparse), 0, &u).unwrap())
+        });
+    }
+    g.finish();
+    m2td_par::set_max_threads(0);
+}
+
 criterion_group!(
     kernels,
     bench_svd_routes,
@@ -188,6 +232,18 @@ criterion_group!(
     bench_gram_and_hosvd,
     bench_stitch,
     bench_shape_math,
-    bench_incremental_gram
+    bench_incremental_gram,
+    bench_parallel_speedup
 );
-criterion_main!(kernels);
+
+fn main() {
+    let mut c = Criterion::default();
+    kernels(&mut c);
+    // Check the baseline in from the repo root so the perf trajectory is
+    // tracked PR over PR.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    match c.write_records(&out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}

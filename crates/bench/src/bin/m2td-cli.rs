@@ -74,6 +74,8 @@ FLAGS (run/compare):
   --e-frac <f>           sub-ensemble density in (0,1]    [default 1]
   --cell-frac <f>        budget fraction in (0,1]         [default 1]
   --groups <n>           multi-way partition group count  [default 2]
+  --threads <n>          compute threads (0 = auto; overrides
+                         M2TD_THREADS)                    [default 0]
 
 FLAGS (run only):
   --method <m>           select | avg | concat | zero-join |
@@ -123,6 +125,10 @@ fn run() -> Result<(), String> {
             let e_frac: f64 = args.parse_or("e-frac", 1.0)?;
             let cell_frac: f64 = args.parse_or("cell-frac", 1.0)?;
             let groups: usize = args.parse_or("groups", 2)?;
+            let threads: usize = args.parse_or("threads", 0)?;
+            if threads > 0 {
+                m2td_par::set_max_threads(threads);
+            }
 
             let system = kind.instantiate();
             eprintln!(

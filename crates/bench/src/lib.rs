@@ -9,6 +9,7 @@
 //! DESIGN.md §4.2); the paper-vs-measured comparison lives in
 //! EXPERIMENTS.md.
 
+pub mod harness;
 pub mod registry;
 pub mod report;
 pub mod tables;

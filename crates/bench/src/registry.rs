@@ -52,6 +52,24 @@ impl SystemKind {
     }
 }
 
+/// Thread counts the kernel benches sweep when comparing serial vs
+/// parallel, resolved from `M2TD_BENCH_THREADS` (comma-separated list,
+/// e.g. `1,2,4`). Defaults to `[1, 4]` — the serial baseline plus the
+/// 4-thread configuration the perf trajectory tracks.
+pub fn bench_thread_counts() -> Vec<usize> {
+    if let Ok(raw) = std::env::var("M2TD_BENCH_THREADS") {
+        let parsed: Vec<usize> = raw
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    vec![1, 4]
+}
+
 /// Looks a system up by its `EnsembleSystem::name` string.
 pub fn system_by_name(name: &str) -> Option<SystemKind> {
     match name {
@@ -87,5 +105,12 @@ mod tests {
     #[test]
     fn paper_systems_are_three() {
         assert_eq!(SystemKind::paper_systems().len(), 3);
+    }
+
+    #[test]
+    fn default_bench_thread_counts_include_serial_baseline() {
+        let counts = bench_thread_counts();
+        assert!(counts.contains(&1));
+        assert!(counts.iter().all(|&n| n >= 1));
     }
 }

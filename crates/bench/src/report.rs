@@ -1,12 +1,12 @@
 //! Result records and text-table rendering.
 
-use serde::{Deserialize, Serialize};
+use m2td_json::{FromJson, Json, JsonError, ToJson};
 use std::io::Write;
 use std::path::Path;
 
 /// One row of a reproduced table: a set of labeled configuration values
 /// plus a set of labeled measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Configuration values, e.g. `("resolution", "12")`.
     pub config: Vec<(String, String)>,
@@ -14,8 +14,26 @@ pub struct Row {
     pub values: Vec<(String, f64)>,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_string(), self.config.to_json()),
+            ("values".to_string(), self.values.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Row {
+            config: FromJson::from_json(json.require("config")?)?,
+            values: FromJson::from_json(json.require("values")?)?,
+        })
+    }
+}
+
 /// A reproduced table: id (e.g. `"table2"`), caption and rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableResult {
     /// Table identifier matching the paper (`table2` … `table8`) or an
     /// ablation name.
@@ -93,9 +111,77 @@ impl TableResult {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(path)?;
-        let json = serde_json::to_string_pretty(self).expect("serializable by construction");
-        f.write_all(json.as_bytes())
+        f.write_all(self.to_json().to_pretty().as_bytes())
     }
+}
+
+impl ToJson for TableResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), self.id.to_json()),
+            ("caption".to_string(), self.caption.to_json()),
+            ("rows".to_string(), self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TableResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TableResult {
+            id: FromJson::from_json(json.require("id")?)?,
+            caption: FromJson::from_json(json.require("caption")?)?,
+            rows: FromJson::from_json(json.require("rows")?)?,
+        })
+    }
+}
+
+/// One timed kernel benchmark sample set, tagged with the thread count it
+/// ran under so serial-vs-parallel trajectories can be tracked over PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Benchmark group (e.g. `"parallel_speedup"`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `"gram_rows_512"`).
+    pub name: String,
+    /// `m2td_par::max_threads()` in effect while the samples ran.
+    pub threads: usize,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples behind the mean.
+    pub samples: usize,
+}
+
+impl ToJson for KernelRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("group".to_string(), self.group.to_json()),
+            ("name".to_string(), self.name.to_json()),
+            ("threads".to_string(), self.threads.to_json()),
+            ("mean_ns".to_string(), self.mean_ns.to_json()),
+            ("samples".to_string(), self.samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for KernelRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(KernelRecord {
+            group: FromJson::from_json(json.require("group")?)?,
+            name: FromJson::from_json(json.require("name")?)?,
+            threads: FromJson::from_json(json.require("threads")?)?,
+            mean_ns: FromJson::from_json(json.require("mean_ns")?)?,
+            samples: FromJson::from_json(json.require("samples")?)?,
+        })
+    }
+}
+
+/// Writes kernel benchmark records as a pretty JSON array at `path`.
+pub fn write_kernel_records(records: &[KernelRecord], path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let json = Json::Arr(records.iter().map(ToJson::to_json).collect());
+    std::fs::write(path, json.to_pretty())
 }
 
 /// Formats measurements: small magnitudes in scientific notation (like the
@@ -136,11 +222,38 @@ mod tests {
     fn json_round_trip() {
         let mut t = TableResult::new("tableX", "round trip");
         t.push_row(vec![("a", "1".into())], vec![("v", 2.0)]);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: TableResult = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_compact();
+        let back = TableResult::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.id, "tableX");
         assert_eq!(back.rows.len(), 1);
         assert_eq!(back.rows[0].values[0].1, 2.0);
+    }
+
+    #[test]
+    fn kernel_records_round_trip_with_threads() {
+        let records = vec![
+            KernelRecord {
+                group: "parallel_speedup".into(),
+                name: "gram_rows_512".into(),
+                threads: 1,
+                mean_ns: 1.5e7,
+                samples: 10,
+            },
+            KernelRecord {
+                group: "parallel_speedup".into(),
+                name: "gram_rows_512".into(),
+                threads: 4,
+                mean_ns: 4.2e6,
+                samples: 10,
+            },
+        ];
+        let path = std::env::temp_dir().join("m2td_kernel_records_test.json");
+        write_kernel_records(&records, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<KernelRecord> = FromJson::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(back[1].threads, 4);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -155,30 +155,61 @@ pub fn m2td_decompose(
     }
 
     // ---- Phase 1: sub-tensor decompositions + pivot combination --------
+    // The X₁ side (pivot grams/bases + X₁ free factors) and the X₂ side
+    // are independent by construction, so they run concurrently on the
+    // `m2td-par` pool — the single-node analogue of D-M2TD Phase 1. Each
+    // side computes the same grams in the same order as the serial loop,
+    // so results are bitwise unchanged.
     let t1 = Instant::now();
+    type PivotSide = (
+        Vec<(m2td_linalg::Matrix, m2td_linalg::Matrix)>,
+        Vec<m2td_linalg::Matrix>,
+    );
+    let (side1, side2): (Result<PivotSide>, Result<PivotSide>) = m2td_par::join(
+        || {
+            let mut pivot = Vec::with_capacity(k);
+            for n in 0..k {
+                let gram1 = x1.unfold_gram(n)?;
+                let u1 = leading(&gram1, ranks[n])?;
+                pivot.push((gram1, u1));
+            }
+            let mut free = Vec::with_capacity(m1 - k);
+            for n in k..m1 {
+                let gram = x1.unfold_gram(n)?;
+                free.push(leading(&gram, ranks[n])?);
+            }
+            Ok((pivot, free))
+        },
+        || {
+            let mut pivot = Vec::with_capacity(k);
+            for n in 0..k {
+                let gram2 = x2.unfold_gram(n)?;
+                let u2 = leading(&gram2, ranks[n])?;
+                pivot.push((gram2, u2));
+            }
+            let mut free = Vec::with_capacity(m2 - k);
+            for n in k..m2 {
+                let gram = x2.unfold_gram(n)?;
+                free.push(leading(&gram, ranks[k + (m1 - k) + (n - k)])?);
+            }
+            Ok((pivot, free))
+        },
+    );
+    let (pivot1, free1) = side1?;
+    let (pivot2, free2) = side2?;
     let mut factors = Vec::with_capacity(join_order);
-    for n in 0..k {
-        let gram1 = x1.unfold_gram(n)?;
-        let gram2 = x2.unfold_gram(n)?;
-        let u1 = leading(&gram1, ranks[n])?;
-        let u2 = leading(&gram2, ranks[n])?;
+    for (n, ((gram1, u1), (gram2, u2))) in pivot1.iter().zip(pivot2.iter()).enumerate() {
         factors.push(combine_pivot_factor(
             opts.combine,
-            &gram1,
-            &gram2,
-            &u1,
-            &u2,
+            gram1,
+            gram2,
+            u1,
+            u2,
             ranks[n],
         )?);
     }
-    for n in k..m1 {
-        let gram = x1.unfold_gram(n)?;
-        factors.push(leading(&gram, ranks[n])?);
-    }
-    for n in k..m2 {
-        let gram = x2.unfold_gram(n)?;
-        factors.push(leading(&gram, ranks[k + (m1 - k) + (n - k)])?);
-    }
+    factors.extend(free1);
+    factors.extend(free2);
     let phase1 = t1.elapsed().as_secs_f64();
 
     // ---- Phase 2: JE-stitching ------------------------------------------

@@ -319,8 +319,15 @@ impl<'a> Workbench<'a> {
         let cells = plan1.len() + plan2.len();
 
         let t_sim = Instant::now();
-        let (full1, sims1) = builder.build_sparse(&plan1)?;
-        let (full2, sims2) = builder.build_sparse(&plan2)?;
+        // The two sub-ensembles are simulated independently, so run them
+        // concurrently on the `m2td-par` pool (each build caches its own
+        // trajectories; the per-plan outputs are unchanged).
+        let (r1, r2) = m2td_par::join(
+            || builder.build_sparse(&plan1),
+            || builder.build_sparse(&plan2),
+        );
+        let (full1, sims1) = r1?;
+        let (full2, sims2) = r2?;
         let simulate_secs = t_sim.elapsed().as_secs_f64();
 
         let x1 = partition.extract_sub_tensor(&full1, &self.defaults, SubSystem::First)?;

@@ -1,12 +1,17 @@
-//! A small, real MapReduce engine on scoped threads.
+//! A small, real MapReduce engine on the shared `m2td-par` worker pool.
 //!
 //! Deterministic: whatever the worker count, the reduce phase sees each
 //! key's values in map-input order and keys are processed in sorted order,
 //! so results are identical to a serial run.
+//!
+//! The *logical* worker count `W` (what [`MapReduce::new`] is given) keeps
+//! its cluster semantics — input chunking and the cost model both depend
+//! on it — but the *physical* thread count is additionally capped by
+//! [`m2td_par::max_threads`], so `M2TD_THREADS` (or `--threads`) is the
+//! one knob that governs all parallelism in the process.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Statistics of one MapReduce job, consumed by the cluster cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -88,27 +93,22 @@ impl MapReduce {
         type MappedChunks<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
         let mapped: MappedChunks<K, V> = Mutex::new(Vec::new());
         let queue: Mutex<std::vec::IntoIter<(usize, Vec<I>)>> = Mutex::new(chunks.into_iter());
-        thread::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(|_| loop {
-                    let next = queue.lock().next();
-                    match next {
-                        Some((id, chunk)) => {
-                            let mut pairs = Vec::new();
-                            for item in chunk {
-                                pairs.extend(map(item));
-                            }
-                            mapped.lock().push((id, pairs));
-                        }
-                        None => break,
+        m2td_par::run_workers(self.workers, || loop {
+            let next = queue.lock().unwrap().next();
+            match next {
+                Some((id, chunk)) => {
+                    let mut pairs = Vec::new();
+                    for item in chunk {
+                        pairs.extend(map(item));
                     }
-                });
+                    mapped.lock().unwrap().push((id, pairs));
+                }
+                None => break,
             }
-        })
-        .expect("map workers must not panic");
+        });
 
         // ---- Shuffle: restore input order, group by key. ----
-        let mut by_chunk = mapped.into_inner();
+        let mut by_chunk = mapped.into_inner().unwrap();
         by_chunk.sort_by_key(|&(id, _)| id);
         let mut shuffled_pairs = 0;
         let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
@@ -128,23 +128,18 @@ impl MapReduce {
             .collect();
         let reduced: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
         let rqueue: Mutex<std::vec::IntoIter<(usize, K, Vec<V>)>> = Mutex::new(indexed.into_iter());
-        thread::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(|_| loop {
-                    let next = rqueue.lock().next();
-                    match next {
-                        Some((i, k, vs)) => {
-                            let r = reduce(&k, vs);
-                            reduced.lock().push((i, r));
-                        }
-                        None => break,
-                    }
-                });
+        m2td_par::run_workers(self.workers, || loop {
+            let next = rqueue.lock().unwrap().next();
+            match next {
+                Some((i, k, vs)) => {
+                    let r = reduce(&k, vs);
+                    reduced.lock().unwrap().push((i, r));
+                }
+                None => break,
             }
-        })
-        .expect("reduce workers must not panic");
+        });
 
-        let mut results = reduced.into_inner();
+        let mut results = reduced.into_inner().unwrap();
         results.sort_by_key(|&(i, _)| i);
         (
             results.into_iter().map(|(_, r)| r).collect(),
@@ -199,6 +194,25 @@ mod tests {
             assert_eq!(serial, parallel, "worker count {w} changed results");
             assert_eq!(s_stats, p_stats);
         }
+    }
+
+    #[test]
+    fn results_identical_under_global_thread_cap() {
+        // The pool cap changes physical threads, never results.
+        let inputs: Vec<u64> = (0..300).collect();
+        let job = || {
+            MapReduce::new(4).run(
+                inputs.clone(),
+                |x: u64| vec![(x % 5, x * x)],
+                |k, vs| (*k, vs.iter().sum::<u64>()),
+            )
+        };
+        m2td_par::set_max_threads(1);
+        let capped = job();
+        m2td_par::set_max_threads(8);
+        let wide = job();
+        m2td_par::set_max_threads(0);
+        assert_eq!(capped, wide);
     }
 
     #[test]

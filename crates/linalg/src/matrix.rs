@@ -3,7 +3,33 @@
 use crate::error::LinalgError;
 use crate::vecops::{dot, norm2};
 use crate::Result;
+use m2td_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
+
+/// Minimum multiply-add count before a kernel fans out over the pool:
+/// below this the scoped-thread setup costs more than the arithmetic.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// Column-tile width for the blocked matmul kernels: one output tile plus
+/// one B-row tile stay resident in L1 while a full A-row streams through.
+const COL_BLOCK: usize = 256;
+
+/// Runs `f(i, row)` over each `row_len` chunk of `out`, in parallel when
+/// the kernel is big enough. Each output row is produced by exactly one
+/// task and the per-row arithmetic is independent of the schedule, so the
+/// result is bitwise identical at every thread count.
+fn par_rows(out: &mut [f64], row_len: usize, flops: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+    if out.is_empty() || row_len == 0 {
+        return;
+    }
+    if flops < PAR_MIN_FLOPS || m2td_par::max_threads() <= 1 {
+        for (i, row) in out.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+    } else {
+        m2td_par::par_rows_mut(out, row_len, f);
+    }
+}
 
 /// A dense, row-major, heap-allocated `f64` matrix.
 ///
@@ -202,7 +228,10 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop order on row-major storage.
+    /// Row-partitioned over the `m2td-par` pool and column-blocked so a
+    /// B-row tile stays in cache; the per-element `k`-ascending
+    /// accumulation order matches the serial `i-k-j` loop exactly, so
+    /// results are bitwise identical at every thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -212,23 +241,33 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        let (a, b, m, p) = (&self.data, &other.data, self.cols, other.cols);
+        let flops = self.rows * m * p;
+        par_rows(&mut out.data, p, flops, |i, out_row| {
+            let a_row = &a[i * m..(i + 1) * m];
+            let mut j0 = 0;
+            while j0 < p {
+                let j1 = (j0 + COL_BLOCK).min(p);
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_tile = &b[k * p + j0..k * p + j1];
+                    for (o, &bv) in out_row[j0..j1].iter_mut().zip(b_tile.iter()) {
+                        *o += aik * bv;
+                    }
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * b;
-                }
+                j0 = j1;
             }
-        }
+        });
         Ok(out)
     }
 
     /// Product `selfᵀ * other` without materializing the transpose.
+    ///
+    /// Parallel over output rows; for output row `i` the shared dimension
+    /// is scanned in ascending order, which is the same per-element
+    /// accumulation order as the classic serial `k`-outer loop.
     pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -238,23 +277,27 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &aki) in a_row.iter().enumerate() {
+        let (a, b, n, m, p) = (&self.data, &other.data, self.rows, self.cols, other.cols);
+        let flops = n * m * p;
+        par_rows(&mut out.data, p, flops, |i, out_row| {
+            for k in 0..n {
+                let aki = a[k * m + i];
                 if aki == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aki * b;
+                let b_row = &b[k * p..(k + 1) * p];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aki * bv;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
     /// Product `self * otherᵀ` without materializing the transpose.
+    ///
+    /// Parallel over output rows; each entry is an independent dot
+    /// product, so results are bitwise identical at every thread count.
     pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -264,24 +307,38 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                out.data[i * other.rows + j] = dot(a_row, other.row(j));
+        let (a, b, m, p) = (&self.data, &other.data, self.cols, other.rows);
+        let flops = self.rows * m * p;
+        par_rows(&mut out.data, p, flops, |i, out_row| {
+            let a_row = &a[i * m..(i + 1) * m];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, &b[j * m..(j + 1) * m]);
             }
-        }
+        });
         Ok(out)
     }
 
     /// Gram matrix `self * selfᵀ` (size `rows x rows`), exploiting symmetry.
+    ///
+    /// Two passes: the upper triangle is computed with rows partitioned
+    /// over the pool (row `i` owns entries `j >= i`, so writers never
+    /// overlap), then the strictly-lower triangle is mirrored serially.
+    /// Every entry is the same dot product the serial kernel computed.
     pub fn gram_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, self.rows);
-        for i in 0..self.rows {
-            let ri = self.row(i);
-            for j in i..self.rows {
-                let v = dot(ri, self.row(j));
-                out.data[i * self.rows + j] = v;
-                out.data[j * self.rows + i] = v;
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        let (a, m) = (&self.data, self.cols);
+        // Triangular work: roughly half the full n*n*m product.
+        let flops = n * n * m / 2;
+        par_rows(&mut out.data, n, flops, |i, out_row| {
+            let ri = &a[i * m..(i + 1) * m];
+            for (j, o) in out_row.iter_mut().enumerate().skip(i) {
+                *o = dot(ri, &a[j * m..(j + 1) * m]);
+            }
+        });
+        for i in 1..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
             }
         }
         out
@@ -439,33 +496,23 @@ impl Matrix {
 }
 
 /// Serialized form: `{ rows, cols, data }`, validated on load.
-impl serde::Serialize for Matrix {
-    fn serialize<S: serde::Serializer>(
-        &self,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("Matrix", 3)?;
-        st.serialize_field("rows", &self.rows)?;
-        st.serialize_field("cols", &self.cols)?;
-        st.serialize_field("data", &self.data)?;
-        st.end()
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rows".to_string(), self.rows.to_json()),
+            ("cols".to_string(), self.cols.to_json()),
+            ("data".to_string(), self.data.to_json()),
+        ])
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Matrix {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            rows: usize,
-            cols: usize,
-            data: Vec<f64>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        Matrix::from_vec(raw.rows, raw.cols, raw.data)
-            .map_err(|e| serde::de::Error::custom(format!("invalid matrix: {e}")))
+impl FromJson for Matrix {
+    fn from_json(json: &Json) -> std::result::Result<Self, JsonError> {
+        let rows = json.require("rows")?.as_usize()?;
+        let cols = json.require("cols")?.as_usize()?;
+        let data: Vec<f64> = FromJson::from_json(json.require("data")?)?;
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|e| JsonError::Invalid(format!("invalid matrix: {e}")))
     }
 }
 
@@ -669,14 +716,36 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_and_validation() {
+    fn json_round_trip_and_validation() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+        let json = m.to_json().to_compact();
+        let back = Matrix::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, m);
         // Corrupted length must be rejected.
         let bad = r#"{"rows":2,"cols":2,"data":[1.0,2.0,3.0]}"#;
-        assert!(serde_json::from_str::<Matrix>(bad).is_err());
+        assert!(Matrix::from_json(&Json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn kernels_match_across_thread_counts() {
+        // Big enough to clear PAR_MIN_FLOPS so the pool path actually runs.
+        let a = Matrix::from_fn(64, 48, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(48, 52, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.25);
+        m2td_par::set_max_threads(1);
+        let serial = (
+            a.matmul(&b).unwrap(),
+            a.transpose_matmul(&a).unwrap(),
+            a.matmul_transpose(&a).unwrap(),
+            a.gram_rows(),
+        );
+        for t in [2usize, 8] {
+            m2td_par::set_max_threads(t);
+            assert_eq!(a.matmul(&b).unwrap(), serial.0);
+            assert_eq!(a.transpose_matmul(&a).unwrap(), serial.1);
+            assert_eq!(a.matmul_transpose(&a).unwrap(), serial.2);
+            assert_eq!(a.gram_rows(), serial.3);
+        }
+        m2td_par::set_max_threads(0);
     }
 
     #[test]

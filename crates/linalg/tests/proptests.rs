@@ -1,65 +1,82 @@
-//! Property-based tests of the linear-algebra kernels on random matrices.
+//! Property-style tests of the linear-algebra kernels on random matrices.
+//!
+//! The offline build has no `proptest`, so each property loops over a
+//! fixed set of seeds and draws its inputs from the in-tree seeded RNG —
+//! deterministic, shrink-free, but the same invariants.
 
 use m2td_linalg::{
     cholesky, householder_qr, khatri_rao, kronecker, lu_decompose, svd, symmetric_eig, Matrix,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random matrix with entries in ±3 and shape up to 7×7.
-fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-3.0f64..3.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("length matches"))
-    })
+const CASES: u64 = 64;
+
+/// A random matrix with entries in ±3 and shape in [1, max_dim]².
+fn rand_matrix(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let r = rng.gen_range(1..max_dim + 1);
+    let c = rng.gen_range(1..max_dim + 1);
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(-3.0..3.0))
 }
 
-/// Strategy: a random square matrix.
-fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim).prop_flat_map(|n| {
-        prop::collection::vec(-3.0f64..3.0, n * n)
-            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("length matches"))
-    })
+/// A random square matrix with entries in ±3.
+fn rand_square(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let n = rng.gen_range(1..max_dim + 1);
+    Matrix::from_fn(n, n, |_, _| rng.gen_range(-3.0..3.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn qr_reconstructs_and_q_is_orthonormal(a in matrix_strategy(7)) {
+#[test]
+fn qr_reconstructs_and_q_is_orthonormal() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 7);
         let qr = householder_qr(&a).unwrap();
         let recon = qr.reconstruct();
         let err = recon.sub(&a).unwrap().frobenius_norm();
-        prop_assert!(err < 1e-9 * (1.0 + a.frobenius_norm()), "QR error {err}");
-        prop_assert!(qr.q.orthonormality_defect() < 1e-9);
+        assert!(err < 1e-9 * (1.0 + a.frobenius_norm()), "QR error {err}");
+        assert!(qr.q.orthonormality_defect() < 1e-9);
     }
+}
 
-    #[test]
-    fn svd_reconstructs_any_shape(a in matrix_strategy(6)) {
+#[test]
+fn svd_reconstructs_any_shape() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 6);
         let s = svd(&a).unwrap();
         let err = s.reconstruct().sub(&a).unwrap().frobenius_norm();
-        prop_assert!(err < 1e-8 * (1.0 + a.frobenius_norm()), "SVD error {err}");
+        assert!(err < 1e-8 * (1.0 + a.frobenius_norm()), "SVD error {err}");
         // Singular values decreasing and non-negative.
         for w in s.singular_values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12);
         }
-        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+        assert!(s.singular_values.iter().all(|&v| v >= 0.0));
         // Frobenius norm equals the singular-value energy.
         let sv_energy: f64 = s.singular_values.iter().map(|v| v * v).sum::<f64>().sqrt();
-        prop_assert!((sv_energy - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
+        assert!((sv_energy - a.frobenius_norm()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
     }
+}
 
-    #[test]
-    fn symmetric_eig_reconstructs_gram(a in matrix_strategy(6)) {
+#[test]
+fn symmetric_eig_reconstructs_gram() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 6);
         let gram = a.gram_rows();
         let e = symmetric_eig(&gram).unwrap();
         let err = e.reconstruct().sub(&gram).unwrap().frobenius_norm();
-        prop_assert!(err < 1e-8 * (1.0 + gram.frobenius_norm()));
+        assert!(err < 1e-8 * (1.0 + gram.frobenius_norm()));
         // Gram eigenvalues are non-negative.
-        prop_assert!(e.eigenvalues.iter().all(|&l| l > -1e-8));
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-8));
     }
+}
 
-    #[test]
-    fn lu_solve_inverts_well_conditioned_systems(a in square_strategy(6), shift in 2.0f64..6.0) {
+#[test]
+fn lu_solve_inverts_well_conditioned_systems() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_square(&mut rng, 6);
+        let shift = rng.gen_range(2.0..6.0);
         // Diagonal shift keeps the system comfortably non-singular.
         let n = a.rows();
         let mut m = a.clone();
@@ -70,12 +87,16 @@ proptest! {
         let b = m.matvec(&x_true).unwrap();
         let x = lu_decompose(&m).unwrap().solve(&b).unwrap();
         for i in 0..n {
-            prop_assert!((x[i] - x_true[i]).abs() < 1e-8, "component {i}");
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "component {i}");
         }
     }
+}
 
-    #[test]
-    fn cholesky_matches_lu_on_spd(a in matrix_strategy(5)) {
+#[test]
+fn cholesky_matches_lu_on_spd() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 5);
         // AᵀA + I is SPD.
         let mut spd = a.transpose_matmul(&a).unwrap();
         for i in 0..spd.rows() {
@@ -85,25 +106,35 @@ proptest! {
         let x_ch = cholesky(&spd).unwrap().solve(&b).unwrap();
         let x_lu = lu_decompose(&spd).unwrap().solve(&b).unwrap();
         for (u, v) in x_ch.iter().zip(x_lu.iter()) {
-            prop_assert!((u - v).abs() < 1e-8);
+            assert!((u - v).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn kronecker_norm_is_product_of_norms(a in matrix_strategy(4), b in matrix_strategy(4)) {
+#[test]
+fn kronecker_norm_is_product_of_norms() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 4);
+        let b = rand_matrix(&mut rng, 4);
         let k = kronecker(&a, &b);
         let expected = a.frobenius_norm() * b.frobenius_norm();
-        prop_assert!((k.frobenius_norm() - expected).abs() < 1e-9 * (1.0 + expected));
+        assert!((k.frobenius_norm() - expected).abs() < 1e-9 * (1.0 + expected));
     }
+}
 
-    #[test]
-    fn khatri_rao_is_column_subset_of_kronecker(a in matrix_strategy(4), b in matrix_strategy(4)) {
+#[test]
+fn khatri_rao_is_column_subset_of_kronecker() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 4);
+        let b = rand_matrix(&mut rng, 4);
         // Force equal column counts by truncating.
         let c = a.cols().min(b.cols());
         let a = a.leading_columns(c).unwrap();
         let b = b.leading_columns(c).unwrap();
         let kr = khatri_rao(&a, &b).unwrap();
-        prop_assert_eq!(kr.shape(), (a.rows() * b.rows(), c));
+        assert_eq!(kr.shape(), (a.rows() * b.rows(), c));
         // Column j of A ⊙ B equals a_j ⊗ b_j.
         for j in 0..c {
             let col = kr.col(j);
@@ -114,14 +145,20 @@ proptest! {
                 }
             }
             for (x, y) in col.iter().zip(expected.iter()) {
-                prop_assert!((x - y).abs() < 1e-12);
+                assert!((x - y).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn matmul_is_associative(a in matrix_strategy(4), b in matrix_strategy(4), c in matrix_strategy(4)) {
-        // Reshape to compatible chain via leading_columns: A(r_a x k), B(k x k2), C(k2 x c)
+#[test]
+fn matmul_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 4);
+        let b = rand_matrix(&mut rng, 4);
+        let c = rand_matrix(&mut rng, 4);
+        // Reshape to a compatible chain: A(r_a × k), B(k × k2), C(k2 × c).
         let k = a.cols().min(b.rows());
         let a = a.leading_columns(k).unwrap();
         let b_rows = k;
@@ -138,11 +175,16 @@ proptest! {
         let left = a.matmul(&b2).unwrap().matmul(&c2).unwrap();
         let right = a.matmul(&b2.matmul(&c2).unwrap()).unwrap();
         let diff = left.sub(&right).unwrap().frobenius_norm();
-        prop_assert!(diff < 1e-9 * (1.0 + left.frobenius_norm()));
+        assert!(diff < 1e-9 * (1.0 + left.frobenius_norm()));
     }
+}
 
-    #[test]
-    fn transpose_matmul_agrees_with_explicit(a in matrix_strategy(5), b in matrix_strategy(5)) {
+#[test]
+fn transpose_matmul_agrees_with_explicit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, 5);
+        let b = rand_matrix(&mut rng, 5);
         // Make row counts agree.
         let rows = a.rows().min(b.rows());
         let trim = |m: &Matrix| {
@@ -156,6 +198,48 @@ proptest! {
         let b = trim(&b);
         let fast = a.transpose_matmul(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
-        prop_assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-10);
+        assert!(fast.sub(&slow).unwrap().frobenius_norm() < 1e-10);
+    }
+}
+
+/// Parallel kernels must match the serial path bitwise on random shapes —
+/// including shapes large enough to cross the internal parallel
+/// threshold — at every thread count.
+#[test]
+fn parallel_kernels_match_serial_on_random_shapes() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        // Mix small (serial fast path) and large (parallel path) shapes.
+        let scale = if seed % 2 == 0 { 8 } else { 64 };
+        let m = rng.gen_range(1..scale + 1);
+        let k = rng.gen_range(1..scale + 1);
+        let n = rng.gen_range(1..scale + 1);
+        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-3.0..3.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-3.0..3.0));
+        let c = Matrix::from_fn(m, n, |_, _| rng.gen_range(-3.0..3.0));
+        let d = Matrix::from_fn(n, k, |_, _| rng.gen_range(-3.0..3.0));
+
+        m2td_par::set_max_threads(1);
+        let mm = a.matmul(&b).unwrap();
+        let tm = a.transpose_matmul(&c).unwrap();
+        let mt = a.matmul_transpose(&d).unwrap();
+        let gram = a.gram_rows();
+
+        for threads in [2usize, 8] {
+            m2td_par::set_max_threads(threads);
+            assert_eq!(a.matmul(&b).unwrap(), mm, "matmul t={threads} seed={seed}");
+            assert_eq!(
+                a.transpose_matmul(&c).unwrap(),
+                tm,
+                "transpose_matmul t={threads} seed={seed}"
+            );
+            assert_eq!(
+                a.matmul_transpose(&d).unwrap(),
+                mt,
+                "matmul_transpose t={threads} seed={seed}"
+            );
+            assert_eq!(a.gram_rows(), gram, "gram_rows t={threads} seed={seed}");
+        }
+        m2td_par::set_max_threads(0);
     }
 }

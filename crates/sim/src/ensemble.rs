@@ -60,7 +60,12 @@ impl From<TensorError> for SimError {
 /// A simulated complex system, as seen by the ensemble layer: named
 /// parameters, default grids, and a map from one parameter combination to a
 /// trajectory.
-pub trait EnsembleSystem {
+///
+/// `Sync` is a supertrait so the pipeline can build the two sub-ensemble
+/// tensors concurrently on the `m2td-par` pool; implementors are expected
+/// to be stateless descriptions of the dynamics (all in-tree systems are
+/// plain value structs).
+pub trait EnsembleSystem: Sync {
     /// Short system identifier (used in reports and bench output).
     fn name(&self) -> &'static str;
 

@@ -171,12 +171,16 @@ pub fn hosvd_dense(x: &DenseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     if x.num_elements() == 0 {
         return Err(TensorError::EmptyTensor);
     }
-    let mut factors = Vec::with_capacity(x.order());
-    for (mode, &r) in ranks.iter().enumerate() {
+    // The per-mode Gram/eig factor computations are independent; fan them
+    // out over the pool (mode order in `factors` is preserved).
+    let modes: Vec<(usize, usize)> = ranks.iter().copied().enumerate().collect();
+    let factors = m2td_par::par_map(&modes, |&(mode, r)| -> Result<_> {
         let unfolded = x.unfold(mode)?;
         let gram = unfolded.gram_rows();
-        factors.push(gram_factor(&gram, r)?);
-    }
+        gram_factor(&gram, r)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
     let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
     TuckerDecomp::new(core, factors)
 }
@@ -208,11 +212,14 @@ pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     if x.nnz() == 0 {
         return Err(TensorError::EmptyTensor);
     }
-    let mut factors = Vec::with_capacity(x.order());
-    for (mode, &r) in ranks.iter().enumerate() {
+    // Per-mode sparse Gram + eig are independent; fan out over the pool.
+    let modes: Vec<(usize, usize)> = ranks.iter().copied().enumerate().collect();
+    let factors = m2td_par::par_map(&modes, |&(mode, r)| -> Result<_> {
         let gram = x.unfold_gram(mode)?;
-        factors.push(gram_factor(&gram, r)?);
-    }
+        gram_factor(&gram, r)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>>>()?;
     let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
     TuckerDecomp::new(core, factors)
 }

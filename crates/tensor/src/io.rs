@@ -11,112 +11,73 @@ use crate::error::TensorError;
 use crate::sparse::SparseTensor;
 use crate::tucker::TuckerDecomp;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use m2td_json::{FromJson, Json, JsonError, ToJson};
 use std::path::Path;
 
-/// Serialized form of a dense tensor.
-#[derive(Serialize, Deserialize)]
-struct DenseRaw {
-    dims: Vec<usize>,
-    data: Vec<f64>,
-}
-
-/// Serialized form of a sparse tensor.
-#[derive(Serialize, Deserialize)]
-struct SparseRaw {
-    dims: Vec<usize>,
-    indices: Vec<u64>,
-    values: Vec<f64>,
-}
-
-/// Serialized form of a Tucker decomposition.
-#[derive(Serialize, Deserialize)]
-struct TuckerRaw {
-    core: DenseRaw,
-    factors: Vec<m2td_linalg::Matrix>,
-}
-
-impl Serialize for DenseTensor {
-    fn serialize<S: serde::Serializer>(
-        &self,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
-        DenseRaw {
-            dims: self.dims().to_vec(),
-            data: self.as_slice().to_vec(),
-        }
-        .serialize(serializer)
+/// Serialized form: `{ dims, data }`, validated on load.
+impl ToJson for DenseTensor {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dims".to_string(), self.dims().to_vec().to_json()),
+            ("data".to_string(), self.as_slice().to_vec().to_json()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for DenseTensor {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        let raw = DenseRaw::deserialize(deserializer)?;
-        DenseTensor::from_vec(&raw.dims, raw.data)
-            .map_err(|e| serde::de::Error::custom(format!("invalid dense tensor: {e}")))
+impl FromJson for DenseTensor {
+    fn from_json(json: &Json) -> std::result::Result<Self, JsonError> {
+        let dims: Vec<usize> = FromJson::from_json(json.require("dims")?)?;
+        let data: Vec<f64> = FromJson::from_json(json.require("data")?)?;
+        DenseTensor::from_vec(&dims, data)
+            .map_err(|e| JsonError::Invalid(format!("invalid dense tensor: {e}")))
     }
 }
 
-impl Serialize for SparseTensor {
-    fn serialize<S: serde::Serializer>(
-        &self,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
+/// Serialized form: `{ dims, indices, values }` with sorted linear
+/// indices, validated on load.
+impl ToJson for SparseTensor {
+    fn to_json(&self) -> Json {
         let (indices, values): (Vec<u64>, Vec<f64>) = self.iter_linear().unzip();
-        SparseRaw {
-            dims: self.dims().to_vec(),
-            indices,
-            values,
-        }
-        .serialize(serializer)
+        Json::Obj(vec![
+            ("dims".to_string(), self.dims().to_vec().to_json()),
+            ("indices".to_string(), indices.to_json()),
+            ("values".to_string(), values.to_json()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for SparseTensor {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        let raw = SparseRaw::deserialize(deserializer)?;
-        SparseTensor::from_sorted_linear(&raw.dims, raw.indices, raw.values)
-            .map_err(|e| serde::de::Error::custom(format!("invalid sparse tensor: {e}")))
+impl FromJson for SparseTensor {
+    fn from_json(json: &Json) -> std::result::Result<Self, JsonError> {
+        let dims: Vec<usize> = FromJson::from_json(json.require("dims")?)?;
+        let indices: Vec<u64> = FromJson::from_json(json.require("indices")?)?;
+        let values: Vec<f64> = FromJson::from_json(json.require("values")?)?;
+        SparseTensor::from_sorted_linear(&dims, indices, values)
+            .map_err(|e| JsonError::Invalid(format!("invalid sparse tensor: {e}")))
     }
 }
 
-impl Serialize for TuckerDecomp {
-    fn serialize<S: serde::Serializer>(
-        &self,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
-        TuckerRaw {
-            core: DenseRaw {
-                dims: self.core.dims().to_vec(),
-                data: self.core.as_slice().to_vec(),
-            },
-            factors: self.factors.clone(),
-        }
-        .serialize(serializer)
+/// Serialized form: `{ core, factors }`, validated on load.
+impl ToJson for TuckerDecomp {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("core".to_string(), self.core.to_json()),
+            ("factors".to_string(), self.factors.to_json()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for TuckerDecomp {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        let raw = TuckerRaw::deserialize(deserializer)?;
-        let core = DenseTensor::from_vec(&raw.core.dims, raw.core.data)
-            .map_err(|e| serde::de::Error::custom(format!("invalid core: {e}")))?;
-        TuckerDecomp::new(core, raw.factors)
-            .map_err(|e| serde::de::Error::custom(format!("invalid decomposition: {e}")))
+impl FromJson for TuckerDecomp {
+    fn from_json(json: &Json) -> std::result::Result<Self, JsonError> {
+        let core = DenseTensor::from_json(json.require("core")?)?;
+        let factors: Vec<m2td_linalg::Matrix> = FromJson::from_json(json.require("factors")?)?;
+        TuckerDecomp::new(core, factors)
+            .map_err(|e| JsonError::Invalid(format!("invalid decomposition: {e}")))
     }
 }
 
 /// Writes any serializable artifact as pretty JSON.
-pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
-    let json = serde_json::to_string_pretty(value).map_err(|e| TensorError::Serialization {
-        message: format!("serialize: {e}"),
-    })?;
+pub fn save_json<T: ToJson>(value: &T, path: &Path) -> Result<()> {
+    let json = value.to_json().to_pretty();
     std::fs::write(path, json).map_err(|e| TensorError::Serialization {
         message: format!("write {}: {e}", path.display()),
     })?;
@@ -124,11 +85,14 @@ pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
 }
 
 /// Loads a JSON artifact written by [`save_json`].
-pub fn load_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T> {
+pub fn load_json<T: FromJson>(path: &Path) -> Result<T> {
     let text = std::fs::read_to_string(path).map_err(|e| TensorError::Serialization {
         message: format!("read {}: {e}", path.display()),
     })?;
-    serde_json::from_str(&text).map_err(|e| TensorError::Serialization {
+    let json = Json::parse(&text).map_err(|e| TensorError::Serialization {
+        message: format!("deserialize: {e}"),
+    })?;
+    T::from_json(&json).map_err(|e| TensorError::Serialization {
         message: format!("deserialize: {e}"),
     })
 }

@@ -87,13 +87,30 @@ pub fn ttm_sparse_transposed(x: &SparseTensor, mode: usize, u: &Matrix) -> Resul
     scatter_sparse(x, mode, u.cols(), |j, i_n| u.get(i_n, j))
 }
 
+/// Entry count below which the scatter stays on the calling thread.
+const SCATTER_PAR_MIN_NNZ: usize = 1 << 12;
+
 /// Shared scatter kernel: output mode-`n` extent is `j_dim`, with
 /// coefficient `coef(j, i_n)` applied to each stored entry.
+///
+/// All index arithmetic is hoisted out of the entry loop. Because the
+/// input and output tensors differ only in the extent of `mode`, the
+/// row-major stride of `mode` (the product of the trailing extents) is
+/// the same in both, so an input linear index `lin` decomposes as
+/// `lin = high·(stride·I_n) + i_n·stride + low` and the touched output
+/// cells are `high·(stride·J) + j·stride + low` — three divisions per
+/// entry, no per-entry allocation.
+///
+/// Parallel runs partition *output* cells by `(high, low)`; every part
+/// replays the full entry stream but writes only its own cells, in the
+/// same entry order the serial loop uses. Per-cell accumulation order is
+/// therefore identical at every thread count, making the result bitwise
+/// equal to the serial kernel's.
 fn scatter_sparse(
     x: &SparseTensor,
     mode: usize,
     j_dim: usize,
-    coef: impl Fn(usize, usize) -> f64,
+    coef: impl Fn(usize, usize) -> f64 + Sync,
 ) -> Result<DenseTensor> {
     let out_dims: Vec<usize> = x
         .dims()
@@ -102,32 +119,39 @@ fn scatter_sparse(
         .map(|(m, &d)| if m == mode { j_dim } else { d })
         .collect();
     let mut out = DenseTensor::zeros(&out_dims);
-    let out_shape = out.shape().clone();
+    if x.nnz() == 0 || out.num_elements() == 0 {
+        return Ok(out);
+    }
+
+    let stride: usize = x.dims()[mode + 1..].iter().product();
+    let in_block = stride * x.dims()[mode];
+    let out_block = stride * j_dim;
     let data = out.as_mut_slice();
 
-    let mut idx = vec![0usize; x.order()];
-    for (lin, v) in x.iter_linear() {
-        x.shape().multi_index_into(lin as usize, &mut idx);
-        let i_n = idx[mode];
-        // Linear index in the output with mode set to 0, then step by the
-        // output stride of `mode` for each j.
-        idx[mode] = 0;
-        let base = out_shape.linear_index(&idx);
-        idx[mode] = i_n;
-        let stride = if j_dim > 1 {
-            // stride of `mode` in the output
-            out_shape.linear_index(&{
-                let mut one = vec![0usize; x.order()];
-                one[mode] = 1;
-                one
-            })
-        } else {
-            0
-        };
-        for j in 0..j_dim {
-            data[base + j * stride] += coef(j, i_n) * v;
+    let parts = if x.nnz() < SCATTER_PAR_MIN_NNZ {
+        1
+    } else {
+        m2td_par::max_threads().min(x.nnz() / SCATTER_PAR_MIN_NNZ + 1)
+    };
+    let sink = m2td_par::UnsafeSlice::new(data);
+    m2td_par::par_for_each_index(parts, |part| {
+        for (lin, v) in x.iter_linear() {
+            let lin = lin as usize;
+            let high = lin / in_block;
+            let rest = lin % in_block;
+            let i_n = rest / stride;
+            let low = rest % stride;
+            let base = high * out_block + low;
+            if parts > 1 && base % parts != part {
+                continue;
+            }
+            for j in 0..j_dim {
+                // SAFETY: cell `base + j·stride` belongs to exactly the
+                // part `base % parts`, so concurrent writers are disjoint.
+                unsafe { sink.add_assign(base + j * stride, coef(j, i_n) * v) };
+            }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -224,6 +248,28 @@ mod tests {
         assert!(ttm_sparse(&s, 0, &u).is_err());
         assert!(ttm_sparse_transposed(&s, 0, &u).is_err());
         assert!(ttm_dense(&t, 3, &u).is_err());
+    }
+
+    #[test]
+    fn sparse_scatter_bitwise_identical_across_thread_counts() {
+        // 4096 stored entries clears SCATTER_PAR_MIN_NNZ, so the
+        // partitioned path actually runs at t > 1.
+        let d = DenseTensor::from_fn(&[16, 16, 16], |i| {
+            (1 + i[0] * 7 + i[1] * 3 + i[2]) as f64 * 0.5 - 100.0
+        });
+        let s = SparseTensor::from_dense(&d);
+        for mode in 0..3 {
+            let u = Matrix::from_fn(16, 5, |i, j| ((i * 5 + j) as f64).sin());
+            m2td_par::set_max_threads(1);
+            let serial = ttm_sparse_transposed(&s, mode, &u).unwrap();
+            let serial_fwd = ttm_sparse(&s, mode, &u.transpose()).unwrap();
+            for t in [2usize, 8] {
+                m2td_par::set_max_threads(t);
+                assert_eq!(ttm_sparse_transposed(&s, mode, &u).unwrap(), serial);
+                assert_eq!(ttm_sparse(&s, mode, &u.transpose()).unwrap(), serial_fwd);
+            }
+            m2td_par::set_max_threads(0);
+        }
     }
 
     #[test]

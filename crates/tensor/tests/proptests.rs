@@ -1,79 +1,105 @@
-//! Property-based tests of the tensor kernels on random tensors.
+//! Property-style tests of the tensor kernels on random tensors.
+//!
+//! The offline build has no `proptest`, so each property loops over a
+//! fixed set of seeds and draws its inputs from the in-tree seeded RNG —
+//! deterministic, shrink-free, but the same invariants.
 
 use m2td_linalg::Matrix;
 use m2td_tensor::{
-    hosvd_dense, hosvd_sparse, ttm_dense, ttm_dense_transposed, ttv_dense, DenseTensor,
-    IncrementalEnsemble, Shape, SparseTensor,
+    hosvd_dense, hosvd_sparse, ttm_dense, ttm_dense_transposed, ttm_sparse, ttm_sparse_transposed,
+    ttv_dense, DenseTensor, IncrementalEnsemble, Shape, SparseTensor,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: random tensor dims, 2–4 modes of extent 2–5.
-fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(2usize..=5, 2..=4)
+const CASES: u64 = 48;
+
+/// Random tensor dims: 2–4 modes of extent 2–5.
+fn rand_dims(rng: &mut StdRng) -> Vec<usize> {
+    let order = rng.gen_range(2usize..5);
+    (0..order).map(|_| rng.gen_range(2usize..6)).collect()
 }
 
-/// Strategy: a dense tensor with entries in ±2.
-fn dense_strategy() -> impl Strategy<Value = DenseTensor> {
-    dims_strategy().prop_flat_map(|dims| {
-        let total = Shape::new(&dims).num_elements();
-        prop::collection::vec(-2.0f64..2.0, total)
-            .prop_map(move |data| DenseTensor::from_vec(&dims, data).expect("length matches"))
-    })
+/// A dense tensor over random dims with entries in ±2.
+fn rand_dense(rng: &mut StdRng) -> DenseTensor {
+    let dims = rand_dims(rng);
+    DenseTensor::from_fn(&dims, |_| rng.gen_range(-2.0..2.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn unfold_fold_round_trips_every_mode(t in dense_strategy()) {
+#[test]
+fn unfold_fold_round_trips_every_mode() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         for mode in 0..t.order() {
             let m = t.unfold(mode).unwrap();
             let back = DenseTensor::fold(&m, mode, t.dims()).unwrap();
-            prop_assert_eq!(&back, &t, "mode {} round trip failed", mode);
+            assert_eq!(&back, &t, "mode {mode} round trip failed");
         }
     }
+}
 
-    #[test]
-    fn unfold_preserves_frobenius_norm(t in dense_strategy()) {
+#[test]
+fn unfold_preserves_frobenius_norm() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         for mode in 0..t.order() {
             let m = t.unfold(mode).unwrap();
-            prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-10);
+            assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn ttm_with_identity_is_identity(t in dense_strategy()) {
+#[test]
+fn ttm_with_identity_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         for mode in 0..t.order() {
             let id = Matrix::identity(t.dims()[mode]);
             let y = ttm_dense(&t, mode, &id).unwrap();
-            prop_assert_eq!(&y, &t);
+            assert_eq!(&y, &t);
         }
     }
+}
 
-    #[test]
-    fn ttm_is_linear_in_the_matrix(t in dense_strategy(), alpha in -2.0f64..2.0) {
+#[test]
+fn ttm_is_linear_in_the_matrix() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
+        let alpha = rng.gen_range(-2.0..2.0);
         let mode = 0;
         let d = t.dims()[mode];
         let u = Matrix::from_fn(2, d, |i, j| ((i * d + j) as f64 * 0.37).sin());
         let scaled = ttm_dense(&t, mode, &u.scaled(alpha)).unwrap();
         let then_scaled = ttm_dense(&t, mode, &u).unwrap().scaled(alpha);
         let diff = scaled.sub(&then_scaled).unwrap().frobenius_norm();
-        prop_assert!(diff < 1e-10 * (1.0 + then_scaled.frobenius_norm()));
+        assert!(diff < 1e-10 * (1.0 + then_scaled.frobenius_norm()));
     }
+}
 
-    #[test]
-    fn ttm_transpose_consistency(t in dense_strategy()) {
+#[test]
+fn ttm_transpose_consistency() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         for mode in 0..t.order() {
             let d = t.dims()[mode];
             let u = Matrix::from_fn(d, 2.min(d), |i, j| ((i + 3 * j) as f64 * 0.29).cos());
             let a = ttm_dense_transposed(&t, mode, &u).unwrap();
             let b = ttm_dense(&t, mode, &u.transpose()).unwrap();
-            prop_assert!(a.sub(&b).unwrap().frobenius_norm() < 1e-10);
+            assert!(a.sub(&b).unwrap().frobenius_norm() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn ttv_equals_ttm_with_row_vector(t in dense_strategy()) {
+#[test]
+fn ttv_equals_ttm_with_row_vector() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         let mode = t.order() - 1;
         let d = t.dims()[mode];
         let v: Vec<f64> = (0..d).map(|i| (i as f64 * 0.61).sin() + 0.5).collect();
@@ -81,43 +107,71 @@ proptest! {
         let row = Matrix::from_vec(1, d, v.clone()).unwrap();
         let via_ttm = ttm_dense(&t, mode, &row).unwrap();
         // via_ttm keeps the contracted mode with extent 1.
-        prop_assert_eq!(via_ttv.num_elements(), via_ttm.num_elements());
+        assert_eq!(via_ttv.num_elements(), via_ttm.num_elements());
         for (a, b) in via_ttv.as_slice().iter().zip(via_ttm.as_slice().iter()) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn hosvd_full_rank_is_exact_and_energy_preserving(t in dense_strategy()) {
+#[test]
+fn hosvd_full_rank_is_exact_and_energy_preserving() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         let ranks: Vec<usize> = t.dims().to_vec();
         let tucker = hosvd_dense(&t, &ranks).unwrap();
-        prop_assert!(tucker.relative_error(&t).unwrap() < 1e-8);
+        assert!(tucker.relative_error(&t).unwrap() < 1e-8);
         // Orthonormal factors preserve core energy.
         let core_norm = tucker.core.frobenius_norm();
-        prop_assert!((core_norm - t.frobenius_norm()).abs() < 1e-8 * (1.0 + core_norm));
+        assert!((core_norm - t.frobenius_norm()).abs() < 1e-8 * (1.0 + core_norm));
     }
+}
 
-    #[test]
-    fn hosvd_truncation_error_monotone_in_rank(t in dense_strategy()) {
+#[test]
+fn hosvd_truncation_error_monotone_in_rank() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         let r_small: Vec<usize> = t.dims().iter().map(|_| 1usize).collect();
         let r_big: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
-        let e_small = hosvd_dense(&t, &r_small).unwrap().relative_error(&t).unwrap();
+        let e_small = hosvd_dense(&t, &r_small)
+            .unwrap()
+            .relative_error(&t)
+            .unwrap();
         let e_big = hosvd_dense(&t, &r_big).unwrap().relative_error(&t).unwrap();
-        prop_assert!(e_big <= e_small + 1e-9, "rank 2 error {e_big} > rank 1 error {e_small}");
+        assert!(
+            e_big <= e_small + 1e-9,
+            "rank 2 error {e_big} > rank 1 error {e_small}"
+        );
     }
+}
 
-    #[test]
-    fn sparse_and_dense_hosvd_agree(t in dense_strategy()) {
+#[test]
+fn sparse_and_dense_hosvd_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         let sparse = SparseTensor::from_dense(&t);
-        prop_assume!(sparse.nnz() > 0);
+        if sparse.nnz() == 0 {
+            continue;
+        }
         let ranks: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
         let ed = hosvd_dense(&t, &ranks).unwrap().relative_error(&t).unwrap();
-        let es = hosvd_sparse(&sparse, &ranks).unwrap().relative_error(&t).unwrap();
-        prop_assert!((ed - es).abs() < 1e-7, "dense {ed} vs sparse {es}");
+        let es = hosvd_sparse(&sparse, &ranks)
+            .unwrap()
+            .relative_error(&t)
+            .unwrap();
+        assert!((ed - es).abs() < 1e-7, "dense {ed} vs sparse {es}");
     }
+}
 
-    #[test]
-    fn incremental_grams_equal_batch_for_random_fills(t in dense_strategy(), keep in 1usize..5) {
+#[test]
+fn incremental_grams_equal_batch_for_random_fills() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
+        let keep = rng.gen_range(1usize..5);
         let mut inc = IncrementalEnsemble::new(t.dims());
         let shape = t.shape().clone();
         let mut count = 0;
@@ -127,7 +181,9 @@ proptest! {
                 count += 1;
             }
         }
-        prop_assume!(count > 0);
+        if count == 0 {
+            continue;
+        }
         let sparse = inc.to_sparse();
         for mode in 0..t.order() {
             let diff = inc
@@ -136,12 +192,16 @@ proptest! {
                 .sub(&sparse.unfold_gram(mode).unwrap())
                 .unwrap()
                 .frobenius_norm();
-            prop_assert!(diff < 1e-10, "mode {mode} incremental gram drift {diff}");
+            assert!(diff < 1e-10, "mode {mode} incremental gram drift {diff}");
         }
     }
+}
 
-    #[test]
-    fn tucker_cell_agrees_with_reconstruction(t in dense_strategy()) {
+#[test]
+fn tucker_cell_agrees_with_reconstruction() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = rand_dense(&mut rng);
         let ranks: Vec<usize> = t.dims().iter().map(|&d| 2usize.min(d)).collect();
         let tucker = hosvd_dense(&t, &ranks).unwrap();
         let full = tucker.reconstruct().unwrap();
@@ -150,7 +210,61 @@ proptest! {
         for lin in (0..t.num_elements()).step_by(4) {
             let idx = shape.multi_index(lin);
             let direct = tucker.cell(&idx).unwrap();
-            prop_assert!((direct - full.get(&idx)).abs() < 1e-9);
+            assert!((direct - full.get(&idx)).abs() < 1e-9);
         }
+    }
+}
+
+/// The partitioned sparse TTM scatter must match the serial path bitwise
+/// on random tensors at every thread count; hosvd_sparse (whose per-mode
+/// factors are computed concurrently) must stay within 1e-10 Frobenius.
+#[test]
+fn parallel_sparse_ttm_matches_serial_on_random_tensors() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        // 3 modes, extents up to 12, randomly thinned — keeps some cases
+        // under and some over the internal parallel-scatter threshold.
+        let dims: Vec<usize> = (0..3).map(|_| rng.gen_range(4usize..13)).collect();
+        let keep = rng.gen_range(1usize..4);
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .filter(|l| l % keep == 0)
+            .map(|l| (shape.multi_index(l), rng.gen_range(-2.0..2.0)))
+            .collect();
+        let sparse = SparseTensor::from_entries(&dims, &entries).unwrap();
+        let mode = rng.gen_range(0usize..3);
+        let d = dims[mode];
+        let u = Matrix::from_fn(d, 3.min(d), |i, j| ((i * 5 + j) as f64 * 0.23).sin());
+
+        m2td_par::set_max_threads(1);
+        let transposed = ttm_sparse_transposed(&sparse, mode, &u).unwrap();
+        let plain = ttm_sparse(&sparse, mode, &u.transpose()).unwrap();
+        let ranks: Vec<usize> = dims.iter().map(|&d| 2.min(d)).collect();
+        let tucker_serial = hosvd_sparse(&sparse, &ranks).unwrap();
+
+        for threads in [2usize, 8] {
+            m2td_par::set_max_threads(threads);
+            assert_eq!(
+                ttm_sparse_transposed(&sparse, mode, &u).unwrap(),
+                transposed,
+                "ttm_sparse_transposed t={threads} seed={seed}"
+            );
+            assert_eq!(
+                ttm_sparse(&sparse, mode, &u.transpose()).unwrap(),
+                plain,
+                "ttm_sparse t={threads} seed={seed}"
+            );
+            let tucker = hosvd_sparse(&sparse, &ranks).unwrap();
+            let diff = tucker
+                .core
+                .sub(&tucker_serial.core)
+                .unwrap()
+                .frobenius_norm();
+            assert!(
+                diff < 1e-10,
+                "hosvd core drift {diff} t={threads} seed={seed}"
+            );
+        }
+        m2td_par::set_max_threads(0);
     }
 }

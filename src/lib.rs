@@ -31,6 +31,7 @@
 pub use m2td_core as core;
 pub use m2td_dist as dist;
 pub use m2td_linalg as linalg;
+pub use m2td_par as par;
 pub use m2td_sampling as sampling;
 pub use m2td_sim as sim;
 pub use m2td_stitch as stitch;
