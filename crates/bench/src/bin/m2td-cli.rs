@@ -12,7 +12,7 @@
 
 use m2td_bench::registry::{system_by_name, SystemKind};
 use m2td_bench::tables::workbench_config;
-use m2td_core::{M2tdOptions, PivotCombine, RunReport, Workbench};
+use m2td_core::{M2tdOptions, PivotCombine, RunReport, SimFaultPolicy, Workbench};
 use m2td_sampling::{
     GridSampling, LatinHypercubeSampling, RandomSampling, SamplingScheme, SliceSampling,
     StratifiedSampling,
@@ -76,6 +76,11 @@ FLAGS (run/compare):
   --groups <n>           multi-way partition group count  [default 2]
   --threads <n>          compute threads (0 = auto; overrides
                          M2TD_THREADS)                    [default 0]
+  --fault-rate <f>       per-attempt simulation failure
+                         probability in [0,1); failed runs
+                         become missing cells             [default 0]
+  --fault-seed <n>       seed of the fault schedule       [default 0]
+  --max-retries <n>      attempts per simulation run      [default 3]
 
 FLAGS (run only):
   --method <m>           select | avg | concat | zero-join |
@@ -129,6 +134,15 @@ fn run() -> Result<(), String> {
             if threads > 0 {
                 m2td_par::set_max_threads(threads);
             }
+            let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
+            let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
+            let max_retries: u32 = args.parse_or("max-retries", 3)?;
+            if !(0.0..1.0).contains(&fault_rate) {
+                return Err(format!("--fault-rate {fault_rate} must lie in [0, 1)"));
+            }
+            let faults = (fault_rate > 0.0).then(|| {
+                SimFaultPolicy::new(fault_seed, fault_rate).with_max_attempts(max_retries)
+            });
 
             let system = kind.instantiate();
             eprintln!(
@@ -156,9 +170,14 @@ fn run() -> Result<(), String> {
                         combine,
                         ..M2tdOptions::default()
                     };
-                    let r = bench
-                        .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
-                        .map_err(|e| e.to_string())?;
+                    let r = match &faults {
+                        Some(policy) => bench
+                            .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
+                            .map_err(|e| e.to_string())?,
+                        None => bench
+                            .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                            .map_err(|e| e.to_string())?,
+                    };
                     print_report(&r);
                 }
                 for scheme in [
@@ -194,13 +213,24 @@ fn run() -> Result<(), String> {
                         ..M2tdOptions::default()
                     };
                     if groups != 2 {
+                        if faults.is_some() {
+                            return Err(
+                                "--fault-rate is only supported for two-way runs (--groups 2)"
+                                    .to_string(),
+                            );
+                        }
                         bench
                             .run_m2td_multi(pivot, groups, opts, p_frac, e_frac)
                             .map_err(|e| e.to_string())?
                     } else {
-                        bench
-                            .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
-                            .map_err(|e| e.to_string())?
+                        match &faults {
+                            Some(policy) => bench
+                                .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
+                                .map_err(|e| e.to_string())?,
+                            None => bench
+                                .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                                .map_err(|e| e.to_string())?,
+                        }
                     }
                 }
                 "random" | "grid" | "slice" | "latin-hypercube" | "stratified" => {
@@ -263,6 +293,16 @@ fn print_report(r: &RunReport) {
         r.distinct_sims,
         r.density,
     );
+    if let Some(d) = &r.degraded {
+        println!(
+            "{:<18} degraded mode: {} failed sims, {} retries, coverage {:.1}% of {} planned cells",
+            "",
+            d.failed_sims,
+            d.sim_retries,
+            d.coverage * 100.0,
+            d.planned_cells,
+        );
+    }
 }
 
 fn main() -> ExitCode {

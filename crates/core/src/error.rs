@@ -21,6 +21,14 @@ pub enum CoreError {
     Stitch(m2td_stitch::StitchError),
     /// Simulation/ensemble failure.
     Sim(m2td_sim::SimError),
+    /// Too many simulation runs failed for degraded-mode decomposition to
+    /// proceed: surviving-cell coverage fell below the configured floor.
+    InsufficientCoverage {
+        /// Fraction of planned cells that survived simulation failures.
+        coverage: f64,
+        /// The minimum coverage the run was configured to tolerate.
+        required: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +40,13 @@ impl fmt::Display for CoreError {
             CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
             CoreError::Stitch(e) => write!(f, "stitch error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::InsufficientCoverage { coverage, required } => write!(
+                f,
+                "insufficient simulation coverage for degraded-mode decomposition: \
+                 {:.1}% of planned cells survived, {:.1}% required",
+                coverage * 100.0,
+                required * 100.0
+            ),
         }
     }
 }
@@ -39,7 +54,7 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CoreError::InvalidInput { .. } => None,
+            CoreError::InvalidInput { .. } | CoreError::InsufficientCoverage { .. } => None,
             CoreError::Linalg(e) => Some(e),
             CoreError::Tensor(e) => Some(e),
             CoreError::Sampling(e) => Some(e),

@@ -36,7 +36,7 @@ pub use m2td::{
     m2td_decompose, projection_factors, CoreProjection, M2tdDecomposition, M2tdOptions, M2tdTimings,
 };
 pub use multiway::m2td_decompose_multi;
-pub use pipeline::{RunReport, Workbench, WorkbenchConfig};
+pub use pipeline::{DegradedStats, RunReport, SimFaultPolicy, Workbench, WorkbenchConfig};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -20,12 +20,14 @@
 use crate::error::CoreError;
 use crate::m2td::{m2td_decompose, M2tdOptions, M2tdTimings};
 use crate::Result;
+use m2td_fault::FaultPlan;
 use m2td_sampling::{PfPartition, SamplingScheme, SubSystem};
 use m2td_sim::{EnsembleBuilder, EnsembleSystem, ParameterSpace, TimeGrid};
 use m2td_stitch::StitchReport;
-use m2td_tensor::{hosvd_sparse, DenseTensor};
+use m2td_tensor::{hosvd_sparse, DenseTensor, Shape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Static configuration of a workbench.
@@ -63,6 +65,69 @@ impl Default for WorkbenchConfig {
     }
 }
 
+/// Failure model for the simulation stage of a degraded-mode run
+/// ([`Workbench::run_m2td_degraded`]): which runs fail (deterministic,
+/// seeded), how often each is retried, and how much missingness the
+/// decomposition tolerates before giving up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimFaultPolicy {
+    /// Seeded failure schedule; only its simulation stream is consulted.
+    pub plan: FaultPlan,
+    /// Attempts per simulation run before it is abandoned.
+    pub max_attempts: u32,
+    /// Minimum fraction of planned cells that must survive for the
+    /// decomposition to proceed; below it the run aborts with
+    /// [`CoreError::InsufficientCoverage`].
+    pub min_coverage: f64,
+}
+
+impl SimFaultPolicy {
+    /// A policy failing each simulation attempt with probability
+    /// `fail_rate`, retrying up to 3 attempts, tolerating 50% cell loss.
+    pub fn new(seed: u64, fail_rate: f64) -> Self {
+        Self {
+            plan: FaultPlan::sim_failures(seed, fail_rate),
+            max_attempts: 3,
+            min_coverage: 0.5,
+        }
+    }
+
+    /// Sets the coverage floor.
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        self.min_coverage = min_coverage;
+        self
+    }
+
+    /// Sets the per-run attempt budget.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+}
+
+/// Degraded-mode accounting attached to a [`RunReport`] when the run
+/// executed under a [`SimFaultPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedStats {
+    /// Simulation runs that failed on every allowed attempt; their cells
+    /// became missing values.
+    pub failed_sims: usize,
+    /// Extra simulation attempts spent on eventually-successful retries.
+    pub sim_retries: usize,
+    /// Cells the sampling plan called for before failures.
+    pub planned_cells: usize,
+    /// Fraction of planned cells that survived (`cells / planned_cells`).
+    pub coverage: f64,
+}
+
+impl DegradedStats {
+    /// True if any run was lost — i.e. the reported accuracy is a
+    /// degraded-mode accuracy over a thinner-than-planned ensemble.
+    pub fn is_degraded(&self) -> bool {
+        self.failed_sims > 0
+    }
+}
+
 /// The outcome of one strategy run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -84,6 +149,20 @@ pub struct RunReport {
     pub timings: Option<M2tdTimings>,
     /// Stitch statistics, for M2TD / joined-HOSVD runs.
     pub stitch: Option<StitchReport>,
+    /// Degraded-mode accounting, for runs executed under a
+    /// [`SimFaultPolicy`].
+    pub degraded: Option<DegradedStats>,
+}
+
+/// Output of [`Workbench::build_subsystems`]: the two sub-tensors plus
+/// sampling/failure accounting.
+struct SubsystemBuild {
+    x1: m2td_tensor::SparseTensor,
+    x2: m2td_tensor::SparseTensor,
+    cells: usize,
+    distinct_sims: usize,
+    simulate_secs: f64,
+    degraded: Option<DegradedStats>,
 }
 
 /// A fixed `(system, space, grid, rank)` experiment context with the
@@ -161,8 +240,8 @@ impl<'a> Workbench<'a> {
         PfPartition,
     )> {
         let partition = PfPartition::balanced(self.n_modes(), pivot_mode)?;
-        let (x1, x2, _, _, _) = self.build_subsystems(&partition, p_frac, e_frac, cell_frac)?;
-        Ok((x1, x2, partition))
+        let build = self.build_subsystems(&partition, p_frac, e_frac, cell_frac, None)?;
+        Ok((build.x1, build.x2, partition))
     }
 
     /// Mode extents of the full ensemble tensor (parameters + time).
@@ -262,26 +341,57 @@ impl<'a> Workbench<'a> {
             density: sparse.density(),
             timings: None,
             stitch: None,
+            degraded: None,
         })
     }
 
+    /// Drops every plan cell belonging to a simulation run the fault plan
+    /// kills on all allowed attempts. Returns the surviving plan plus
+    /// `(failed_runs, retries_spent)`.
+    fn filter_failed_runs(
+        &self,
+        plan: Vec<Vec<usize>>,
+        subsystem: u64,
+        faults: &SimFaultPolicy,
+    ) -> (Vec<Vec<usize>>, usize, usize) {
+        let n_params = self.full_dims.len() - 1;
+        let param_shape = Shape::new(&self.full_dims[..n_params]);
+        let mut fate: HashMap<u64, bool> = HashMap::new();
+        let mut failed = 0usize;
+        let mut retries = 0usize;
+        let kept = plan
+            .into_iter()
+            .filter(|cell| {
+                // One fault draw per distinct simulation run (= parameter
+                // config), with the subsystem folded in so the two
+                // sub-ensembles draw independently.
+                let key = (param_shape.linear_index(&cell[..n_params]) as u64)
+                    .wrapping_mul(2)
+                    .wrapping_add(subsystem);
+                *fate.entry(key).or_insert_with(|| {
+                    let (ok, attempts) = faults.plan.sim_survives(key, faults.max_attempts);
+                    retries += attempts.saturating_sub(1) as usize;
+                    if !ok {
+                        failed += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+        (kept, failed, retries)
+    }
+
     /// Builds the two PF-partitioned sub-tensors for the given pivot mode
-    /// and densities. Returned alongside the partition and the sampling
-    /// accounting `(cells, distinct_sims, simulate_secs)`.
-    #[allow(clippy::type_complexity)]
+    /// and densities, optionally dropping runs killed by a
+    /// [`SimFaultPolicy`].
     fn build_subsystems(
         &self,
         partition: &PfPartition,
         p_frac: f64,
         e_frac: f64,
         cell_frac: f64,
-    ) -> Result<(
-        m2td_tensor::SparseTensor,
-        m2td_tensor::SparseTensor,
-        usize,
-        usize,
-        f64,
-    )> {
+        faults: Option<&SimFaultPolicy>,
+    ) -> Result<SubsystemBuild> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let builder = self.builder();
         let mut plan1 = partition.plan_subsystem(
@@ -316,6 +426,33 @@ impl<'a> Workbench<'a> {
                 plan.truncate(keep);
             }
         }
+        let planned_cells = plan1.len() + plan2.len();
+
+        // Degraded mode: failed simulation runs drop out of the plans and
+        // become missing cells, as long as the coverage floor holds.
+        let degraded = match faults {
+            None => None,
+            Some(policy) => {
+                let (kept1, failed1, retries1) = self.filter_failed_runs(plan1, 1, policy);
+                let (kept2, failed2, retries2) = self.filter_failed_runs(plan2, 2, policy);
+                plan1 = kept1;
+                plan2 = kept2;
+                let survived = plan1.len() + plan2.len();
+                let coverage = survived as f64 / planned_cells.max(1) as f64;
+                if coverage < policy.min_coverage || plan1.is_empty() || plan2.is_empty() {
+                    return Err(CoreError::InsufficientCoverage {
+                        coverage,
+                        required: policy.min_coverage,
+                    });
+                }
+                Some(DegradedStats {
+                    failed_sims: failed1 + failed2,
+                    sim_retries: retries1 + retries2,
+                    planned_cells,
+                    coverage,
+                })
+            }
+        };
         let cells = plan1.len() + plan2.len();
 
         let t_sim = Instant::now();
@@ -332,7 +469,14 @@ impl<'a> Workbench<'a> {
 
         let x1 = partition.extract_sub_tensor(&full1, &self.defaults, SubSystem::First)?;
         let x2 = partition.extract_sub_tensor(&full2, &self.defaults, SubSystem::Second)?;
-        Ok((x1, x2, cells, sims1 + sims2, simulate_secs))
+        Ok(SubsystemBuild {
+            x1,
+            x2,
+            cells,
+            distinct_sims: sims1 + sims2,
+            simulate_secs,
+            degraded,
+        })
     }
 
     /// Runs the full M2TD pipeline for one pivot mode and strategy.
@@ -358,9 +502,39 @@ impl<'a> Workbench<'a> {
         e_frac: f64,
         cell_frac: f64,
     ) -> Result<RunReport> {
+        self.run_m2td_inner(pivot_mode, opts, p_frac, e_frac, cell_frac, None)
+    }
+
+    /// As [`Self::run_m2td_cells`], but the simulation stage runs under a
+    /// [`SimFaultPolicy`]: runs killed on every allowed attempt become
+    /// missing cells, the decomposition proceeds as long as the policy's
+    /// coverage floor holds (zero-join stitching absorbs the extra
+    /// missingness), and the report's [`DegradedStats`] record what was
+    /// lost. Below the floor the run aborts with
+    /// [`CoreError::InsufficientCoverage`].
+    pub fn run_m2td_degraded(
+        &self,
+        pivot_mode: usize,
+        opts: M2tdOptions,
+        p_frac: f64,
+        e_frac: f64,
+        cell_frac: f64,
+        faults: &SimFaultPolicy,
+    ) -> Result<RunReport> {
+        self.run_m2td_inner(pivot_mode, opts, p_frac, e_frac, cell_frac, Some(faults))
+    }
+
+    fn run_m2td_inner(
+        &self,
+        pivot_mode: usize,
+        opts: M2tdOptions,
+        p_frac: f64,
+        e_frac: f64,
+        cell_frac: f64,
+        faults: Option<&SimFaultPolicy>,
+    ) -> Result<RunReport> {
         let partition = PfPartition::balanced(self.n_modes(), pivot_mode)?;
-        let (x1, x2, cells, distinct_sims, simulate_secs) =
-            self.build_subsystems(&partition, p_frac, e_frac, cell_frac)?;
+        let build = self.build_subsystems(&partition, p_frac, e_frac, cell_frac, faults)?;
 
         // Ranks in join order.
         let join_modes = partition.join_modes();
@@ -370,7 +544,7 @@ impl<'a> Workbench<'a> {
             .collect();
 
         let t_dec = Instant::now();
-        let decomp = m2td_decompose(&x1, &x2, partition.k(), &join_ranks, opts)?;
+        let decomp = m2td_decompose(&build.x1, &build.x2, partition.k(), &join_ranks, opts)?;
         let recon_join = decomp.tucker.reconstruct()?;
         let recon = recon_join.permute_modes(&partition.perm_join_to_natural())?;
         let decompose_secs = t_dec.elapsed().as_secs_f64();
@@ -379,12 +553,13 @@ impl<'a> Workbench<'a> {
             method: opts.combine.name().to_string(),
             accuracy: self.accuracy(&recon)?,
             decompose_secs,
-            simulate_secs,
-            cells,
-            distinct_sims,
+            simulate_secs: build.simulate_secs,
+            cells: build.cells,
+            distinct_sims: build.distinct_sims,
             density: decomp.stitch_report.join_density,
             timings: Some(decomp.timings),
             stitch: Some(decomp.stitch_report),
+            degraded: build.degraded,
         })
     }
 
@@ -467,6 +642,7 @@ impl<'a> Workbench<'a> {
             density: decomp.stitch_report.join_density,
             timings: Some(decomp.timings),
             stitch: Some(decomp.stitch_report.clone()),
+            degraded: None,
         })
     }
 
@@ -481,8 +657,14 @@ impl<'a> Workbench<'a> {
         e_frac: f64,
     ) -> Result<RunReport> {
         let partition = PfPartition::balanced(self.n_modes(), pivot_mode)?;
-        let (x1, x2, cells, distinct_sims, simulate_secs) =
-            self.build_subsystems(&partition, p_frac, e_frac, 1.0)?;
+        let SubsystemBuild {
+            x1,
+            x2,
+            cells,
+            distinct_sims,
+            simulate_secs,
+            ..
+        } = self.build_subsystems(&partition, p_frac, e_frac, 1.0, None)?;
 
         let t_dec = Instant::now();
         let (join, report) = m2td_stitch::stitch(&x1, &x2, partition.k(), stitch_kind)?;
@@ -502,6 +684,7 @@ impl<'a> Workbench<'a> {
             density: join.density(),
             timings: None,
             stitch: Some(report),
+            degraded: None,
         })
     }
 }
@@ -666,5 +849,93 @@ mod tests {
         let full = w.run_m2td(4, M2tdOptions::default(), 1.0, 1.0).unwrap();
         let half = w.run_m2td(4, M2tdOptions::default(), 1.0, 0.5).unwrap();
         assert!(half.cells < full.cells);
+    }
+
+    #[test]
+    fn fault_free_policy_matches_plain_run() {
+        let w = bench();
+        let plain = w.run_m2td(4, M2tdOptions::default(), 1.0, 1.0).unwrap();
+        let policy = SimFaultPolicy::new(9, 0.0);
+        let under = w
+            .run_m2td_degraded(4, M2tdOptions::default(), 1.0, 1.0, 1.0, &policy)
+            .unwrap();
+        let stats = under.degraded.unwrap();
+        assert_eq!(stats.failed_sims, 0);
+        assert!(!stats.is_degraded());
+        assert_eq!(stats.coverage, 1.0);
+        assert_eq!(under.cells, plain.cells);
+        assert_eq!(under.accuracy, plain.accuracy);
+    }
+
+    #[test]
+    fn degraded_run_loses_cells_but_still_decomposes() {
+        let w = bench();
+        // High per-attempt failure with no retries guarantees lost runs.
+        let policy = SimFaultPolicy::new(5, 0.4)
+            .with_max_attempts(1)
+            .with_min_coverage(0.2);
+        let opts = M2tdOptions {
+            stitch: m2td_stitch::StitchKind::ZeroJoin,
+            ..M2tdOptions::default()
+        };
+        let r = w
+            .run_m2td_degraded(4, opts, 1.0, 1.0, 1.0, &policy)
+            .unwrap();
+        let stats = r.degraded.unwrap();
+        assert!(stats.is_degraded(), "no run failed at 40% failure rate");
+        assert!(stats.coverage < 1.0);
+        assert!(r.cells < stats.planned_cells);
+        assert!(r.accuracy.is_finite());
+        // Degraded accuracy should still beat doing nothing.
+        assert!(r.accuracy > 0.0, "degraded accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn coverage_floor_violation_is_a_clean_error() {
+        let w = bench();
+        // Near-certain failure with a high floor must abort, not panic.
+        let policy = SimFaultPolicy::new(7, 0.97)
+            .with_max_attempts(1)
+            .with_min_coverage(0.9);
+        let err = w
+            .run_m2td_degraded(4, M2tdOptions::default(), 1.0, 1.0, 1.0, &policy)
+            .unwrap_err();
+        match err {
+            CoreError::InsufficientCoverage { coverage, required } => {
+                assert!(coverage < required);
+                assert_eq!(required, 0.9);
+            }
+            other => panic!("expected InsufficientCoverage, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retries_rescue_runs_a_single_attempt_loses() {
+        let w = bench();
+        let one_shot = SimFaultPolicy::new(11, 0.35)
+            .with_max_attempts(1)
+            .with_min_coverage(0.1);
+        let retried = SimFaultPolicy::new(11, 0.35)
+            .with_max_attempts(4)
+            .with_min_coverage(0.1);
+        let opts = M2tdOptions {
+            stitch: m2td_stitch::StitchKind::ZeroJoin,
+            ..M2tdOptions::default()
+        };
+        let r1 = w
+            .run_m2td_degraded(4, opts, 1.0, 1.0, 1.0, &one_shot)
+            .unwrap();
+        let r2 = w
+            .run_m2td_degraded(4, opts, 1.0, 1.0, 1.0, &retried)
+            .unwrap();
+        let (s1, s2) = (r1.degraded.unwrap(), r2.degraded.unwrap());
+        assert!(
+            s2.failed_sims < s1.failed_sims,
+            "retries should rescue runs: {} vs {}",
+            s2.failed_sims,
+            s1.failed_sims
+        );
+        assert!(s2.sim_retries > 0, "rescues must cost retries");
+        assert!(s2.coverage > s1.coverage);
     }
 }

@@ -1,0 +1,296 @@
+//! Phase-boundary checkpoints for D-M2TD.
+//!
+//! A D-M2TD run is three MapReduce phases; under failure a naive engine
+//! recomputes everything from scratch. The [`CheckpointStore`] persists
+//! the output of each completed phase boundary via `m2td-json`:
+//!
+//! * **phase 1** — the combined factor matrices, in join order;
+//! * **phase 2** — the stitched join tensor.
+//!
+//! A later run over the *same inputs* (guarded by a [`Fingerprint`] of the
+//! sub-tensor contents, pivot count, ranks and options) loads these
+//! artifacts and skips straight to the first incomplete phase, so a
+//! phase-3 failure resumes from persisted phase-1 factors and phase-2 join
+//! cells instead of recomputing them. Stale or corrupt checkpoint files
+//! are treated as absent, never trusted.
+
+use m2td_core::M2tdOptions;
+use m2td_json::{FromJson, Json, ToJson};
+use m2td_linalg::Matrix;
+use m2td_tensor::SparseTensor;
+use std::path::{Path, PathBuf};
+
+/// Identity of one D-M2TD invocation: checkpoints are only resumable when
+/// every field matches, including a content hash of both entry streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    dims1: Vec<usize>,
+    dims2: Vec<usize>,
+    k: usize,
+    ranks: Vec<usize>,
+    options: String,
+    content_hash: u64,
+}
+
+/// Folds one `(linear index, value)` entry into a running splitmix hash.
+fn fold_entry(acc: u64, lin: u64, value: f64) -> u64 {
+    let mut z = acc
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(lin)
+        .wrapping_add(value.to_bits().rotate_left(17));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+impl Fingerprint {
+    /// Fingerprints a D-M2TD invocation.
+    pub fn new(
+        x1: &SparseTensor,
+        x2: &SparseTensor,
+        k: usize,
+        ranks: &[usize],
+        opts: &M2tdOptions,
+    ) -> Self {
+        let mut h = 0x4d32_5444u64; // "M2TD"
+        for (lin, v) in x1.iter_linear() {
+            h = fold_entry(h, lin, v);
+        }
+        h = h.rotate_left(32);
+        for (lin, v) in x2.iter_linear() {
+            h = fold_entry(h, lin, v);
+        }
+        Self {
+            dims1: x1.dims().to_vec(),
+            dims2: x2.dims().to_vec(),
+            k,
+            ranks: ranks.to_vec(),
+            options: format!("{opts:?}"),
+            content_hash: h,
+        }
+    }
+}
+
+impl ToJson for Fingerprint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dims1".to_string(), self.dims1.to_json()),
+            ("dims2".to_string(), self.dims2.to_json()),
+            ("k".to_string(), self.k.to_json()),
+            ("ranks".to_string(), self.ranks.to_json()),
+            ("options".to_string(), self.options.to_json()),
+            // Bit-cast through i64: the hash uses all 64 bits, and
+            // `Json::Int` is an i64.
+            (
+                "content_hash".to_string(),
+                Json::Int(self.content_hash as i64),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Fingerprint {
+    fn from_json(json: &Json) -> Result<Self, m2td_json::JsonError> {
+        let content_hash = match json.require("content_hash")? {
+            Json::Int(i) => *i as u64,
+            other => {
+                return Err(m2td_json::JsonError::Type {
+                    expected: "integer content hash",
+                    found: other.type_name(),
+                })
+            }
+        };
+        Ok(Self {
+            dims1: FromJson::from_json(json.require("dims1")?)?,
+            dims2: FromJson::from_json(json.require("dims2")?)?,
+            k: json.require("k")?.as_usize()?,
+            ranks: FromJson::from_json(json.require("ranks")?)?,
+            options: json.require("options")?.as_str()?.to_string(),
+            content_hash,
+        })
+    }
+}
+
+/// A directory of phase-boundary checkpoint files for D-M2TD runs.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+/// Errors raised while *writing* checkpoints. (Unreadable checkpoints are
+/// not errors — loads degrade to "absent" and the phase recomputes.)
+pub type CheckpointError = String;
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("create checkpoint dir {}: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// The directory checkpoints are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn phase_path(&self, phase: u8) -> PathBuf {
+        self.dir.join(format!("phase{phase}.json"))
+    }
+
+    fn save(&self, phase: u8, fp: &Fingerprint, payload: Json) -> Result<(), CheckpointError> {
+        let doc = Json::Obj(vec![
+            ("fingerprint".to_string(), fp.to_json()),
+            ("payload".to_string(), payload),
+        ]);
+        let path = self.phase_path(phase);
+        std::fs::write(&path, doc.to_compact())
+            .map_err(|e| format!("write checkpoint {}: {e}", path.display()))
+    }
+
+    /// Loads a phase payload iff the file exists, parses, and its
+    /// fingerprint matches `fp`. Any failure yields `None`.
+    fn load(&self, phase: u8, fp: &Fingerprint) -> Option<Json> {
+        let text = std::fs::read_to_string(self.phase_path(phase)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        let stored = Fingerprint::from_json(doc.get("fingerprint")?).ok()?;
+        if &stored != fp {
+            return None;
+        }
+        doc.get("payload").cloned()
+    }
+
+    /// Persists the phase-1 output: combined factors in join order.
+    pub fn save_phase1(&self, fp: &Fingerprint, factors: &[Matrix]) -> Result<(), CheckpointError> {
+        self.save(1, fp, factors.to_vec().to_json())
+    }
+
+    /// Loads phase-1 factors for a matching run, if present and intact.
+    pub fn load_phase1(&self, fp: &Fingerprint) -> Option<Vec<Matrix>> {
+        let payload = self.load(1, fp)?;
+        Vec::<Matrix>::from_json(&payload).ok()
+    }
+
+    /// Persists the phase-2 output: the stitched join tensor.
+    pub fn save_phase2(
+        &self,
+        fp: &Fingerprint,
+        join: &SparseTensor,
+    ) -> Result<(), CheckpointError> {
+        self.save(2, fp, join.to_json())
+    }
+
+    /// Loads the phase-2 join tensor for a matching run, if present and
+    /// intact.
+    pub fn load_phase2(&self, fp: &Fingerprint) -> Option<SparseTensor> {
+        let payload = self.load(2, fp)?;
+        SparseTensor::from_json(&payload).ok()
+    }
+
+    /// Deletes any checkpoint files in the store.
+    pub fn clear(&self) -> Result<(), CheckpointError> {
+        for phase in [1u8, 2] {
+            let path = self.phase_path(phase);
+            if path.exists() {
+                std::fs::remove_file(&path)
+                    .map_err(|e| format!("remove checkpoint {}: {e}", path.display()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir()
+            .join("m2td_checkpoint_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir).unwrap()
+    }
+
+    fn tensors() -> (SparseTensor, SparseTensor) {
+        let x1 =
+            SparseTensor::from_entries(&[3, 2], &[(vec![0, 0], 1.0), (vec![2, 1], -0.5)]).unwrap();
+        let x2 = SparseTensor::from_entries(&[3, 2], &[(vec![1, 1], 2.0)]).unwrap();
+        (x1, x2)
+    }
+
+    #[test]
+    fn phase1_round_trips_under_matching_fingerprint() {
+        let store = tmp_store("p1_roundtrip");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        let factors = vec![Matrix::identity(3), Matrix::identity(2)];
+        store.save_phase1(&fp, &factors).unwrap();
+        let back = store.load_phase1(&fp).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].as_slice(), factors[0].as_slice());
+    }
+
+    #[test]
+    fn phase2_round_trips_and_clear_removes() {
+        let store = tmp_store("p2_roundtrip");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        store.save_phase2(&fp, &x1).unwrap();
+        assert_eq!(store.load_phase2(&fp).unwrap(), x1);
+        store.clear().unwrap();
+        assert!(store.load_phase2(&fp).is_none());
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_treated_as_absent() {
+        let store = tmp_store("fp_mismatch");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        store.save_phase2(&fp, &x1).unwrap();
+        // Different ranks → different fingerprint → no resume.
+        let other = Fingerprint::new(&x1, &x2, 1, &[1, 1, 1], &M2tdOptions::default());
+        assert!(store.load_phase2(&other).is_none());
+        // Different input values → different fingerprint.
+        let x1b = SparseTensor::from_entries(&[3, 2], &[(vec![0, 0], 9.0)]).unwrap();
+        let changed = Fingerprint::new(&x1b, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        assert!(store.load_phase2(&changed).is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_files_degrade_to_absent() {
+        let store = tmp_store("corrupt");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        std::fs::write(store.dir().join("phase1.json"), "{not json").unwrap();
+        std::fs::write(store.dir().join("phase2.json"), "{\"payload\": 3}").unwrap();
+        assert!(store.load_phase1(&fp).is_none());
+        assert!(store.load_phase2(&fp).is_none());
+    }
+
+    #[test]
+    fn fingerprint_with_high_bit_hash_round_trips() {
+        // Content hashes use all 64 bits; serialization must not lose the
+        // high bit through `Json::Int`'s i64.
+        let fp = Fingerprint {
+            dims1: vec![2],
+            dims2: vec![2],
+            k: 1,
+            ranks: vec![1, 1, 1],
+            options: "opts".to_string(),
+            content_hash: u64::MAX - 3,
+        };
+        let back = Fingerprint::from_json(&fp.to_json()).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn missing_store_files_are_absent_not_errors() {
+        let store = tmp_store("empty");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        assert!(store.load_phase1(&fp).is_none());
+        assert!(store.load_phase2(&fp).is_none());
+        store.clear().unwrap();
+    }
+}

@@ -12,10 +12,24 @@
 //!   across reducers; each computes a partial core via the TTM chain over
 //!   its cells (TTM is linear in the tensor, so partial cores sum to the
 //!   exact core).
+//!
+//! ## Fault tolerance
+//!
+//! [`d_m2td_fault_tolerant`] executes the same dataflow under a seeded
+//! [`FaultConfig`]: task kills are retried with deterministic virtual
+//! backoff, stragglers are rescued by speculative re-execution, and each
+//! completed phase boundary can be persisted to a
+//! [`CheckpointStore`](crate::CheckpointStore) so a later run over the
+//! same inputs resumes from the first incomplete phase. Because every
+//! task is pure, any fault schedule that eventually succeeds produces
+//! factors and a core **bitwise identical** to the fault-free run at every
+//! `M2TD_THREADS` setting; `tests/fault_determinism.rs` pins this.
 
+use crate::checkpoint::{CheckpointStore, Fingerprint};
 use crate::cluster::{ClusterModel, PhaseCost};
 use crate::mapreduce::{MapReduce, ShuffleStats};
 use m2td_core::{projection_factors, CoreError, M2tdOptions};
+use m2td_fault::{FaultError, FaultPlan, RetryPolicy, TaskCounters};
 use m2td_linalg::{symmetric_eig, Matrix};
 use m2td_stitch::StitchKind;
 use m2td_tensor::{sparse_core, CoreOrdering, DenseTensor, Shape, SparseTensor, TuckerDecomp};
@@ -30,6 +44,10 @@ pub enum DistError {
     Core(CoreError),
     /// Structural problem specific to the distributed formulation.
     Invalid(String),
+    /// A task was killed on every attempt its retry budget allowed.
+    Exhausted(FaultError),
+    /// A phase checkpoint could not be written.
+    Checkpoint(String),
 }
 
 impl fmt::Display for DistError {
@@ -37,6 +55,8 @@ impl fmt::Display for DistError {
         match self {
             DistError::Core(e) => write!(f, "core error: {e}"),
             DistError::Invalid(s) => write!(f, "invalid D-M2TD input: {s}"),
+            DistError::Exhausted(e) => write!(f, "{e}"),
+            DistError::Checkpoint(s) => write!(f, "checkpoint error: {s}"),
         }
     }
 }
@@ -45,7 +65,8 @@ impl std::error::Error for DistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DistError::Core(e) => Some(e),
-            DistError::Invalid(_) => None,
+            DistError::Invalid(_) | DistError::Checkpoint(_) => None,
+            DistError::Exhausted(e) => Some(e),
         }
     }
 }
@@ -68,6 +89,47 @@ impl From<m2td_linalg::LinalgError> for DistError {
     }
 }
 
+impl From<FaultError> for DistError {
+    fn from(e: FaultError) -> Self {
+        DistError::Exhausted(e)
+    }
+}
+
+/// The failure model one D-M2TD run executes under: which faults are
+/// injected ([`FaultPlan`]) and how the engine responds ([`RetryPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Injected faults (deterministic, seeded).
+    pub plan: FaultPlan,
+    /// Retry budget, backoff schedule and speculation threshold.
+    pub policy: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// No injected faults, default retry policy.
+    pub fn none() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Job ids the three phases run under — a [`FaultPlan`] scoped with
+/// [`FaultPlan::in_job`] targets exactly one phase.
+pub const PHASE1_JOB: u64 = 1;
+/// See [`PHASE1_JOB`].
+pub const PHASE2_JOB: u64 = 2;
+/// See [`PHASE1_JOB`]. Under [`Phase3Strategy::ModeShuffle`] all per-mode
+/// jobs share this id.
+pub const PHASE3_JOB: u64 = 3;
+
 /// Measured statistics of one phase: serial compute time plus the shuffle
 /// volume of its MapReduce job. Feed these to a [`ClusterModel`] to obtain
 /// Table III-style per-server-count times.
@@ -77,9 +139,34 @@ pub struct PhaseStats {
     pub serial_secs: f64,
     /// Shuffle statistics of the phase's MapReduce job.
     pub shuffle: ShuffleStats,
+    /// Task-execution counters (attempts, kills, stragglers, speculative
+    /// copies, virtual lost time) accumulated by the phase's job(s).
+    /// All-zero for a phase resumed from a checkpoint.
+    pub tasks: TaskCounters,
+    /// True if this phase's output was loaded from a
+    /// [`CheckpointStore`](crate::CheckpointStore) instead of computed.
+    pub resumed: bool,
 }
 
 impl PhaseStats {
+    fn computed(serial_secs: f64, shuffle: ShuffleStats, tasks: TaskCounters) -> Self {
+        Self {
+            serial_secs,
+            shuffle,
+            tasks,
+            resumed: false,
+        }
+    }
+
+    fn resumed_from_checkpoint() -> Self {
+        Self {
+            serial_secs: 0.0,
+            shuffle: ShuffleStats::default(),
+            tasks: TaskCounters::default(),
+            resumed: true,
+        }
+    }
+
     /// Projects this phase onto a modeled cluster.
     pub fn on_cluster(&self, model: &ClusterModel) -> PhaseCost {
         model.phase_cost(self.serial_secs, &self.shuffle)
@@ -97,6 +184,17 @@ pub struct DistDecomposition {
     pub phase2: PhaseStats,
     /// Phase 3 statistics (parallel core recovery).
     pub phase3: PhaseStats,
+}
+
+impl DistDecomposition {
+    /// Aggregate task counters over all three phases.
+    pub fn total_tasks(&self) -> TaskCounters {
+        let mut c = TaskCounters::default();
+        c.absorb(&self.phase1.tasks);
+        c.absorb(&self.phase2.tasks);
+        c.absorb(&self.phase3.tasks);
+        c
+    }
 }
 
 /// How Phase 3 (core recovery) is distributed.
@@ -119,7 +217,8 @@ pub enum Phase3Strategy {
 /// [`m2td_core::m2td_decompose`]; the result agrees with the serial
 /// implementation up to floating-point accumulation order. Phase 3 uses
 /// the [`Phase3Strategy::ChunkPartition`] dataflow; use
-/// [`d_m2td_with_phase3`] to select the paper's per-mode shuffle instead.
+/// [`d_m2td_with_phase3`] to select the paper's per-mode shuffle instead,
+/// or [`d_m2td_fault_tolerant`] to run under a failure model.
 pub fn d_m2td(
     x1: &SparseTensor,
     x2: &SparseTensor,
@@ -140,7 +239,6 @@ pub fn d_m2td(
 }
 
 /// [`d_m2td`] with an explicit Phase-3 dataflow.
-#[allow(clippy::too_many_arguments)]
 pub fn d_m2td_with_phase3(
     x1: &SparseTensor,
     x2: &SparseTensor,
@@ -149,6 +247,45 @@ pub fn d_m2td_with_phase3(
     opts: M2tdOptions,
     engine: &MapReduce,
     phase3_strategy: Phase3Strategy,
+) -> Result<DistDecomposition, DistError> {
+    d_m2td_fault_tolerant(
+        x1,
+        x2,
+        k,
+        ranks,
+        opts,
+        engine,
+        phase3_strategy,
+        &FaultConfig::none(),
+        None,
+    )
+}
+
+/// [`d_m2td`] under a failure model, optionally with phase-boundary
+/// checkpointing.
+///
+/// With a [`CheckpointStore`], each completed phase persists its output
+/// (phase 1: combined factors; phase 2: join tensor), and a later call
+/// over the same inputs loads the stored artifacts instead of recomputing
+/// — so a run that died in phase 3 resumes from phases 1–2. Resumed
+/// phases report `resumed = true` and all-zero [`TaskCounters`].
+///
+/// The determinism invariant: because tasks are pure, any fault schedule
+/// that eventually succeeds (including one interrupted and resumed from
+/// checkpoints) yields factors and core bitwise identical to the
+/// fault-free run, at every thread count. A task killed on every allowed
+/// attempt surfaces [`DistError::Exhausted`].
+#[allow(clippy::too_many_arguments)]
+pub fn d_m2td_fault_tolerant(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+    engine: &MapReduce,
+    phase3_strategy: Phase3Strategy,
+    faults: &FaultConfig,
+    checkpoint: Option<&CheckpointStore>,
 ) -> Result<DistDecomposition, DistError> {
     let m1 = x1.order();
     let m2 = x2.order();
@@ -164,182 +301,222 @@ pub fn d_m2td_with_phase3(
             k + (m1 - k) + (m2 - k)
         )));
     }
+    let plan = &faults.plan;
+    let policy = &faults.policy;
+    let fp = Fingerprint::new(x1, x2, k, ranks, &opts);
+    let ckpt_factors = checkpoint.and_then(|c| c.load_phase1(&fp));
+    let ckpt_join = checkpoint.and_then(|c| c.load_phase2(&fp));
 
-    // Tagged entry stream: (κ, linear index, value).
-    let tagged: Vec<(u8, u64, f64)> = x1
-        .iter_linear()
-        .map(|(l, v)| (1u8, l, v))
-        .chain(x2.iter_linear().map(|(l, v)| (2u8, l, v)))
-        .collect();
+    // Tagged entry stream: (κ, linear index, value). Needed by whichever
+    // of phases 1 and 2 is not resumed from a checkpoint.
+    let tagged: Vec<(u8, u64, f64)> = if ckpt_factors.is_none() || ckpt_join.is_none() {
+        x1.iter_linear()
+            .map(|(l, v)| (1u8, l, v))
+            .chain(x2.iter_linear().map(|(l, v)| (2u8, l, v)))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // ---- Phase 1: parallel sub-tensor decomposition ---------------------
     let t1 = Instant::now();
-    let dims1 = x1.dims().to_vec();
-    let dims2 = x2.dims().to_vec();
-    let ranks1: Vec<usize> = ranks[..m1].to_vec();
-    let ranks2: Vec<usize> = {
-        let mut r = ranks[..k].to_vec();
-        r.extend_from_slice(&ranks[m1..]);
-        r
-    };
-    let (factor_sets, stats1) = engine.run(
-        tagged.clone(),
-        |(kappa, lin, v)| vec![(kappa, (lin, v))],
-        |kappa, entries| {
-            let (dims, rks) = if *kappa == 1 {
-                (&dims1, &ranks1)
-            } else {
-                (&dims2, &ranks2)
+    let (factors, phase1) = match ckpt_factors {
+        Some(factors) => (factors, PhaseStats::resumed_from_checkpoint()),
+        None => {
+            let dims1 = x1.dims().to_vec();
+            let dims2 = x2.dims().to_vec();
+            let ranks1: Vec<usize> = ranks[..m1].to_vec();
+            let ranks2: Vec<usize> = {
+                let mut r = ranks[..k].to_vec();
+                r.extend_from_slice(&ranks[m1..]);
+                r
             };
-            let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
-            let tensor = SparseTensor::from_sorted_linear(dims, indices, values)
-                .expect("entries originate from a valid sparse tensor");
-            let mut grams = Vec::with_capacity(dims.len());
-            let mut factors = Vec::with_capacity(dims.len());
-            for (mode, &r) in rks.iter().enumerate() {
-                let gram = tensor.unfold_gram(mode).expect("mode is valid");
-                let eig = symmetric_eig(&gram).expect("gram is symmetric");
-                factors.push(eig.eigenvectors.leading_columns(r).expect("rank validated"));
-                grams.push(gram);
+            let (results, stats1, tasks1) = engine.run_with_faults(
+                PHASE1_JOB,
+                tagged.clone(),
+                |(kappa, lin, v)| vec![(kappa, (lin, v))],
+                |kappa, entries| -> Result<(u8, Vec<Matrix>, Vec<Matrix>), DistError> {
+                    let (dims, rks) = if *kappa == 1 {
+                        (&dims1, &ranks1)
+                    } else {
+                        (&dims2, &ranks2)
+                    };
+                    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+                    let tensor = SparseTensor::from_sorted_linear(dims, indices, values)?;
+                    let mut grams = Vec::with_capacity(dims.len());
+                    let mut factors = Vec::with_capacity(dims.len());
+                    for (mode, &r) in rks.iter().enumerate() {
+                        let gram = tensor.unfold_gram(mode)?;
+                        let eig = symmetric_eig(&gram)?;
+                        factors.push(eig.eigenvectors.leading_columns(r)?);
+                        grams.push(gram);
+                    }
+                    Ok((*kappa, grams, factors))
+                },
+                plan,
+                policy,
+            )?;
+            let mut factor_sets = Vec::with_capacity(results.len());
+            for r in results {
+                factor_sets.push(r?);
             }
-            (*kappa, grams, factors)
-        },
-    );
-    if factor_sets.len() != 2 {
-        return Err(DistError::Invalid(
-            "one of the sub-tensors is empty".to_string(),
-        ));
-    }
-    // factor_sets is keyed 1 then 2 (BTreeMap order).
-    let (_, grams1, factors1) = &factor_sets[0];
-    let (_, grams2, factors2) = &factor_sets[1];
+            if factor_sets.len() != 2 {
+                return Err(DistError::Invalid(
+                    "one of the sub-tensors is empty".to_string(),
+                ));
+            }
+            // factor_sets is keyed 1 then 2 (BTreeMap order).
+            let (_, grams1, factors1) = &factor_sets[0];
+            let (_, grams2, factors2) = &factor_sets[1];
 
-    // Driver-side pivot combination + free-factor assembly (join order).
-    let mut factors: Vec<Matrix> = Vec::with_capacity(ranks.len());
-    for n in 0..k {
-        factors.push(m2td_core::combine_pivot_factor(
-            opts.combine,
-            &grams1[n],
-            &grams2[n],
-            &factors1[n],
-            &factors2[n],
-            ranks[n],
-        )?);
-    }
-    for f in &factors1[k..] {
-        factors.push(f.clone());
-    }
-    for f in &factors2[k..] {
-        factors.push(f.clone());
-    }
-    let phase1 = PhaseStats {
-        serial_secs: t1.elapsed().as_secs_f64(),
-        shuffle: stats1,
+            // Driver-side pivot combination + free-factor assembly (join
+            // order).
+            let mut factors: Vec<Matrix> = Vec::with_capacity(ranks.len());
+            for n in 0..k {
+                factors.push(m2td_core::combine_pivot_factor(
+                    opts.combine,
+                    &grams1[n],
+                    &grams2[n],
+                    &factors1[n],
+                    &factors2[n],
+                    ranks[n],
+                )?);
+            }
+            for f in &factors1[k..] {
+                factors.push(f.clone());
+            }
+            for f in &factors2[k..] {
+                factors.push(f.clone());
+            }
+            if let Some(c) = checkpoint {
+                c.save_phase1(&fp, &factors)
+                    .map_err(DistError::Checkpoint)?;
+            }
+            let stats = PhaseStats::computed(t1.elapsed().as_secs_f64(), stats1, tasks1);
+            (factors, stats)
+        }
     };
 
     // ---- Phase 2: parallel JE-stitching ---------------------------------
     let t2 = Instant::now();
-    let pivot_shape = Shape::new(&x1.dims()[..k]);
-    let free1_shape = Shape::new(&x1.dims()[k..]);
-    let free2_shape = Shape::new(&x2.dims()[k..]);
     let mut join_dims: Vec<usize> = x1.dims()[..k].to_vec();
     join_dims.extend_from_slice(&x1.dims()[k..]);
     join_dims.extend_from_slice(&x2.dims()[k..]);
-    let join_shape = Shape::new(&join_dims);
-
-    // Global free-config sets, needed by zero-join reducers.
-    let (free_set1, free_set2): (BTreeSet<u64>, BTreeSet<u64>) = {
-        let mut f1 = BTreeSet::new();
-        let mut f2 = BTreeSet::new();
-        let mut idx1 = vec![0usize; m1];
-        for (lin, _) in x1.iter_linear() {
-            x1.shape().multi_index_into(lin as usize, &mut idx1);
-            f1.insert(free1_shape.linear_index(&idx1[k..]) as u64);
+    let (join, phase2) = match ckpt_join {
+        Some(join) => {
+            if join.dims() != join_dims.as_slice() {
+                return Err(DistError::Invalid(format!(
+                    "checkpointed join tensor dims {:?} do not match expected {join_dims:?}",
+                    join.dims()
+                )));
+            }
+            (join, PhaseStats::resumed_from_checkpoint())
         }
-        let mut idx2 = vec![0usize; m2];
-        for (lin, _) in x2.iter_linear() {
-            x2.shape().multi_index_into(lin as usize, &mut idx2);
-            f2.insert(free2_shape.linear_index(&idx2[k..]) as u64);
-        }
-        (f1, f2)
-    };
+        None => {
+            let pivot_shape = Shape::new(&x1.dims()[..k]);
+            let free1_shape = Shape::new(&x1.dims()[k..]);
+            let free2_shape = Shape::new(&x2.dims()[k..]);
+            let join_shape = Shape::new(&join_dims);
 
-    let shape1 = x1.shape().clone();
-    let shape2 = x2.shape().clone();
-    let (joined_groups, stats2) = engine.run(
-        tagged,
-        |(kappa, lin, v)| {
-            // Key by pivot configuration.
-            let (shape, free_shape, order) = if kappa == 1 {
-                (&shape1, &free1_shape, m1)
-            } else {
-                (&shape2, &free2_shape, m2)
+            // Global free-config sets, needed by zero-join reducers.
+            let (free_set1, free_set2): (BTreeSet<u64>, BTreeSet<u64>) = {
+                let mut f1 = BTreeSet::new();
+                let mut f2 = BTreeSet::new();
+                let mut idx1 = vec![0usize; m1];
+                for (lin, _) in x1.iter_linear() {
+                    x1.shape().multi_index_into(lin as usize, &mut idx1);
+                    f1.insert(free1_shape.linear_index(&idx1[k..]) as u64);
+                }
+                let mut idx2 = vec![0usize; m2];
+                for (lin, _) in x2.iter_linear() {
+                    x2.shape().multi_index_into(lin as usize, &mut idx2);
+                    f2.insert(free2_shape.linear_index(&idx2[k..]) as u64);
+                }
+                (f1, f2)
             };
-            let mut idx = vec![0usize; order];
-            shape.multi_index_into(lin as usize, &mut idx);
-            let p = pivot_shape.linear_index(&idx[..k]) as u64;
-            let f = free_shape.linear_index(&idx[k..]) as u64;
-            vec![(p, (kappa, f, v))]
-        },
-        |pivot, entries| {
-            // Join this pivot group.
-            let mut side1: BTreeMap<u64, f64> = BTreeMap::new();
-            let mut side2: BTreeMap<u64, f64> = BTreeMap::new();
-            for (kappa, f, v) in entries {
-                if kappa == 1 {
-                    side1.insert(f, v);
-                } else {
-                    side2.insert(f, v);
-                }
-            }
-            let mut cells: Vec<(u64, u64, f64)> = Vec::new();
-            match opts.stitch {
-                StitchKind::Join => {
-                    for (&f1, &v1) in &side1 {
-                        for (&f2, &v2) in &side2 {
-                            cells.push((f1, f2, 0.5 * (v1 + v2)));
-                        }
-                    }
-                }
-                StitchKind::ZeroJoin => {
-                    for (&f1, &v1) in &side1 {
-                        for &f2 in &free_set2 {
-                            let v2 = side2.get(&f2).copied().unwrap_or(0.0);
-                            cells.push((f1, f2, 0.5 * (v1 + v2)));
-                        }
-                    }
-                    for (&f2, &v2) in &side2 {
-                        for &f1 in &free_set1 {
-                            if side1.contains_key(&f1) {
-                                continue;
-                            }
-                            cells.push((f1, f2, 0.5 * v2));
-                        }
-                    }
-                }
-            }
-            (*pivot, cells)
-        },
-    );
 
-    // Assemble the join tensor from the per-pivot groups.
-    let f1_len = free1_shape.order();
-    let mut entries: Vec<(u64, f64)> = Vec::new();
-    let mut idx = vec![0usize; join_dims.len()];
-    for (pivot, cells) in joined_groups {
-        for (f1, f2, v) in cells {
-            pivot_shape.multi_index_into(pivot as usize, &mut idx[..k]);
-            free1_shape.multi_index_into(f1 as usize, &mut idx[k..k + f1_len]);
-            free2_shape.multi_index_into(f2 as usize, &mut idx[k + f1_len..]);
-            entries.push((join_shape.linear_index(&idx) as u64, v));
+            let shape1 = x1.shape().clone();
+            let shape2 = x2.shape().clone();
+            let (joined_groups, stats2, tasks2) = engine.run_with_faults(
+                PHASE2_JOB,
+                tagged,
+                |(kappa, lin, v)| {
+                    // Key by pivot configuration.
+                    let (shape, free_shape, order) = if kappa == 1 {
+                        (&shape1, &free1_shape, m1)
+                    } else {
+                        (&shape2, &free2_shape, m2)
+                    };
+                    let mut idx = vec![0usize; order];
+                    shape.multi_index_into(lin as usize, &mut idx);
+                    let p = pivot_shape.linear_index(&idx[..k]) as u64;
+                    let f = free_shape.linear_index(&idx[k..]) as u64;
+                    vec![(p, (kappa, f, v))]
+                },
+                |pivot, entries| {
+                    // Join this pivot group.
+                    let mut side1: BTreeMap<u64, f64> = BTreeMap::new();
+                    let mut side2: BTreeMap<u64, f64> = BTreeMap::new();
+                    for (kappa, f, v) in entries {
+                        if kappa == 1 {
+                            side1.insert(f, v);
+                        } else {
+                            side2.insert(f, v);
+                        }
+                    }
+                    let mut cells: Vec<(u64, u64, f64)> = Vec::new();
+                    match opts.stitch {
+                        StitchKind::Join => {
+                            for (&f1, &v1) in &side1 {
+                                for (&f2, &v2) in &side2 {
+                                    cells.push((f1, f2, 0.5 * (v1 + v2)));
+                                }
+                            }
+                        }
+                        StitchKind::ZeroJoin => {
+                            for (&f1, &v1) in &side1 {
+                                for &f2 in &free_set2 {
+                                    let v2 = side2.get(&f2).copied().unwrap_or(0.0);
+                                    cells.push((f1, f2, 0.5 * (v1 + v2)));
+                                }
+                            }
+                            for (&f2, &v2) in &side2 {
+                                for &f1 in &free_set1 {
+                                    if side1.contains_key(&f1) {
+                                        continue;
+                                    }
+                                    cells.push((f1, f2, 0.5 * v2));
+                                }
+                            }
+                        }
+                    }
+                    (*pivot, cells)
+                },
+                plan,
+                policy,
+            )?;
+
+            // Assemble the join tensor from the per-pivot groups.
+            let f1_len = free1_shape.order();
+            let mut entries: Vec<(u64, f64)> = Vec::new();
+            let mut idx = vec![0usize; join_dims.len()];
+            for (pivot, cells) in joined_groups {
+                for (f1, f2, v) in cells {
+                    pivot_shape.multi_index_into(pivot as usize, &mut idx[..k]);
+                    free1_shape.multi_index_into(f1 as usize, &mut idx[k..k + f1_len]);
+                    free2_shape.multi_index_into(f2 as usize, &mut idx[k + f1_len..]);
+                    entries.push((join_shape.linear_index(&idx) as u64, v));
+                }
+            }
+            entries.sort_unstable_by_key(|&(l, _)| l);
+            let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+            let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+            if let Some(c) = checkpoint {
+                c.save_phase2(&fp, &join).map_err(DistError::Checkpoint)?;
+            }
+            let stats = PhaseStats::computed(t2.elapsed().as_secs_f64(), stats2, tasks2);
+            (join, stats)
         }
-    }
-    entries.sort_unstable_by_key(|&(l, _)| l);
-    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
-    let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
-    let phase2 = PhaseStats {
-        serial_secs: t2.elapsed().as_secs_f64(),
-        shuffle: stats2,
     };
 
     // ---- Phase 3: parallel core recovery --------------------------------
@@ -350,14 +527,15 @@ pub fn d_m2td_with_phase3(
         ));
     }
     let proj_factors = projection_factors(&factors, opts.projection)?;
-    let (core, stats3) = match phase3_strategy {
+    let (core, stats3, tasks3) = match phase3_strategy {
         Phase3Strategy::ChunkPartition => {
             let partitions = engine.workers() as u64;
             let join_cells: Vec<(u64, f64)> = join.iter_linear().collect();
-            let (partial_cores, stats3) = engine.run(
+            let (partial_cores, stats3, tasks3) = engine.run_with_faults(
+                PHASE3_JOB,
                 join_cells,
                 |(lin, v)| vec![(lin % partitions, (lin, v))],
-                |_part, cells| {
+                |_part, cells| -> Result<DenseTensor, DistError> {
                     let (mut indices, mut values): (Vec<u64>, Vec<f64>) = (
                         Vec::with_capacity(cells.len()),
                         Vec::with_capacity(cells.len()),
@@ -368,27 +546,32 @@ pub fn d_m2td_with_phase3(
                         indices.push(l);
                         values.push(v);
                     }
-                    let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)
-                        .expect("chunk entries are valid join cells");
-                    sparse_core(&chunk, &proj_factors, CoreOrdering::BestShrinkFirst)
-                        .expect("ranks validated against join dims")
+                    let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+                    Ok(sparse_core(
+                        &chunk,
+                        &proj_factors,
+                        CoreOrdering::BestShrinkFirst,
+                    )?)
                 },
-            );
+                plan,
+                policy,
+            )?;
             let mut core: Option<DenseTensor> = None;
             for partial in partial_cores {
+                let partial = partial?;
                 core = Some(match core {
                     None => partial,
                     Some(acc) => acc.add(&partial)?,
                 });
             }
-            (core.expect("join tensor is non-empty"), stats3)
+            let core = core.ok_or_else(|| {
+                DistError::Invalid("phase 3 produced no partial cores".to_string())
+            })?;
+            (core, stats3, tasks3)
         }
-        Phase3Strategy::ModeShuffle => phase3_mode_shuffle(&join, &proj_factors, engine)?,
+        Phase3Strategy::ModeShuffle => phase3_mode_shuffle(&join, &proj_factors, engine, faults)?,
     };
-    let phase3 = PhaseStats {
-        serial_secs: t3.elapsed().as_secs_f64(),
-        shuffle: stats3,
-    };
+    let phase3 = PhaseStats::computed(t3.elapsed().as_secs_f64(), stats3, tasks3);
 
     let tucker = TuckerDecomp::new(core, factors)?;
     Ok(DistDecomposition {
@@ -402,16 +585,19 @@ pub fn d_m2td_with_phase3(
 /// Phase 3 via the paper's dataflow: one MapReduce job per mode, cells
 /// keyed by their all-but-that-mode index, reducers performing the
 /// per-fiber vector-matrix multiplication `out[j] = Σ_i v_i U[i, j]`.
-/// Shuffle stats are summed over the per-mode jobs.
+/// Shuffle stats and task counters are summed over the per-mode jobs
+/// (which all run under [`PHASE3_JOB`]).
 fn phase3_mode_shuffle(
     join: &SparseTensor,
     factors: &[m2td_linalg::Matrix],
     engine: &MapReduce,
-) -> Result<(DenseTensor, ShuffleStats), DistError> {
+    faults: &FaultConfig,
+) -> Result<(DenseTensor, ShuffleStats, TaskCounters), DistError> {
     let order = join.order();
     let mut cells: Vec<(Vec<usize>, f64)> = join.iter().collect();
     let mut dims: Vec<usize> = join.dims().to_vec();
     let mut total = ShuffleStats::default();
+    let mut tasks = TaskCounters::default();
 
     for mode in 0..order {
         let factor = &factors[mode];
@@ -424,7 +610,8 @@ fn phase3_mode_shuffle(
             .collect();
         let rest_shape = Shape::new(&rest_dims);
 
-        let (groups, stats) = engine.run(
+        let (groups, stats, job_tasks) = engine.run_with_faults(
+            PHASE3_JOB,
             cells,
             |(idx, v): (Vec<usize>, f64)| {
                 // Key: the linearized all-but-`mode` index.
@@ -447,10 +634,13 @@ fn phase3_mode_shuffle(
                 }
                 (*key, out)
             },
-        );
+            &faults.plan,
+            &faults.policy,
+        )?;
         total.map_records += stats.map_records;
         total.shuffled_pairs += stats.shuffled_pairs;
         total.reduce_groups += stats.reduce_groups;
+        tasks.absorb(&job_tasks);
 
         // Reassemble the (dense-in-`mode`) intermediate as the next input:
         // mode's extent becomes r.
@@ -486,7 +676,7 @@ fn phase3_mode_shuffle(
     for (idx, v) in cells {
         data[core_shape.linear_index(&idx)] += v;
     }
-    Ok((core, total))
+    Ok((core, total, tasks))
 }
 
 #[cfg(test)]
@@ -660,6 +850,10 @@ mod tests {
         assert!(dist.phase3.shuffle.reduce_groups >= 1);
         // Phase 2's shuffle moves every input entry.
         assert_eq!(dist.phase2.shuffle.map_records, x1.nnz() + x2.nnz());
+        // Fault-free: attempts ran, nothing was killed, nothing resumed.
+        assert!(dist.total_tasks().attempts() > 0);
+        assert_eq!(dist.total_tasks().kills(), 0);
+        assert!(!dist.phase1.resumed && !dist.phase2.resumed && !dist.phase3.resumed);
     }
 
     #[test]
@@ -692,5 +886,90 @@ mod tests {
         assert!(d_m2td(&x1, &x2, 1, &[2, 2], M2tdOptions::default(), &e).is_err());
         let empty = SparseTensor::empty(&[4, 3]);
         assert!(d_m2td(&x1, &empty, 1, &[2, 2, 2], M2tdOptions::default(), &e).is_err());
+    }
+
+    #[test]
+    fn faulty_run_bitwise_matches_fault_free() {
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let engine = MapReduce::new(3);
+        let clean = d_m2td(&x1, &x2, 1, &ranks, opts, &engine).unwrap();
+        let faults = FaultConfig {
+            plan: FaultPlan::new(21, 0.5, 0.4, 30.0),
+            policy: RetryPolicy::default(),
+        };
+        let faulty = d_m2td_fault_tolerant(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &faults,
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            clean.tucker.core.as_slice(),
+            faulty.tucker.core.as_slice(),
+            "core not bitwise identical under faults"
+        );
+        for (a, b) in clean
+            .tucker
+            .factors
+            .iter()
+            .zip(faulty.tucker.factors.iter())
+        {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert!(faulty.total_tasks().kills() > 0, "no kills injected");
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_phases() {
+        let dir = std::env::temp_dir().join("m2td_dmtd_ckpt_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let engine = MapReduce::new(2);
+        let first = d_m2td_fault_tolerant(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &FaultConfig::none(),
+            Some(&store),
+        )
+        .unwrap();
+        assert!(!first.phase1.resumed && !first.phase2.resumed);
+        let second = d_m2td_fault_tolerant(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &FaultConfig::none(),
+            Some(&store),
+        )
+        .unwrap();
+        assert!(second.phase1.resumed && second.phase2.resumed);
+        assert_eq!(second.phase1.tasks.attempts(), 0);
+        assert_eq!(second.phase2.tasks.attempts(), 0);
+        assert!(second.phase3.tasks.attempts() > 0);
+        assert_eq!(
+            first.tucker.core.as_slice(),
+            second.tucker.core.as_slice(),
+            "resumed core differs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

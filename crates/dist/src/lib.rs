@@ -15,12 +15,22 @@
 //!   result matches the serial `m2td_core::m2td_decompose` to floating-
 //!   point accumulation order.
 
+//!
+//! Fault tolerance (DESIGN.md §9): [`d_m2td_fault_tolerant`] runs the same
+//! dataflow under a seeded [`FaultPlan`](m2td_fault::FaultPlan) with
+//! retry/backoff and speculative re-execution, persisting phase boundaries
+//! to a [`CheckpointStore`] so interrupted runs resume instead of
+//! recomputing.
+
+mod checkpoint;
 mod cluster;
 mod dmtd;
 mod mapreduce;
 
-pub use cluster::{ClusterModel, PhaseCost};
+pub use checkpoint::{CheckpointError, CheckpointStore, Fingerprint};
+pub use cluster::{ClusterModel, FailureModel, PhaseCost};
 pub use dmtd::{
-    d_m2td, d_m2td_with_phase3, DistDecomposition, DistError, Phase3Strategy, PhaseStats,
+    d_m2td, d_m2td_fault_tolerant, d_m2td_with_phase3, DistDecomposition, DistError, FaultConfig,
+    Phase3Strategy, PhaseStats, PHASE1_JOB, PHASE2_JOB, PHASE3_JOB,
 };
 pub use mapreduce::{MapReduce, ShuffleStats};

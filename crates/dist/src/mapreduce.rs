@@ -9,8 +9,23 @@
 //! on it — but the *physical* thread count is additionally capped by
 //! [`m2td_par::max_threads`], so `M2TD_THREADS` (or `--threads`) is the
 //! one knob that governs all parallelism in the process.
+//!
+//! ## Fault tolerance
+//!
+//! [`MapReduce::run_with_faults`] executes the same job under a seeded
+//! [`FaultPlan`]: task attempts can be **killed** (output discarded, task
+//! retried with deterministic virtual backoff, bounded by the
+//! [`RetryPolicy`]) or can **straggle** (charged a virtual delay; delays
+//! beyond the policy's speculation threshold launch a backup copy whose
+//! identical result is used instead). Because map and reduce closures are
+//! pure, any fault schedule that eventually succeeds yields outputs
+//! bitwise identical to the fault-free run — faults only change the
+//! [`TaskCounters`] and virtual time. A task killed on every allowed
+//! attempt fails the job with [`FaultError::RetryExhausted`].
 
+use m2td_fault::{FaultDecision, FaultError, FaultPlan, RetryPolicy, TaskCounters, TaskKind};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Statistics of one MapReduce job, consumed by the cluster cost model.
@@ -29,6 +44,85 @@ pub struct ShuffleStats {
 #[derive(Debug, Clone, Copy)]
 pub struct MapReduce {
     workers: usize,
+}
+
+/// Runs one task under the fault plan: retries kills with virtual backoff
+/// until the policy's attempt budget is exhausted, charges (speculation-
+/// capped) straggler delays, and reports what happened via a fresh
+/// [`TaskCounters`]. `exec` must be pure — it is re-invoked on retry and
+/// its output discarded for killed attempts.
+fn attempt_task<T>(
+    job: u64,
+    kind: TaskKind,
+    task: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    exec: impl Fn() -> T,
+) -> Result<(T, TaskCounters), FaultError> {
+    let mut c = TaskCounters::default();
+    let (attempts, kills) = match kind {
+        TaskKind::Map => (&mut c.map_attempts, &mut c.map_kills),
+        _ => (&mut c.reduce_attempts, &mut c.reduce_kills),
+    };
+    for attempt in 0..policy.max_attempts {
+        match plan.decide(job, kind, task, attempt) {
+            FaultDecision::Kill => {
+                // The attempt ran partway before dying: execute and
+                // discard, then back off in virtual time before retrying.
+                let _ = exec();
+                *attempts += 1;
+                *kills += 1;
+                if attempt + 1 == policy.max_attempts {
+                    return Err(FaultError::RetryExhausted {
+                        job,
+                        kind,
+                        task,
+                        attempts: policy.max_attempts,
+                    });
+                }
+                c.virtual_lost_secs += policy.backoff_secs(attempt + 1);
+            }
+            FaultDecision::Straggle(delay) => {
+                let out = exec();
+                *attempts += 1;
+                c.stragglers += 1;
+                if policy.speculates(delay) {
+                    // The backup copy re-executes the pure task; its
+                    // identical output wins, capping the injected delay.
+                    let _ = exec();
+                    *attempts += 1;
+                    c.speculative_launches += 1;
+                }
+                c.virtual_lost_secs += policy.charged_straggle_secs(delay);
+                return Ok((out, c));
+            }
+            FaultDecision::Ok => {
+                let out = exec();
+                *attempts += 1;
+                return Ok((out, c));
+            }
+        }
+    }
+    unreachable!("attempt loop always returns within the policy budget")
+}
+
+/// Per-worker fold state shared across the task queue of one phase:
+/// `(task_id, output)` pairs plus counter deltas keyed by task id so the
+/// final merge is independent of scheduling order.
+struct PhaseState<T> {
+    outputs: Vec<(usize, T)>,
+    counters: Vec<(usize, TaskCounters)>,
+    error: Option<FaultError>,
+}
+
+impl<T> PhaseState<T> {
+    fn new() -> Self {
+        Self {
+            outputs: Vec::new(),
+            counters: Vec::new(),
+            error: None,
+        }
+    }
 }
 
 impl MapReduce {
@@ -62,14 +156,56 @@ impl MapReduce {
     /// ```
     pub fn run<I, K, V, R, M, F>(&self, inputs: Vec<I>, map: M, reduce: F) -> (Vec<R>, ShuffleStats)
     where
-        I: Send,
+        I: Send + Clone,
         K: Ord + Send,
-        V: Send,
+        V: Send + Clone,
+        R: Send,
+        M: Fn(I) -> Vec<(K, V)> + Sync,
+        F: Fn(&K, Vec<V>) -> R + Sync,
+    {
+        let (out, stats, _) = self
+            .run_with_faults(
+                0,
+                inputs,
+                map,
+                reduce,
+                &FaultPlan::none(),
+                &RetryPolicy::default(),
+            )
+            .expect("a fault-free job cannot exhaust its retry budget");
+        (out, stats)
+    }
+
+    /// [`MapReduce::run`] under a fault plan: map chunks and reduce groups
+    /// are the retryable task units, identified as `(job, kind, index)`.
+    /// Returns the reduce outputs, shuffle statistics, and the execution
+    /// counters accumulated across both task phases; fails with
+    /// [`FaultError::RetryExhausted`] when a task is killed on every
+    /// attempt the `policy` allows.
+    ///
+    /// Counters are deterministic for a given `(plan, policy, job, W)` —
+    /// fault decisions depend only on task identity, and per-task deltas
+    /// are merged in task order, so the physical thread count never shows
+    /// through.
+    pub fn run_with_faults<I, K, V, R, M, F>(
+        &self,
+        job: u64,
+        inputs: Vec<I>,
+        map: M,
+        reduce: F,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<(Vec<R>, ShuffleStats, TaskCounters), FaultError>
+    where
+        I: Send + Clone,
+        K: Ord + Send,
+        V: Send + Clone,
         R: Send,
         M: Fn(I) -> Vec<(K, V)> + Sync,
         F: Fn(&K, Vec<V>) -> R + Sync,
     {
         let map_records = inputs.len();
+        let mut totals = TaskCounters::default();
 
         // ---- Map phase: chunk inputs across workers. ----
         // Each worker keeps (chunk_id, pairs) so the shuffle can restore
@@ -90,25 +226,50 @@ impl MapReduce {
             out
         };
 
-        type MappedChunks<K, V> = Mutex<Vec<(usize, Vec<(K, V)>)>>;
-        let mapped: MappedChunks<K, V> = Mutex::new(Vec::new());
+        let state: Mutex<PhaseState<Vec<(K, V)>>> = Mutex::new(PhaseState::new());
+        let failed = AtomicBool::new(false);
         let queue: Mutex<std::vec::IntoIter<(usize, Vec<I>)>> = Mutex::new(chunks.into_iter());
         m2td_par::run_workers(self.workers, || loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
             let next = queue.lock().unwrap().next();
             match next {
                 Some((id, chunk)) => {
-                    let mut pairs = Vec::new();
-                    for item in chunk {
-                        pairs.extend(map(item));
+                    let result = attempt_task(job, TaskKind::Map, id as u64, plan, policy, || {
+                        let mut pairs = Vec::new();
+                        for item in chunk.iter().cloned() {
+                            pairs.extend(map(item));
+                        }
+                        pairs
+                    });
+                    let mut s = state.lock().unwrap();
+                    match result {
+                        Ok((pairs, c)) => {
+                            s.outputs.push((id, pairs));
+                            s.counters.push((id, c));
+                        }
+                        Err(e) => {
+                            s.error = Some(e);
+                            failed.store(true, Ordering::Relaxed);
+                        }
                     }
-                    mapped.lock().unwrap().push((id, pairs));
                 }
                 None => break,
             }
         });
+        let map_state = state.into_inner().unwrap();
+        if let Some(e) = map_state.error {
+            return Err(e);
+        }
+        let mut deltas = map_state.counters;
+        deltas.sort_by_key(|&(id, _)| id);
+        for (_, c) in &deltas {
+            totals.absorb(c);
+        }
 
         // ---- Shuffle: restore input order, group by key. ----
-        let mut by_chunk = mapped.into_inner().unwrap();
+        let mut by_chunk = map_state.outputs;
         by_chunk.sort_by_key(|&(id, _)| id);
         let mut shuffled_pairs = 0;
         let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
@@ -126,29 +287,56 @@ impl MapReduce {
             .enumerate()
             .map(|(i, (k, v))| (i, k, v))
             .collect();
-        let reduced: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+        let state: Mutex<PhaseState<R>> = Mutex::new(PhaseState::new());
+        let failed = AtomicBool::new(false);
         let rqueue: Mutex<std::vec::IntoIter<(usize, K, Vec<V>)>> = Mutex::new(indexed.into_iter());
         m2td_par::run_workers(self.workers, || loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
             let next = rqueue.lock().unwrap().next();
             match next {
                 Some((i, k, vs)) => {
-                    let r = reduce(&k, vs);
-                    reduced.lock().unwrap().push((i, r));
+                    let result =
+                        attempt_task(job, TaskKind::Reduce, i as u64, plan, policy, || {
+                            reduce(&k, vs.clone())
+                        });
+                    let mut s = state.lock().unwrap();
+                    match result {
+                        Ok((r, c)) => {
+                            s.outputs.push((i, r));
+                            s.counters.push((i, c));
+                        }
+                        Err(e) => {
+                            s.error = Some(e);
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
                 None => break,
             }
         });
+        let reduce_state = state.into_inner().unwrap();
+        if let Some(e) = reduce_state.error {
+            return Err(e);
+        }
+        let mut deltas = reduce_state.counters;
+        deltas.sort_by_key(|&(id, _)| id);
+        for (_, c) in &deltas {
+            totals.absorb(c);
+        }
 
-        let mut results = reduced.into_inner().unwrap();
+        let mut results = reduce_state.outputs;
         results.sort_by_key(|&(i, _)| i);
-        (
+        Ok((
             results.into_iter().map(|(_, r)| r).collect(),
             ShuffleStats {
                 map_records,
                 shuffled_pairs,
                 reduce_groups,
             },
-        )
+            totals,
+        ))
     }
 }
 
@@ -258,5 +446,98 @@ mod tests {
         );
         assert_eq!(out, vec![(0, 30), (1, 60)]);
         assert_eq!(stats.shuffled_pairs, 4);
+    }
+
+    type SummingRun = (Vec<(u64, u64)>, ShuffleStats, TaskCounters);
+
+    fn summing_job(
+        engine: &MapReduce,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<SummingRun, FaultError> {
+        engine.run_with_faults(
+            7,
+            (0..400u64).collect(),
+            |x: u64| vec![(x % 5, x)],
+            |k, vs| (*k, vs.iter().sum::<u64>()),
+            plan,
+            policy,
+        )
+    }
+
+    #[test]
+    fn faulty_run_matches_fault_free_run() {
+        let engine = MapReduce::new(4);
+        let (clean, clean_stats, clean_counters) =
+            summing_job(&engine, &FaultPlan::none(), &RetryPolicy::default()).unwrap();
+        assert_eq!(clean_counters.kills(), 0);
+        for seed in [1, 2, 3] {
+            let plan = FaultPlan::new(seed, 0.4, 0.3, 20.0);
+            let (faulty, stats, counters) =
+                summing_job(&engine, &plan, &RetryPolicy::default()).unwrap();
+            assert_eq!(clean, faulty, "seed {seed} changed results");
+            assert_eq!(clean_stats, stats);
+            assert!(counters.attempts() >= clean_counters.attempts());
+        }
+    }
+
+    #[test]
+    fn counters_are_deterministic_across_thread_caps() {
+        let engine = MapReduce::new(4);
+        let plan = FaultPlan::new(5, 0.5, 0.4, 30.0);
+        m2td_par::set_max_threads(1);
+        let serial = summing_job(&engine, &plan, &RetryPolicy::default()).unwrap();
+        m2td_par::set_max_threads(8);
+        let wide = summing_job(&engine, &plan, &RetryPolicy::default()).unwrap();
+        m2td_par::set_max_threads(0);
+        assert_eq!(serial, wide);
+        assert!(serial.2.kills() > 0, "plan injected no kills");
+    }
+
+    #[test]
+    fn kills_are_retried_and_counted() {
+        let engine = MapReduce::new(2);
+        // Kill every first attempt; the cap lets attempt 1 through.
+        let plan = FaultPlan::new(1, 1.0, 0.0, 0.0).with_kill_cap(1);
+        let (out, _, counters) = summing_job(&engine, &plan, &RetryPolicy::default()).unwrap();
+        assert_eq!(out.len(), 5);
+        // 2 map chunks + 5 reduce groups, each killed exactly once.
+        assert_eq!(counters.map_kills, 2);
+        assert_eq!(counters.reduce_kills, 5);
+        assert_eq!(counters.map_attempts, 4);
+        assert_eq!(counters.reduce_attempts, 10);
+        assert!(counters.virtual_lost_secs > 0.0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_an_error() {
+        let engine = MapReduce::new(2);
+        let plan = FaultPlan::new(1, 1.0, 0.0, 0.0).with_kill_cap(u32::MAX);
+        let err = summing_job(&engine, &plan, &RetryPolicy::with_max_attempts(3)).unwrap_err();
+        match err {
+            FaultError::RetryExhausted { attempts, .. } => assert_eq!(attempts, 3),
+        }
+    }
+
+    #[test]
+    fn stragglers_trigger_speculation() {
+        let engine = MapReduce::new(2);
+        // Every attempt straggles 60s; default policy speculates after 5s.
+        let plan = FaultPlan::new(2, 0.0, 1.0, 60.0);
+        let (out, _, counters) = summing_job(&engine, &plan, &RetryPolicy::default()).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(counters.stragglers, 7); // 2 map + 5 reduce tasks
+        assert_eq!(counters.speculative_launches, 7);
+        // Charged delay is capped at the speculation threshold.
+        assert!((counters.virtual_lost_secs - 7.0 * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoped_plan_leaves_other_jobs_alone() {
+        let engine = MapReduce::new(2);
+        let plan = FaultPlan::new(3, 1.0, 0.0, 0.0).in_job(99);
+        // Job 7 is untouched even though the kill rate is 1.
+        let (_, _, counters) = summing_job(&engine, &plan, &RetryPolicy::no_retries()).unwrap();
+        assert_eq!(counters.kills(), 0);
     }
 }

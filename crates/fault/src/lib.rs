@@ -1,0 +1,524 @@
+//! # m2td-fault — deterministic fault injection and retry policies
+//!
+//! Real ensemble campaigns lose work: simulation runs diverge or time out,
+//! and MapReduce workers die or straggle mid-phase. This crate is the
+//! workspace's *failure model*: a seeded, fully deterministic description
+//! of which task attempts are killed, which straggle and by how much, and
+//! which simulation runs fail — plus the [`RetryPolicy`] that governs how
+//! the execution engines respond (bounded attempts, deterministic backoff
+//! in virtual time, speculative re-execution of stragglers).
+//!
+//! ## Determinism contract
+//!
+//! Every fault decision is a pure function of `(seed, scope, task, attempt)`
+//! via a splitmix-style hash — no wall clock, no OS entropy, no ordering
+//! sensitivity. Two processes evaluating the same [`FaultPlan`] therefore
+//! agree on every injected fault, regardless of thread count or scheduling.
+//! Because the tasks the engines retry are themselves pure, any fault
+//! schedule that eventually succeeds yields results bitwise identical to
+//! the fault-free run; faults can only change *virtual time* and the
+//! execution counters, never the numerics.
+//!
+//! Time here is **virtual**: a killed attempt charges its backoff delay and
+//! a straggler charges its injected delay to an accumulator, but nothing
+//! ever sleeps. This keeps fault-injection tests instantaneous while still
+//! exercising the scheduling mathematics the cluster cost model consumes.
+
+use std::fmt;
+
+/// Which execution scope a fault decision applies to. The engines name
+/// their jobs (D-M2TD uses one job id per phase), so a plan can target a
+/// single phase or the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Faults apply to every job.
+    AllJobs,
+    /// Faults apply only to the job with this id.
+    Job(u64),
+}
+
+/// The kind of task a fault decision is being made for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task (one input chunk).
+    Map,
+    /// A reduce task (one key group).
+    Reduce,
+    /// A simulation run (one parameter configuration).
+    Simulation,
+}
+
+impl TaskKind {
+    fn stream(self) -> u64 {
+        match self {
+            TaskKind::Map => 0x6d61_7000,
+            TaskKind::Reduce => 0x7265_6400,
+            TaskKind::Simulation => 0x7369_6d00,
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskKind::Map => write!(f, "map"),
+            TaskKind::Reduce => write!(f, "reduce"),
+            TaskKind::Simulation => write!(f, "simulation"),
+        }
+    }
+}
+
+/// The outcome a [`FaultPlan`] injects for one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// The attempt runs to completion normally.
+    Ok,
+    /// The attempt is killed; its output (if any) must be discarded and
+    /// the task retried under the [`RetryPolicy`].
+    Kill,
+    /// The attempt completes but is delayed by this many virtual seconds
+    /// (a straggler). Speculative re-execution may rescue it.
+    Straggle(f64),
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Rates are per-*attempt* probabilities evaluated on independent hash
+/// streams, so a task killed on attempt 0 gets a fresh draw on attempt 1.
+/// `kill_cap` bounds the number of consecutive kills injected into any one
+/// task (modelling a scheduler that blacklists bad nodes); with a cap below
+/// the retry budget, every fault schedule eventually succeeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of every hash stream.
+    pub seed: u64,
+    /// Probability that a map/reduce task attempt is killed.
+    pub kill_rate: f64,
+    /// Probability that a map/reduce task attempt straggles.
+    pub straggle_rate: f64,
+    /// Virtual delay injected into a straggling attempt, in seconds.
+    pub straggle_secs: f64,
+    /// Probability that one simulation *attempt* fails (run diverged,
+    /// solver timed out). Evaluated per attempt like `kill_rate`.
+    pub sim_fail_rate: f64,
+    /// Upper bound on consecutive kills injected into one task;
+    /// `u32::MAX` disables the cap (useful to force retry exhaustion).
+    pub kill_cap: u32,
+    /// Which jobs the map/reduce faults apply to.
+    pub scope: FaultScope,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            kill_rate: 0.0,
+            straggle_rate: 0.0,
+            straggle_secs: 0.0,
+            sim_fail_rate: 0.0,
+            kill_cap: 2,
+            scope: FaultScope::AllJobs,
+        }
+    }
+
+    /// A seeded plan killing and straggling task attempts at the given
+    /// rates (stragglers delayed by `straggle_secs` virtual seconds).
+    pub fn new(seed: u64, kill_rate: f64, straggle_rate: f64, straggle_secs: f64) -> Self {
+        Self {
+            seed,
+            kill_rate,
+            straggle_rate,
+            straggle_secs,
+            ..Self::none()
+        }
+    }
+
+    /// A plan that fails simulation attempts at `rate`.
+    pub fn sim_failures(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            sim_fail_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// Restricts map/reduce faults to the job with id `job`.
+    pub fn in_job(mut self, job: u64) -> Self {
+        self.scope = FaultScope::Job(job);
+        self
+    }
+
+    /// Replaces the consecutive-kill cap.
+    pub fn with_kill_cap(mut self, cap: u32) -> Self {
+        self.kill_cap = cap;
+        self
+    }
+
+    /// True if the plan can inject map/reduce faults into `job`.
+    pub fn targets_job(&self, job: u64) -> bool {
+        match self.scope {
+            FaultScope::AllJobs => true,
+            FaultScope::Job(j) => j == job,
+        }
+    }
+
+    /// The injected outcome for attempt `attempt` of task `task` of kind
+    /// `kind` in job `job`. Pure in all arguments.
+    pub fn decide(&self, job: u64, kind: TaskKind, task: u64, attempt: u32) -> FaultDecision {
+        if !self.targets_job(job) {
+            return FaultDecision::Ok;
+        }
+        if attempt < self.kill_cap
+            && uniform(self.seed, job ^ kind.stream(), task, attempt, SALT_KILL) < self.kill_rate
+        {
+            return FaultDecision::Kill;
+        }
+        if uniform(self.seed, job ^ kind.stream(), task, attempt, SALT_STRAGGLE)
+            < self.straggle_rate
+        {
+            return FaultDecision::Straggle(self.straggle_secs);
+        }
+        FaultDecision::Ok
+    }
+
+    /// Whether simulation attempt `attempt` for parameter configuration
+    /// `config` fails. Uses its own hash stream; unaffected by `scope`.
+    pub fn sim_attempt_fails(&self, config: u64, attempt: u32) -> bool {
+        uniform(
+            self.seed,
+            TaskKind::Simulation.stream(),
+            config,
+            attempt,
+            SALT_KILL,
+        ) < self.sim_fail_rate
+    }
+
+    /// Whether a simulation run for `config` survives a budget of
+    /// `max_attempts` attempts; also returns the attempts consumed.
+    pub fn sim_survives(&self, config: u64, max_attempts: u32) -> (bool, u32) {
+        for attempt in 0..max_attempts {
+            if !self.sim_attempt_fails(config, attempt) {
+                return (true, attempt + 1);
+            }
+        }
+        (false, max_attempts)
+    }
+}
+
+/// Hash-stream salt separating kill decisions from straggle decisions.
+const SALT_KILL: u64 = 0x4b49_4c4c;
+/// See [`SALT_KILL`].
+const SALT_STRAGGLE: u64 = 0x5354_5247;
+
+/// Deterministic uniform draw in `[0, 1)` keyed by the full task identity.
+fn uniform(seed: u64, stream: u64, task: u64, attempt: u32, salt: u64) -> f64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ task.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ (attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ salt;
+    // splitmix64 finalizer.
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How an engine responds to injected faults: bounded retries with a
+/// deterministic backoff schedule in virtual time, plus speculative
+/// re-execution of stragglers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task (including the first); exhausting this
+    /// budget fails the job with [`FaultError::RetryExhausted`].
+    pub max_attempts: u32,
+    /// Virtual backoff before retry `1` (after the first failure).
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_factor: f64,
+    /// A straggling attempt delayed beyond this many virtual seconds gets
+    /// a speculative backup copy; the backup's (identical) result is used
+    /// and the straggler's excess delay is not charged.
+    pub speculate_after_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_secs: 0.5,
+            backoff_factor: 2.0,
+            speculate_after_secs: 5.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing exactly one attempt (no retries).
+    pub fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A policy with the given attempt budget and default backoff.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Virtual backoff charged before retry number `retry` (1-based:
+    /// `retry = 1` is the first re-execution). Deterministic geometric
+    /// schedule `base · factor^(retry−1)`.
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1)
+    }
+
+    /// The virtual delay actually charged for a straggler of `delay`
+    /// seconds: speculation caps it at `speculate_after_secs`.
+    pub fn charged_straggle_secs(&self, delay: f64) -> f64 {
+        delay.min(self.speculate_after_secs)
+    }
+
+    /// Whether a straggler of `delay` seconds triggers a speculative copy.
+    pub fn speculates(&self, delay: f64) -> bool {
+        delay > self.speculate_after_secs
+    }
+}
+
+/// Execution counters accumulated by a fault-aware engine while running
+/// one job (or one D-M2TD phase). These are the observable trace of the
+/// failure model: tests pin checkpoint resumes and speculation on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskCounters {
+    /// Map-task attempts actually executed (including killed ones).
+    pub map_attempts: usize,
+    /// Map-task attempts killed by the fault plan.
+    pub map_kills: usize,
+    /// Reduce-task attempts actually executed (including killed ones).
+    pub reduce_attempts: usize,
+    /// Reduce-task attempts killed by the fault plan.
+    pub reduce_kills: usize,
+    /// Straggling attempts injected.
+    pub stragglers: usize,
+    /// Speculative backup copies launched.
+    pub speculative_launches: usize,
+    /// Virtual seconds lost to backoff and (capped) straggler delays.
+    pub virtual_lost_secs: f64,
+}
+
+impl TaskCounters {
+    /// Sums another counter set into this one.
+    pub fn absorb(&mut self, other: &TaskCounters) {
+        self.map_attempts += other.map_attempts;
+        self.map_kills += other.map_kills;
+        self.reduce_attempts += other.reduce_attempts;
+        self.reduce_kills += other.reduce_kills;
+        self.stragglers += other.stragglers;
+        self.speculative_launches += other.speculative_launches;
+        self.virtual_lost_secs += other.virtual_lost_secs;
+    }
+
+    /// Total task attempts (map + reduce).
+    pub fn attempts(&self) -> usize {
+        self.map_attempts + self.reduce_attempts
+    }
+
+    /// Total kills (map + reduce).
+    pub fn kills(&self) -> usize {
+        self.map_kills + self.reduce_kills
+    }
+}
+
+/// Errors surfaced by fault-aware execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A task was killed on every attempt the [`RetryPolicy`] allowed.
+    RetryExhausted {
+        /// Job id the task belonged to.
+        job: u64,
+        /// What kind of task it was.
+        kind: TaskKind,
+        /// Task index within the job.
+        task: u64,
+        /// Attempts consumed (= the policy's budget).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::RetryExhausted {
+                job,
+                kind,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "retry budget exhausted: {kind} task {task} of job {job} was killed on all {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(42, 0.3, 0.2, 4.0);
+        for job in 0..3u64 {
+            for task in 0..50u64 {
+                for attempt in 0..4u32 {
+                    let a = plan.decide(job, TaskKind::Map, task, attempt);
+                    let b = plan.decide(job, TaskKind::Map, task, attempt);
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        for task in 0..100u64 {
+            assert_eq!(plan.decide(1, TaskKind::Reduce, task, 0), FaultDecision::Ok);
+            assert!(!plan.sim_attempt_fails(task, 0));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(7, 0.25, 0.0, 0.0);
+        let kills = (0..10_000u64)
+            .filter(|&t| plan.decide(0, TaskKind::Map, t, 0) == FaultDecision::Kill)
+            .count();
+        let frac = kills as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "kill fraction {frac}");
+    }
+
+    #[test]
+    fn job_scope_limits_faults() {
+        let plan = FaultPlan::new(3, 1.0, 0.0, 0.0).in_job(2);
+        assert_eq!(plan.decide(1, TaskKind::Map, 0, 0), FaultDecision::Ok);
+        assert_eq!(plan.decide(2, TaskKind::Map, 0, 0), FaultDecision::Kill);
+        assert!(plan.targets_job(2) && !plan.targets_job(1));
+    }
+
+    #[test]
+    fn kill_cap_guarantees_eventual_success() {
+        let plan = FaultPlan::new(9, 1.0, 0.0, 0.0).with_kill_cap(2);
+        for task in 0..20u64 {
+            assert_eq!(plan.decide(0, TaskKind::Map, task, 0), FaultDecision::Kill);
+            assert_eq!(plan.decide(0, TaskKind::Map, task, 1), FaultDecision::Kill);
+            assert_eq!(plan.decide(0, TaskKind::Map, task, 2), FaultDecision::Ok);
+        }
+    }
+
+    #[test]
+    fn kill_and_straggle_streams_are_independent() {
+        // With kill_rate 0 but straggle_rate 1 every attempt straggles.
+        let plan = FaultPlan::new(5, 0.0, 1.0, 2.5);
+        assert_eq!(
+            plan.decide(0, TaskKind::Reduce, 3, 0),
+            FaultDecision::Straggle(2.5)
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_is_geometric() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_base_secs: 1.0,
+            backoff_factor: 2.0,
+            speculate_after_secs: 10.0,
+        };
+        assert_eq!(p.backoff_secs(0), 0.0);
+        assert_eq!(p.backoff_secs(1), 1.0);
+        assert_eq!(p.backoff_secs(2), 2.0);
+        assert_eq!(p.backoff_secs(3), 4.0);
+    }
+
+    #[test]
+    fn speculation_caps_straggler_delay() {
+        let p = RetryPolicy {
+            speculate_after_secs: 3.0,
+            ..RetryPolicy::default()
+        };
+        assert!(!p.speculates(2.0));
+        assert!(p.speculates(8.0));
+        assert_eq!(p.charged_straggle_secs(2.0), 2.0);
+        assert_eq!(p.charged_straggle_secs(8.0), 3.0);
+    }
+
+    #[test]
+    fn sim_survival_consumes_attempts() {
+        let plan = FaultPlan::sim_failures(11, 0.5);
+        let mut failed = 0;
+        let mut total_attempts = 0u32;
+        for config in 0..2_000u64 {
+            let (ok, used) = plan.sim_survives(config, 3);
+            assert!((1..=3).contains(&used));
+            total_attempts += used;
+            if !ok {
+                failed += 1;
+            }
+        }
+        // P(all 3 attempts fail) = 0.125.
+        let frac = failed as f64 / 2_000.0;
+        assert!((frac - 0.125).abs() < 0.03, "exhaustion fraction {frac}");
+        assert!(total_attempts > 2_000);
+        // Deterministic.
+        assert_eq!(plan.sim_survives(77, 3), plan.sim_survives(77, 3));
+    }
+
+    #[test]
+    fn counters_absorb_sums_fields() {
+        let mut a = TaskCounters {
+            map_attempts: 1,
+            map_kills: 1,
+            virtual_lost_secs: 0.5,
+            ..TaskCounters::default()
+        };
+        let b = TaskCounters {
+            map_attempts: 2,
+            reduce_attempts: 3,
+            stragglers: 1,
+            virtual_lost_secs: 1.5,
+            ..TaskCounters::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.map_attempts, 3);
+        assert_eq!(a.reduce_attempts, 3);
+        assert_eq!(a.attempts(), 6);
+        assert_eq!(a.kills(), 1);
+        assert_eq!(a.virtual_lost_secs, 2.0);
+    }
+
+    #[test]
+    fn retry_exhausted_formats_usefully() {
+        let e = FaultError::RetryExhausted {
+            job: 3,
+            kind: TaskKind::Reduce,
+            task: 7,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("retry budget exhausted"));
+        assert!(msg.contains("reduce task 7"));
+        assert!(msg.contains("job 3"));
+        assert!(msg.contains("4 attempts"));
+    }
+}

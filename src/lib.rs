@@ -30,6 +30,8 @@
 
 pub use m2td_core as core;
 pub use m2td_dist as dist;
+pub use m2td_fault as fault;
+pub use m2td_json as json;
 pub use m2td_linalg as linalg;
 pub use m2td_par as par;
 pub use m2td_sampling as sampling;
@@ -40,8 +42,10 @@ pub use m2td_tensor as tensor;
 /// Convenience prelude importing the most common types.
 pub mod prelude {
     pub use m2td_core::{
-        m2td_decompose, M2tdOptions, PivotCombine, RunReport, Workbench, WorkbenchConfig,
+        m2td_decompose, M2tdOptions, PivotCombine, RunReport, SimFaultPolicy, Workbench,
+        WorkbenchConfig,
     };
+    pub use m2td_fault::{FaultPlan, RetryPolicy};
     pub use m2td_linalg::Matrix;
     pub use m2td_sampling::{PfPartition, SamplingScheme};
     pub use m2td_sim::{EnsembleBuilder, EnsembleSystem, ParameterSpace, TimeGrid};

@@ -1,12 +1,20 @@
 //! Failure injection across crate boundaries: every degenerate input must
-//! produce a clean error (never a panic) with a useful message.
+//! produce a clean error (never a panic) with a useful message — and under
+//! the deterministic fault injector, every fault schedule that eventually
+//! succeeds must reproduce the fault-free result exactly.
 
-use m2td::core::{m2td_decompose, M2tdOptions, Workbench, WorkbenchConfig};
-use m2td::dist::{d_m2td, MapReduce};
+use m2td::core::{
+    m2td_decompose, CoreError, M2tdOptions, SimFaultPolicy, Workbench, WorkbenchConfig,
+};
+use m2td::dist::{
+    d_m2td, d_m2td_fault_tolerant, DistError, FaultConfig, MapReduce, Phase3Strategy, PHASE1_JOB,
+    PHASE2_JOB, PHASE3_JOB,
+};
+use m2td::fault::{FaultPlan, RetryPolicy};
 use m2td::sampling::{PfPartition, RandomSampling, SamplingScheme};
 use m2td::sim::systems::Sir;
 use m2td::stitch::{stitch, StitchKind};
-use m2td::tensor::{hosvd_sparse, DenseTensor, SparseTensor};
+use m2td::tensor::{hosvd_sparse, DenseTensor, Shape, SparseTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -156,4 +164,181 @@ fn dense_tensor_shape_mismatches_error() {
     assert!(a.sub(&b).is_err());
     assert!(a.add(&b).is_err());
     assert!(a.permute_modes(&[0, 0]).is_err());
+}
+
+// ---- Deterministic fault injection ------------------------------------
+
+/// Two dense analytic sub-tensors sharing a pivot mode.
+fn fault_sub_tensors() -> (SparseTensor, SparseTensor) {
+    let f = |p: usize, a: usize, b: usize| {
+        ((p as f64) * 0.7).sin() * ((a as f64) * 0.3 + 1.0) * ((b as f64) * 0.5 + 1.0) + 0.1
+    };
+    let full = |g: &dyn Fn(&[usize]) -> f64| {
+        let dims = [6, 5];
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .map(|l| {
+                let idx = shape.multi_index(l);
+                let v = g(&idx);
+                (idx, v)
+            })
+            .collect();
+        SparseTensor::from_entries(&dims, &entries).unwrap()
+    };
+    let x1 = full(&|i: &[usize]| f(i[0], i[1], 2));
+    let x2 = full(&|i: &[usize]| f(i[0], 2, i[1]));
+    (x1, x2)
+}
+
+#[test]
+fn task_killed_in_each_phase_still_converges() {
+    let (x1, x2) = fault_sub_tensors();
+    let ranks = [3, 3, 3];
+    let opts = M2tdOptions::default();
+    let engine = MapReduce::new(3);
+    let clean = d_m2td(&x1, &x2, 1, &ranks, opts, &engine).unwrap();
+    for job in [PHASE1_JOB, PHASE2_JOB, PHASE3_JOB] {
+        // Kill aggressively, but only inside one phase at a time; the
+        // default kill cap bounds consecutive kills so retries succeed.
+        let faults = FaultConfig {
+            plan: FaultPlan::new(33, 0.9, 0.0, 0.0).in_job(job),
+            policy: RetryPolicy::default(),
+        };
+        let faulty = d_m2td_fault_tolerant(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &faults,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("phase-{job} faults should be survivable: {e}"));
+        assert_eq!(
+            clean.tucker.core.as_slice(),
+            faulty.tucker.core.as_slice(),
+            "core differs after kills in phase {job}"
+        );
+        let total = faulty.total_tasks();
+        assert!(total.kills() > 0, "no kill landed in phase {job}");
+        // The fault plan is scoped: only the targeted phase saw kills.
+        for (phase_job, stats) in [
+            (PHASE1_JOB, &faulty.phase1),
+            (PHASE2_JOB, &faulty.phase2),
+            (PHASE3_JOB, &faulty.phase3),
+        ] {
+            if phase_job != job {
+                assert_eq!(
+                    stats.tasks.kills(),
+                    0,
+                    "phase {phase_job} saw kills scoped to phase {job}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn straggler_is_rescued_by_speculation() {
+    let (x1, x2) = fault_sub_tensors();
+    let ranks = [3, 3, 3];
+    let opts = M2tdOptions::default();
+    let engine = MapReduce::new(2);
+    let clean = d_m2td(&x1, &x2, 1, &ranks, opts, &engine).unwrap();
+    // Every task straggles far past the speculation threshold.
+    let policy = RetryPolicy::default();
+    let faults = FaultConfig {
+        plan: FaultPlan::new(8, 0.0, 1.0, 60.0),
+        policy,
+    };
+    let faulty = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        1,
+        &ranks,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &faults,
+        None,
+    )
+    .unwrap();
+    let total = faulty.total_tasks();
+    assert!(total.stragglers > 0, "no straggler injected");
+    assert!(
+        total.speculative_launches > 0,
+        "stragglers past the threshold must launch backups"
+    );
+    // The charge per straggler is capped at the speculation threshold,
+    // not the full 60-second delay.
+    assert!(
+        total.virtual_lost_secs <= total.stragglers as f64 * policy.speculate_after_secs + 1e-9,
+        "speculation failed to cap straggler cost: {} secs over {} stragglers",
+        total.virtual_lost_secs,
+        total.stragglers
+    );
+    assert_eq!(clean.tucker.core.as_slice(), faulty.tucker.core.as_slice());
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_clean_dist_error() {
+    let (x1, x2) = fault_sub_tensors();
+    // Uncapped certain kills: no attempt can ever succeed.
+    let faults = FaultConfig {
+        plan: FaultPlan::new(4, 1.0, 0.0, 0.0).with_kill_cap(u32::MAX),
+        policy: RetryPolicy::with_max_attempts(2),
+    };
+    let err = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        1,
+        &[3, 3, 3],
+        M2tdOptions::default(),
+        &MapReduce::new(2),
+        Phase3Strategy::ChunkPartition,
+        &faults,
+        None,
+    )
+    .unwrap_err();
+    match &err {
+        DistError::Exhausted(m2td::fault::FaultError::RetryExhausted { attempts, .. }) => {
+            assert_eq!(*attempts, 2, "budget was 2 attempts");
+        }
+        other => panic!("expected DistError::Exhausted, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("retry budget exhausted"),
+        "unhelpful message: {msg}"
+    );
+}
+
+#[test]
+fn coverage_threshold_violation_is_a_clean_core_error() {
+    static SYS: Sir = Sir;
+    let cfg = WorkbenchConfig {
+        resolution: 3,
+        time_steps: 3,
+        t_end: 10.0,
+        substeps: 4,
+        rank: 2,
+        seed: 0,
+        noise_sigma: 0.0,
+    };
+    let w = Workbench::new(&SYS, cfg).unwrap();
+    let policy = SimFaultPolicy::new(2, 0.95)
+        .with_max_attempts(1)
+        .with_min_coverage(0.8);
+    let err = w
+        .run_m2td_degraded(4, M2tdOptions::default(), 1.0, 1.0, 1.0, &policy)
+        .unwrap_err();
+    match &err {
+        CoreError::InsufficientCoverage { coverage, required } => {
+            assert!(coverage < required);
+        }
+        other => panic!("expected InsufficientCoverage, got {other}"),
+    }
+    assert!(err.to_string().contains("coverage"), "{err}");
 }

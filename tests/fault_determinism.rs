@@ -1,0 +1,302 @@
+//! The fault-tolerance determinism contract: because every map/reduce
+//! task is pure, any seeded fault schedule that eventually succeeds must
+//! yield factors and core **bitwise identical** to the fault-free run, at
+//! every worker count — and a checkpointed run interrupted in phase 3
+//! must resume from persisted phase-1/2 artifacts without recomputing
+//! them.
+//!
+//! CI runs this file under `M2TD_THREADS=1` and `M2TD_THREADS=4` with two
+//! values of `M2TD_FAULT_SEED`, so the same assertions are exercised
+//! across the full thread × fault-schedule matrix.
+
+use m2td::core::M2tdOptions;
+use m2td::dist::{
+    d_m2td, d_m2td_fault_tolerant, CheckpointStore, DistDecomposition, DistError, FaultConfig,
+    MapReduce, Phase3Strategy, PHASE3_JOB,
+};
+use m2td::fault::{FaultPlan, RetryPolicy};
+use m2td::tensor::{Shape, SparseTensor};
+
+const K: usize = 1;
+const RANKS: [usize; 3] = [3, 3, 3];
+
+/// Two dense analytic sub-tensors sharing a pivot mode.
+fn sub_tensors() -> (SparseTensor, SparseTensor) {
+    let f = |p: usize, a: usize, b: usize| {
+        ((p as f64) * 0.6).cos() * ((a as f64) * 0.25 + 1.0) * ((b as f64) * 0.45 + 1.0) - 0.3
+    };
+    let full = |g: &dyn Fn(&[usize]) -> f64| {
+        let dims = [7, 6];
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .map(|l| {
+                let idx = shape.multi_index(l);
+                let v = g(&idx);
+                (idx, v)
+            })
+            .collect();
+        SparseTensor::from_entries(&dims, &entries).unwrap()
+    };
+    let x1 = full(&|i: &[usize]| f(i[0], i[1], 3));
+    let x2 = full(&|i: &[usize]| f(i[0], 3, i[1]));
+    (x1, x2)
+}
+
+fn assert_bitwise_equal(a: &DistDecomposition, b: &DistDecomposition, label: &str) {
+    assert_eq!(
+        a.tucker.core.as_slice(),
+        b.tucker.core.as_slice(),
+        "core not bitwise identical: {label}"
+    );
+    assert_eq!(a.tucker.factors.len(), b.tucker.factors.len());
+    for (i, (fa, fb)) in a
+        .tucker
+        .factors
+        .iter()
+        .zip(b.tucker.factors.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            fa.as_slice(),
+            fb.as_slice(),
+            "factor {i} not bitwise identical: {label}"
+        );
+    }
+}
+
+/// Extra fault seeds injected by the CI fault matrix via `M2TD_FAULT_SEED`.
+fn seeds_under_test() -> Vec<u64> {
+    let mut seeds = vec![3, 17, 101];
+    if let Ok(s) = std::env::var("M2TD_FAULT_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            if !seeds.contains(&seed) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+#[test]
+fn fault_schedules_are_bitwise_deterministic_across_seeds_and_workers() {
+    let (x1, x2) = sub_tensors();
+    let opts = M2tdOptions::default();
+
+    // ChunkPartition's dataflow partitions by `engine.workers()`, so the
+    // reference is per worker count; the invariant under test is that a
+    // fault schedule never shows through at any worker count.
+    for workers in [1, 4] {
+        let engine = MapReduce::new(workers);
+        let reference = d_m2td(&x1, &x2, K, &RANKS, opts, &engine).unwrap();
+        for seed in seeds_under_test() {
+            let faults = FaultConfig {
+                plan: FaultPlan::new(seed, 0.5, 0.3, 20.0),
+                policy: RetryPolicy::default(),
+            };
+            let run = d_m2td_fault_tolerant(
+                &x1,
+                &x2,
+                K,
+                &RANKS,
+                opts,
+                &engine,
+                Phase3Strategy::ChunkPartition,
+                &faults,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}, {workers} workers: {e}"));
+            assert_bitwise_equal(&reference, &run, &format!("seed {seed}, {workers} workers"));
+            assert!(
+                run.total_tasks().kills() > 0,
+                "seed {seed} injected no kills — the property is vacuous"
+            );
+            // The injected schedule (and hence every counter) is a pure
+            // function of (seed, job, task, attempt): rerunning must
+            // reproduce it exactly.
+            let again = d_m2td_fault_tolerant(
+                &x1,
+                &x2,
+                K,
+                &RANKS,
+                opts,
+                &engine,
+                Phase3Strategy::ChunkPartition,
+                &faults,
+                None,
+            )
+            .unwrap();
+            assert_eq!(
+                run.total_tasks(),
+                again.total_tasks(),
+                "seed {seed}, {workers} workers: counters not reproducible"
+            );
+            assert_bitwise_equal(
+                &run,
+                &again,
+                &format!("seed {seed} rerun, {workers} workers"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mode_shuffle_phase3_is_also_fault_deterministic() {
+    let (x1, x2) = sub_tensors();
+    let opts = M2tdOptions::default();
+    let engine = MapReduce::new(2);
+    let reference = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ModeShuffle,
+        &FaultConfig::none(),
+        None,
+    )
+    .unwrap();
+    for seed in seeds_under_test() {
+        let faults = FaultConfig {
+            plan: FaultPlan::new(seed, 0.6, 0.0, 0.0),
+            policy: RetryPolicy::default(),
+        };
+        let run = d_m2td_fault_tolerant(
+            &x1,
+            &x2,
+            K,
+            &RANKS,
+            opts,
+            &engine,
+            Phase3Strategy::ModeShuffle,
+            &faults,
+            None,
+        )
+        .unwrap();
+        assert_bitwise_equal(&reference, &run, &format!("mode-shuffle, seed {seed}"));
+    }
+}
+
+#[test]
+fn phase3_failure_resumes_from_checkpoints_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("m2td_ckpt_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir).unwrap();
+    let (x1, x2) = sub_tensors();
+    let opts = M2tdOptions::default();
+    let engine = MapReduce::new(2);
+    let clean = d_m2td(&x1, &x2, K, &RANKS, opts, &engine).unwrap();
+
+    // First attempt: phase 3 is unconditionally killed with no retries, so
+    // the run dies *after* phases 1 and 2 persisted their checkpoints.
+    let lethal = FaultConfig {
+        plan: FaultPlan::new(12, 1.0, 0.0, 0.0)
+            .in_job(PHASE3_JOB)
+            .with_kill_cap(u32::MAX),
+        policy: RetryPolicy::no_retries(),
+    };
+    let err = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &lethal,
+        Some(&store),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, DistError::Exhausted(_)),
+        "expected an exhausted retry budget, got {err}"
+    );
+
+    // Second attempt, fault-free: phases 1–2 must resume from the
+    // checkpoints (zero task executions), phase 3 recomputes, and the
+    // result is bitwise identical to the never-failed run.
+    let resumed = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &FaultConfig::none(),
+        Some(&store),
+    )
+    .unwrap();
+    assert!(resumed.phase1.resumed, "phase 1 was recomputed");
+    assert!(resumed.phase2.resumed, "phase 2 was recomputed");
+    assert!(!resumed.phase3.resumed);
+    assert_eq!(
+        resumed.phase1.tasks.attempts(),
+        0,
+        "phase 1 executed tasks despite resuming"
+    );
+    assert_eq!(
+        resumed.phase2.tasks.attempts(),
+        0,
+        "phase 2 executed tasks despite resuming"
+    );
+    assert!(resumed.phase3.tasks.attempts() > 0);
+    assert_eq!(
+        clean.tucker.core.as_slice(),
+        resumed.tucker.core.as_slice(),
+        "resumed result differs from fault-free run"
+    );
+
+    // A changed input invalidates the fingerprint: nothing resumes.
+    let mut entries: Vec<(Vec<usize>, f64)> = x1.iter().collect();
+    entries[0].1 += 1.0;
+    let x1b = SparseTensor::from_entries(x1.dims(), &entries).unwrap();
+    let fresh = d_m2td_fault_tolerant(
+        &x1b,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &FaultConfig::none(),
+        Some(&store),
+    )
+    .unwrap();
+    assert!(!fresh.phase1.resumed && !fresh.phase2.resumed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degraded_pipeline_is_deterministic_per_seed() {
+    use m2td::core::{SimFaultPolicy, Workbench, WorkbenchConfig};
+    use m2td::sim::systems::Sir;
+    static SYS: Sir = Sir;
+    let cfg = WorkbenchConfig {
+        resolution: 4,
+        time_steps: 4,
+        t_end: 40.0,
+        substeps: 8,
+        rank: 2,
+        seed: 3,
+        noise_sigma: 0.0,
+    };
+    let w = Workbench::new(&SYS, cfg).unwrap();
+    let policy = SimFaultPolicy::new(19, 0.3)
+        .with_max_attempts(1)
+        .with_min_coverage(0.2);
+    let opts = M2tdOptions {
+        stitch: m2td::stitch::StitchKind::ZeroJoin,
+        ..M2tdOptions::default()
+    };
+    let a = w
+        .run_m2td_degraded(4, opts, 1.0, 1.0, 1.0, &policy)
+        .unwrap();
+    let b = w
+        .run_m2td_degraded(4, opts, 1.0, 1.0, 1.0, &policy)
+        .unwrap();
+    assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+    assert_eq!(a.degraded.unwrap(), b.degraded.unwrap());
+    assert_eq!(a.cells, b.cells);
+}
