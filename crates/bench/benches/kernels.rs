@@ -237,6 +237,10 @@ criterion_group!(
 );
 
 fn main() {
+    // Record span aggregates alongside the kernel timings: the benched
+    // kernels (SVD, eig, TTM, Gram) emit spans, and `write_records`
+    // appends the aggregates as `obs.span` records.
+    m2td_obs::install();
     let mut c = Criterion::default();
     kernels(&mut c);
     // Check the baseline in from the repo root so the perf trajectory is

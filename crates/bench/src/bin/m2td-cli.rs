@@ -81,6 +81,9 @@ FLAGS (run/compare):
                          become missing cells             [default 0]
   --fault-seed <n>       seed of the fault schedule       [default 0]
   --max-retries <n>      attempts per simulation run      [default 3]
+  --metrics-out <path>   install the telemetry subscriber and write a
+                         JSON metrics snapshot (spans, counters, gauges)
+                         when the command finishes
 
 FLAGS (run only):
   --method <m>           select | avg | concat | zero-join |
@@ -115,6 +118,12 @@ fn run() -> Result<(), String> {
         }
         "run" | "compare" => {
             let args = Args::parse(&raw[1..])?;
+            // Install telemetry before any work runs so simulation,
+            // decomposition and fault spans are all captured.
+            let metrics_out = args.get("metrics-out").map(str::to_string);
+            if metrics_out.is_some() {
+                m2td_obs::install();
+            }
             let kind = match args.get("system") {
                 None => SystemKind::DoublePendulum,
                 Some(name) => {
@@ -191,6 +200,9 @@ fn run() -> Result<(), String> {
                         .run_conventional(scheme, budget)
                         .map_err(|e| e.to_string())?;
                     print_report(&r);
+                }
+                if let Some(path) = &metrics_out {
+                    write_metrics(path)?;
                 }
                 return Ok(());
             }
@@ -273,6 +285,9 @@ fn run() -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 println!("Tucker decomposition written to {path}");
             }
+            if let Some(path) = &metrics_out {
+                write_metrics(path)?;
+            }
             Ok(())
         }
         "--help" | "-h" | "help" => {
@@ -281,6 +296,16 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
+}
+
+/// Writes the current telemetry snapshot as pretty-printed JSON.
+fn write_metrics(path: &str) -> Result<(), String> {
+    use m2td_json::ToJson;
+    let snap = m2td_obs::snapshot();
+    std::fs::write(path, snap.to_json().to_pretty())
+        .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    println!("metrics written to {path}");
+    Ok(())
 }
 
 fn print_report(r: &RunReport) {

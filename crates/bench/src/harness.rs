@@ -40,8 +40,30 @@ impl Criterion {
     }
 
     /// Writes the collected records as a JSON array at `path`.
+    ///
+    /// If an `m2td-obs` subscriber is installed, the span aggregates
+    /// recorded while the benchmarks ran are appended as extra records
+    /// (group `"obs.span"`, one per span label, `mean_ns` = mean span wall
+    /// time, `samples` = span count) so kernel timings and in-pipeline
+    /// telemetry land in the same file under the same schema.
     pub fn write_records(&self, path: &std::path::Path) -> std::io::Result<()> {
-        crate::report::write_kernel_records(&self.records, path)
+        let mut records = self.records.clone();
+        if let Some(snap) = m2td_obs::snapshot_if_installed() {
+            for s in &snap.spans {
+                records.push(KernelRecord {
+                    group: "obs.span".to_string(),
+                    name: s.label.clone(),
+                    threads: m2td_par::max_threads(),
+                    mean_ns: if s.count > 0 {
+                        s.total_secs * 1e9 / s.count as f64
+                    } else {
+                        0.0
+                    },
+                    samples: s.count as usize,
+                });
+            }
+        }
+        crate::report::write_kernel_records(&records, path)
     }
 
     /// Prints a one-line summary per record.

@@ -45,8 +45,24 @@ impl PivotCombine {
     }
 }
 
+/// Comparison key for row-energy selection: a NaN norm (a row poisoned by
+/// degraded-mode missing cells) is treated as −∞, i.e. "no energy", so it
+/// can never win the selection.
+fn energy_key(norm: f64) -> f64 {
+    if norm.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        norm
+    }
+}
+
 /// `ROW_SELECT` (Algorithm 5): builds the output factor row-by-row, taking
 /// each row from whichever input matrix gives it more energy (2-norm).
+///
+/// Tie-breaking is explicit and deterministic: row norms are compared
+/// with NaN mapped to −∞, and on exact ties (including both-NaN) the row
+/// comes from `u1`. The former `>=` comparison silently picked `u2`
+/// whenever `u1`'s norm was NaN — a poisoned row displacing a finite one.
 ///
 /// # Errors
 ///
@@ -63,7 +79,10 @@ pub fn row_select(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
     }
     let mut out = Matrix::zeros(u1.rows(), u1.cols());
     for i in 0..u1.rows() {
-        let src = if u1.row_norm(i) >= u2.row_norm(i) {
+        let n1 = energy_key(u1.row_norm(i));
+        let n2 = energy_key(u2.row_norm(i));
+        // `u1` wins ties: total_cmp makes every case (incl. ±∞) ordered.
+        let src = if n1.total_cmp(&n2) != std::cmp::Ordering::Less {
             u1.row(i)
         } else {
             u2.row(i)
@@ -80,6 +99,12 @@ pub fn row_select(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
 /// can disagree on orientation even when they describe the same pattern.
 /// Row-wise combination (AVG's averaging, SELECT's row mixing) is only
 /// meaningful after the bases are consistently oriented.
+///
+/// The sign convention is pinned for determinism: a column of `u2` is
+/// flipped iff its inner product with the matching `u1` column is
+/// *strictly negative*. A zero dot (orthogonal columns) and a NaN dot
+/// carry no orientation evidence, so `u2`'s original orientation is kept
+/// in both cases.
 pub fn align_signs(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
     if u1.shape() != u2.shape() {
         return Err(CoreError::InvalidInput {
@@ -96,7 +121,9 @@ pub fn align_signs(u1: &Matrix, u2: &Matrix) -> Result<Matrix> {
         for i in 0..u1.rows() {
             dot += u1.get(i, j) * u2.get(i, j);
         }
-        if dot < 0.0 {
+        // Strictly-negative test: `Less` is false for dot == 0.0 and for
+        // NaN, keeping the documented "no evidence → no flip" behavior.
+        if dot.partial_cmp(&0.0) == Some(std::cmp::Ordering::Less) {
             for i in 0..u1.rows() {
                 out.set(i, j, -out.get(i, j));
             }
@@ -156,6 +183,61 @@ mod tests {
         let u2 = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
         let u = row_select(&u1, &u2).unwrap();
         assert_eq!(u.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn row_select_nan_norm_loses_to_finite_row() {
+        // Regression: `u1.row_norm >= u2.row_norm` is false when u1's norm
+        // is NaN, which *kept* working here — but the symmetric case (NaN
+        // in u2) also evaluated false, handing NaN rows of u1 a win only
+        // by accident of operand order. Pin both directions: NaN = −∞.
+        let u1 = Matrix::from_rows(&[&[f64::NAN, 1.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[0.5, 0.0]]).unwrap();
+        let u = row_select(&u1, &u2).unwrap();
+        assert_eq!(u.row(0), &[0.5, 0.0], "NaN row in u1 must lose");
+
+        let u = row_select(&u2, &u1).unwrap();
+        assert_eq!(u.row(0), &[0.5, 0.0], "NaN row in u2 must lose");
+    }
+
+    #[test]
+    fn row_select_both_nan_prefers_first() {
+        let u1 = Matrix::from_rows(&[&[f64::NAN, 2.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[3.0, f64::NAN]]).unwrap();
+        let u = row_select(&u1, &u2).unwrap();
+        // Both norms are NaN → both keys are −∞ → tie → u1 wins.
+        assert!(u.get(0, 0).is_nan());
+        assert_eq!(u.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn align_signs_zero_dot_keeps_orientation() {
+        // Orthogonal columns: dot == 0.0 carries no orientation evidence,
+        // so u2 must come back unchanged (documented tie behavior).
+        let u1 = Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[0.0], &[-2.0]]).unwrap();
+        let out = align_signs(&u1, &u2).unwrap();
+        assert_eq!(out.row(0), &[0.0]);
+        assert_eq!(out.row(1), &[-2.0]);
+    }
+
+    #[test]
+    fn align_signs_nan_dot_keeps_orientation() {
+        let u1 = Matrix::from_rows(&[&[f64::NAN], &[1.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[1.0], &[-3.0]]).unwrap();
+        let out = align_signs(&u1, &u2).unwrap();
+        // dot = NaN → no flip; u2 returned with original signs.
+        assert_eq!(out.row(0), &[1.0]);
+        assert_eq!(out.row(1), &[-3.0]);
+    }
+
+    #[test]
+    fn align_signs_negative_dot_still_flips() {
+        let u1 = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[-1.0], &[-1.0]]).unwrap();
+        let out = align_signs(&u1, &u2).unwrap();
+        assert_eq!(out.row(0), &[1.0]);
+        assert_eq!(out.row(1), &[1.0]);
     }
 
     #[test]

@@ -160,6 +160,10 @@ pub fn m2td_decompose(
     // `m2td-par` pool — the single-node analogue of D-M2TD Phase 1. Each
     // side computes the same grams in the same order as the serial loop,
     // so results are bitwise unchanged.
+    //
+    // Span labels are shared with `m2td_dist::d_m2td*`: the phases
+    // correspond one-to-one, so telemetry consumers see one taxonomy.
+    let span1 = m2td_obs::span!("phase1.decompose");
     let t1 = Instant::now();
     type PivotSide = (
         Vec<(m2td_linalg::Matrix, m2td_linalg::Matrix)>,
@@ -211,13 +215,17 @@ pub fn m2td_decompose(
     factors.extend(free1);
     factors.extend(free2);
     let phase1 = t1.elapsed().as_secs_f64();
+    drop(span1);
 
     // ---- Phase 2: JE-stitching ------------------------------------------
+    let span2 = m2td_obs::span!("phase2.stitch");
     let t2 = Instant::now();
     let (join, stitch_report) = stitch(x1, x2, k, opts.stitch)?;
     let phase2 = t2.elapsed().as_secs_f64();
+    drop(span2);
 
     // ---- Phase 3: core recovery -----------------------------------------
+    let _span3 = m2td_obs::span!("phase3.core");
     let t3 = Instant::now();
     if join.nnz() == 0 {
         return Err(CoreError::InvalidInput {

@@ -152,6 +152,11 @@ pub struct RunReport {
     /// Degraded-mode accounting, for runs executed under a
     /// [`SimFaultPolicy`].
     pub degraded: Option<DegradedStats>,
+    /// Telemetry snapshot (span aggregates, counters, gauges) taken when
+    /// the report was built. Present iff an `m2td-obs` subscriber was
+    /// installed; covers everything recorded since the last
+    /// `m2td_obs::reset()`, not just this run.
+    pub metrics: Option<m2td_obs::MetricsSnapshot>,
 }
 
 /// Output of [`Workbench::build_subsystems`]: the two sub-tensors plus
@@ -323,13 +328,16 @@ impl<'a> Workbench<'a> {
         let builder = self.builder();
 
         let t_sim = Instant::now();
+        let sim_span = m2td_obs::span!("pipeline.simulate");
         let (sparse, distinct_sims) = builder.build_sparse(&plan)?;
+        drop(sim_span);
         let simulate_secs = t_sim.elapsed().as_secs_f64();
 
         let t_dec = Instant::now();
         let tucker = hosvd_sparse(&sparse, &self.natural_ranks())?;
         let recon = tucker.reconstruct()?;
         let decompose_secs = t_dec.elapsed().as_secs_f64();
+        m2td_obs::gauge_set("threads.effective", m2td_par::max_threads() as f64);
 
         Ok(RunReport {
             method: scheme.name().to_string(),
@@ -342,6 +350,7 @@ impl<'a> Workbench<'a> {
             timings: None,
             stitch: None,
             degraded: None,
+            metrics: m2td_obs::snapshot_if_installed(),
         })
     }
 
@@ -445,17 +454,22 @@ impl<'a> Workbench<'a> {
                         required: policy.min_coverage,
                     });
                 }
-                Some(DegradedStats {
+                let stats = DegradedStats {
                     failed_sims: failed1 + failed2,
                     sim_retries: retries1 + retries2,
                     planned_cells,
                     coverage,
-                })
+                };
+                m2td_obs::counter_add("sim.failed_runs", stats.failed_sims as u64);
+                m2td_obs::counter_add("sim.retries", stats.sim_retries as u64);
+                m2td_obs::gauge_set("sim.coverage", stats.coverage);
+                Some(stats)
             }
         };
         let cells = plan1.len() + plan2.len();
 
         let t_sim = Instant::now();
+        let sim_span = m2td_obs::span!("pipeline.simulate");
         // The two sub-ensembles are simulated independently, so run them
         // concurrently on the `m2td-par` pool (each build caches its own
         // trajectories; the per-plan outputs are unchanged).
@@ -465,6 +479,7 @@ impl<'a> Workbench<'a> {
         );
         let (full1, sims1) = r1?;
         let (full2, sims2) = r2?;
+        drop(sim_span);
         let simulate_secs = t_sim.elapsed().as_secs_f64();
 
         let x1 = partition.extract_sub_tensor(&full1, &self.defaults, SubSystem::First)?;
@@ -548,6 +563,7 @@ impl<'a> Workbench<'a> {
         let recon_join = decomp.tucker.reconstruct()?;
         let recon = recon_join.permute_modes(&partition.perm_join_to_natural())?;
         let decompose_secs = t_dec.elapsed().as_secs_f64();
+        m2td_obs::gauge_set("threads.effective", m2td_par::max_threads() as f64);
 
         Ok(RunReport {
             method: opts.combine.name().to_string(),
@@ -560,6 +576,7 @@ impl<'a> Workbench<'a> {
             timings: Some(decomp.timings),
             stitch: Some(decomp.stitch_report),
             degraded: build.degraded,
+            metrics: m2td_obs::snapshot_if_installed(),
         })
     }
 
@@ -643,6 +660,7 @@ impl<'a> Workbench<'a> {
             timings: Some(decomp.timings),
             stitch: Some(decomp.stitch_report.clone()),
             degraded: None,
+            metrics: m2td_obs::snapshot_if_installed(),
         })
     }
 
@@ -685,6 +703,7 @@ impl<'a> Workbench<'a> {
             timings: None,
             stitch: Some(report),
             degraded: None,
+            metrics: m2td_obs::snapshot_if_installed(),
         })
     }
 }

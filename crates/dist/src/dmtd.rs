@@ -306,6 +306,11 @@ pub fn d_m2td_fault_tolerant(
     let fp = Fingerprint::new(x1, x2, k, ranks, &opts);
     let ckpt_factors = checkpoint.and_then(|c| c.load_phase1(&fp));
     let ckpt_join = checkpoint.and_then(|c| c.load_phase2(&fp));
+    if checkpoint.is_some() && m2td_obs::installed() {
+        let hit = |found: bool| if found { "hits" } else { "misses" };
+        m2td_obs::counter_add(format!("ckpt.phase1.{}", hit(ckpt_factors.is_some())), 1);
+        m2td_obs::counter_add(format!("ckpt.phase2.{}", hit(ckpt_join.is_some())), 1);
+    }
 
     // Tagged entry stream: (κ, linear index, value). Needed by whichever
     // of phases 1 and 2 is not resumed from a checkpoint.
@@ -319,6 +324,10 @@ pub fn d_m2td_fault_tolerant(
     };
 
     // ---- Phase 1: parallel sub-tensor decomposition ---------------------
+    // Span labels are shared with `m2td_core::m2td_decompose`: the serial
+    // and distributed phases correspond one-to-one, so telemetry consumers
+    // see one taxonomy regardless of which entry point ran.
+    let span1 = m2td_obs::span!("phase1.decompose");
     let t1 = Instant::now();
     let (factors, phase1) = match ckpt_factors {
         Some(factors) => (factors, PhaseStats::resumed_from_checkpoint()),
@@ -397,7 +406,10 @@ pub fn d_m2td_fault_tolerant(
         }
     };
 
+    drop(span1);
+
     // ---- Phase 2: parallel JE-stitching ---------------------------------
+    let span2 = m2td_obs::span!("phase2.stitch");
     let t2 = Instant::now();
     let mut join_dims: Vec<usize> = x1.dims()[..k].to_vec();
     join_dims.extend_from_slice(&x1.dims()[k..]);
@@ -519,7 +531,10 @@ pub fn d_m2td_fault_tolerant(
         }
     };
 
+    drop(span2);
+
     // ---- Phase 3: parallel core recovery --------------------------------
+    let _span3 = m2td_obs::span!("phase3.core");
     let t3 = Instant::now();
     if join.nnz() == 0 {
         return Err(DistError::Invalid(
@@ -684,6 +699,15 @@ mod tests {
     use super::*;
     use m2td_core::m2td_decompose;
     use m2td_tensor::Shape as TShape;
+
+    /// A temp dir unique per process *and* per call, so concurrent test
+    /// binaries (or repeated runs within one) never share checkpoint state.
+    fn unique_tmp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+    }
 
     fn sub_tensors(p_dim: usize, f_dim: usize) -> (SparseTensor, SparseTensor) {
         let f = |p: usize, a: usize, b: usize| {
@@ -929,7 +953,7 @@ mod tests {
 
     #[test]
     fn checkpointed_run_resumes_phases() {
-        let dir = std::env::temp_dir().join("m2td_dmtd_ckpt_unit");
+        let dir = unique_tmp_dir("m2td_dmtd_ckpt_unit");
         let _ = std::fs::remove_dir_all(&dir);
         let store = CheckpointStore::new(&dir).unwrap();
         let (x1, x2) = sub_tensors(6, 5);

@@ -204,6 +204,7 @@ impl MapReduce {
         M: Fn(I) -> Vec<(K, V)> + Sync,
         F: Fn(&K, Vec<V>) -> R + Sync,
     {
+        let _span = m2td_obs::span!("mapreduce.job", job = job);
         let map_records = inputs.len();
         let mut totals = TaskCounters::default();
 
@@ -324,6 +325,22 @@ impl MapReduce {
         deltas.sort_by_key(|&(id, _)| id);
         for (_, c) in &deltas {
             totals.absorb(c);
+        }
+
+        // Mirror the job's task counters into the telemetry registry so a
+        // metrics snapshot reports the same numbers the caller receives.
+        if m2td_obs::installed() {
+            m2td_obs::counter_add("mr.map_attempts", totals.map_attempts as u64);
+            m2td_obs::counter_add("mr.map_kills", totals.map_kills as u64);
+            m2td_obs::counter_add("mr.reduce_attempts", totals.reduce_attempts as u64);
+            m2td_obs::counter_add("mr.reduce_kills", totals.reduce_kills as u64);
+            m2td_obs::counter_add("mr.retries", totals.kills() as u64);
+            m2td_obs::counter_add("mr.stragglers", totals.stragglers as u64);
+            m2td_obs::counter_add(
+                "mr.speculative_launches",
+                totals.speculative_launches as u64,
+            );
+            m2td_obs::gauge_add("mr.virtual_lost_secs", totals.virtual_lost_secs);
         }
 
         let mut results = reduce_state.outputs;

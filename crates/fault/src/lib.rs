@@ -164,7 +164,10 @@ impl FaultPlan {
     }
 
     /// The injected outcome for attempt `attempt` of task `task` of kind
-    /// `kind` in job `job`. Pure in all arguments.
+    /// `kind` in job `job`. Pure in all arguments; when an `m2td-obs`
+    /// subscriber is installed, injected faults additionally bump the
+    /// `fault.kills_injected` / `fault.straggles_injected` counters
+    /// (telemetry only — the returned decision is unaffected).
     pub fn decide(&self, job: u64, kind: TaskKind, task: u64, attempt: u32) -> FaultDecision {
         if !self.targets_job(job) {
             return FaultDecision::Ok;
@@ -172,11 +175,13 @@ impl FaultPlan {
         if attempt < self.kill_cap
             && uniform(self.seed, job ^ kind.stream(), task, attempt, SALT_KILL) < self.kill_rate
         {
+            m2td_obs::counter_add("fault.kills_injected", 1);
             return FaultDecision::Kill;
         }
         if uniform(self.seed, job ^ kind.stream(), task, attempt, SALT_STRAGGLE)
             < self.straggle_rate
         {
+            m2td_obs::counter_add("fault.straggles_injected", 1);
             return FaultDecision::Straggle(self.straggle_secs);
         }
         FaultDecision::Ok
@@ -184,14 +189,20 @@ impl FaultPlan {
 
     /// Whether simulation attempt `attempt` for parameter configuration
     /// `config` fails. Uses its own hash stream; unaffected by `scope`.
+    /// Failed attempts bump the `fault.sim_failures` counter when an
+    /// `m2td-obs` subscriber is installed.
     pub fn sim_attempt_fails(&self, config: u64, attempt: u32) -> bool {
-        uniform(
+        let fails = uniform(
             self.seed,
             TaskKind::Simulation.stream(),
             config,
             attempt,
             SALT_KILL,
-        ) < self.sim_fail_rate
+        ) < self.sim_fail_rate;
+        if fails {
+            m2td_obs::counter_add("fault.sim_failures", 1);
+        }
+        fails
     }
 
     /// Whether a simulation run for `config` survives a budget of

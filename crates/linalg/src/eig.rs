@@ -60,6 +60,7 @@ pub fn symmetric_eig(a: &Matrix) -> Result<SymmetricEig> {
     if n == 0 {
         return Err(LinalgError::EmptyInput);
     }
+    let _span = m2td_obs::span!("linalg.eig");
 
     let mut w = a.clone();
     let mut v = Matrix::identity(n);

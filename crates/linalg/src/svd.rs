@@ -96,6 +96,8 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
             vt: t.u.transpose(),
         });
     }
+    // After the transpose redirect, so each logical SVD is one span.
+    let _span = m2td_obs::span!("linalg.svd");
 
     // One-sided Jacobi on columns of a working copy W (m x n): rotate column
     // pairs until all are mutually orthogonal. V accumulates the rotations.
@@ -159,13 +161,8 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
 
     // Column norms of W are the singular values; normalized columns are U.
-    let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n).map(|j| norm2(&w.col(j))).collect();
-    order.sort_by(|&i, &j| {
-        norms[j]
-            .partial_cmp(&norms[i])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let order = column_order_by_norm_desc(&norms);
 
     let k = n; // thin: k = min(m, n) = n here since m >= n
     let mut u = Matrix::zeros(m, k);
@@ -193,6 +190,20 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     })
 }
 
+/// Column permutation sorting `norms` descending under `f64::total_cmp`.
+///
+/// `partial_cmp` is not a total order: one NaN norm (possible when a
+/// degraded-mode input carries non-finite cells) makes `sort_by`'s
+/// comparator inconsistent and the resulting ordering garbage. Under
+/// `total_cmp`, NaN sorts above every finite value, so NaN columns land
+/// first — deterministically — and finite columns stay in exact
+/// descending order.
+fn column_order_by_norm_desc(norms: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..norms.len()).collect();
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
+    order
+}
+
 /// Returns the `r` leading left singular vectors of `a` as the columns of an
 /// `a.rows() x r` matrix, computed via the eigendecomposition of the Gram
 /// matrix `a aᵀ`.
@@ -212,6 +223,7 @@ pub fn gram_left_singular_vectors(a: &Matrix, r: usize) -> Result<Matrix> {
             available: m,
         });
     }
+    let _span = m2td_obs::span!("linalg.gram_svd");
     let gram = a.gram_rows();
     let eig = symmetric_eig(&gram)?;
     eig.eigenvectors.leading_columns(r)
@@ -412,6 +424,33 @@ mod tests {
         assert!(gram_left_singular_vectors(&a, 4).is_err());
         assert!(truncated_left_singular_vectors(&a, 4).is_err());
         assert!(svd(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn column_order_is_total_with_nan_norms() {
+        // Regression: the pre-`total_cmp` comparator treated NaN as equal
+        // to everything, which is not a consistent order — `sort_by` could
+        // return any permutation. NaN must sort first, then strictly
+        // descending finite values, regardless of NaN position.
+        let order = column_order_by_norm_desc(&[2.0, f64::NAN, 3.0, 0.5]);
+        assert_eq!(order, vec![1, 2, 0, 3]);
+        let order = column_order_by_norm_desc(&[f64::NAN, 1.0, f64::NAN, 4.0]);
+        // Equal keys: sort_by is stable, so NaN indices keep input order.
+        assert_eq!(order, vec![0, 2, 3, 1]);
+        // All-finite ordering is unchanged by the fix.
+        assert_eq!(column_order_by_norm_desc(&[1.0, 3.0, 2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn svd_nan_input_errors_cleanly() {
+        // Non-finite input must surface as NoConvergence, never a panic or
+        // a silently garbled factor ordering.
+        let mut a = Matrix::from_fn(4, 3, |i, j| ((i + j) as f64).sin());
+        a.set(2, 1, f64::NAN);
+        match svd(&a) {
+            Err(LinalgError::NoConvergence { kernel, .. }) => assert_eq!(kernel, "svd"),
+            other => panic!("expected NoConvergence for NaN input, got {other:?}"),
+        }
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn sparse_core(
     }
     let ranks: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
     let order = core_mode_order(x.dims(), &ranks, ordering);
+    let _span = m2td_obs::span!("tensor.sparse_core");
     let mut acc = ttm_sparse_transposed(x, order[0], &factors[order[0]])?;
     for &mode in &order[1..] {
         acc = ttm_dense_transposed(&acc, mode, &factors[mode])?;
@@ -212,6 +213,7 @@ pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     if x.nnz() == 0 {
         return Err(TensorError::EmptyTensor);
     }
+    let _span = m2td_obs::span!("tensor.hosvd");
     // Per-mode sparse Gram + eig are independent; fan out over the pool.
     let modes: Vec<(usize, usize)> = ranks.iter().copied().enumerate().collect();
     let factors = m2td_par::par_map(&modes, |&(mode, r)| -> Result<_> {

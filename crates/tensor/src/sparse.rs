@@ -248,6 +248,7 @@ impl SparseTensor {
     /// each group contributes the outer product of its column vector.
     pub fn unfold_gram(&self, mode: usize) -> Result<Matrix> {
         self.shape.check_mode(mode)?;
+        let _span = m2td_obs::span!("tensor.unfold_gram", mode = mode);
         let n = self.shape.dim(mode);
         let mut out = Matrix::zeros(n, n);
 

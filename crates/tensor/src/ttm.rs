@@ -84,6 +84,7 @@ pub fn ttm_sparse_transposed(x: &SparseTensor, mode: usize, u: &Matrix) -> Resul
             op: "ttm_sparse_transposed",
         });
     }
+    let _span = m2td_obs::span!("tensor.ttm_sparse", mode = mode);
     scatter_sparse(x, mode, u.cols(), |j, i_n| u.get(i_n, j))
 }
 

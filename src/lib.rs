@@ -33,6 +33,7 @@ pub use m2td_dist as dist;
 pub use m2td_fault as fault;
 pub use m2td_json as json;
 pub use m2td_linalg as linalg;
+pub use m2td_obs as obs;
 pub use m2td_par as par;
 pub use m2td_sampling as sampling;
 pub use m2td_sim as sim;

@@ -177,9 +177,18 @@ fn mode_shuffle_phase3_is_also_fault_deterministic() {
     }
 }
 
+/// A temp dir unique per process *and* per call: pid alone is not enough
+/// because pids recycle and one process may run the test repeatedly.
+fn unique_tmp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
 #[test]
 fn phase3_failure_resumes_from_checkpoints_without_recomputing() {
-    let dir = std::env::temp_dir().join(format!("m2td_ckpt_resume_{}", std::process::id()));
+    let dir = unique_tmp_dir("m2td_ckpt_resume");
     let _ = std::fs::remove_dir_all(&dir);
     let store = CheckpointStore::new(&dir).unwrap();
     let (x1, x2) = sub_tensors();

@@ -1,0 +1,191 @@
+//! The observability layer's cross-crate contracts:
+//!
+//! * a metrics snapshot taken after a real decomposition round-trips
+//!   through `m2td-json` losslessly;
+//! * span counts and counter values are independent of the physical
+//!   thread count (times of course are not);
+//! * the `mr.*` counters mirrored into the registry by
+//!   `MapReduce::run_with_faults` agree with the [`TaskCounters`] the
+//!   caller receives;
+//! * with no subscriber installed, nothing is recorded and
+//!   [`RunReport::metrics`] stays `None`.
+//!
+//! The registry is process-global, so every test serializes on one lock
+//! and resets the registry while holding it.
+
+use m2td::core::{m2td_decompose, M2tdOptions};
+use m2td::dist::{d_m2td_fault_tolerant, FaultConfig, MapReduce, Phase3Strategy};
+use m2td::fault::{FaultPlan, RetryPolicy};
+use m2td::json::{FromJson, ToJson};
+use m2td::obs::MetricsSnapshot;
+use m2td::tensor::{Shape, SparseTensor};
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+const K: usize = 1;
+const RANKS: [usize; 3] = [2, 2, 2];
+
+/// Two small dense analytic sub-tensors sharing a pivot mode.
+fn sub_tensors() -> (SparseTensor, SparseTensor) {
+    let f = |p: usize, a: usize, b: usize| {
+        ((p as f64) * 0.7).sin() * ((a as f64) * 0.3 + 1.0) * ((b as f64) * 0.2 + 1.0) + 0.1
+    };
+    let full = |g: &dyn Fn(&[usize]) -> f64| {
+        let dims = [5, 4];
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .map(|l| {
+                let idx = shape.multi_index(l);
+                let v = g(&idx);
+                (idx, v)
+            })
+            .collect();
+        SparseTensor::from_entries(&dims, &entries).unwrap()
+    };
+    let x1 = full(&|i: &[usize]| f(i[0], i[1], 2));
+    let x2 = full(&|i: &[usize]| f(i[0], 2, i[1]));
+    (x1, x2)
+}
+
+fn serial_run_snapshot() -> MetricsSnapshot {
+    let (x1, x2) = sub_tensors();
+    m2td_decompose(&x1, &x2, K, &RANKS, M2tdOptions::default()).unwrap();
+    m2td::obs::snapshot()
+}
+
+#[test]
+fn snapshot_from_real_run_round_trips_through_json() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+    m2td::obs::reset();
+    m2td::obs::counter_add("test.marker", 3);
+    m2td::obs::gauge_set("test.gauge", 0.125);
+    let snap = serial_run_snapshot();
+    m2td::obs::uninstall();
+
+    assert!(snap.span("phase1.decompose").is_some());
+    assert!(snap.span("phase2.stitch").is_some());
+    assert!(snap.span("phase3.core").is_some());
+    assert!(snap.span("linalg.eig").is_some());
+
+    let text = snap.to_json().to_pretty();
+    let parsed = m2td::json::Json::parse(&text).expect("snapshot JSON must parse");
+    let back = MetricsSnapshot::from_json(&parsed).expect("snapshot JSON must deserialize");
+    // Rust's f64 Display is shortest-round-trip, so equality is exact.
+    assert_eq!(snap, back, "snapshot changed across a JSON round trip");
+}
+
+#[test]
+fn span_counts_and_counters_are_thread_count_invariant() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+
+    m2td::par::set_max_threads(1);
+    m2td::obs::reset();
+    let serial = serial_run_snapshot();
+
+    m2td::par::set_max_threads(4);
+    m2td::obs::reset();
+    let wide = serial_run_snapshot();
+
+    m2td::par::set_max_threads(0);
+    m2td::obs::uninstall();
+
+    // Times and nesting depth legitimately differ across thread counts
+    // (a closure run on a fresh worker thread starts a new span stack);
+    // the *structure* — which spans fired how often, and every counter —
+    // must not.
+    assert_eq!(
+        serial.span_counts(),
+        wide.span_counts(),
+        "span counts changed with the thread count"
+    );
+    assert_eq!(
+        serial.counters, wide.counters,
+        "counter values changed with the thread count"
+    );
+    assert!(!serial.spans.is_empty());
+}
+
+#[test]
+fn mapreduce_counters_match_returned_task_counters() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+    m2td::obs::reset();
+
+    let (x1, x2) = sub_tensors();
+    let faults = FaultConfig {
+        plan: FaultPlan::new(11, 0.5, 0.3, 20.0),
+        policy: RetryPolicy::default(),
+    };
+    let run = d_m2td_fault_tolerant(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        M2tdOptions::default(),
+        &MapReduce::new(3),
+        Phase3Strategy::ChunkPartition,
+        &faults,
+        None,
+    )
+    .unwrap();
+    let snap = m2td::obs::snapshot();
+    m2td::obs::uninstall();
+
+    let totals = run.total_tasks();
+    assert!(
+        totals.kills() > 0,
+        "seed injected no kills — test is vacuous"
+    );
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(counter("mr.map_attempts"), totals.map_attempts as u64);
+    assert_eq!(counter("mr.map_kills"), totals.map_kills as u64);
+    assert_eq!(counter("mr.reduce_attempts"), totals.reduce_attempts as u64);
+    assert_eq!(counter("mr.reduce_kills"), totals.reduce_kills as u64);
+    assert_eq!(counter("mr.retries"), totals.kills() as u64);
+    assert_eq!(counter("mr.stragglers"), totals.stragglers as u64);
+    assert_eq!(
+        counter("mr.speculative_launches"),
+        totals.speculative_launches as u64
+    );
+    let lost = snap.gauge("mr.virtual_lost_secs").unwrap_or(0.0);
+    assert!(
+        (lost - totals.virtual_lost_secs).abs() < 1e-9,
+        "virtual lost time drifted: {lost} vs {}",
+        totals.virtual_lost_secs
+    );
+    // The fault plan's own injection counters agree with what the engine
+    // observed (every injected kill is a killed attempt and vice versa).
+    assert_eq!(counter("fault.kills_injected"), totals.kills() as u64);
+    // One mapreduce.job span per phase job (3 for ChunkPartition).
+    assert_eq!(
+        snap.spans
+            .iter()
+            .filter(|s| s.label.starts_with("mapreduce.job"))
+            .map(|s| s.count)
+            .sum::<u64>(),
+        3
+    );
+}
+
+#[test]
+fn without_subscriber_nothing_is_recorded_and_reports_carry_no_metrics() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::uninstall();
+    m2td::obs::reset();
+
+    let (x1, x2) = sub_tensors();
+    let d = m2td_decompose(&x1, &x2, K, &RANKS, M2tdOptions::default()).unwrap();
+    assert!(!d.tucker.core.as_slice().is_empty());
+
+    let snap = m2td::obs::snapshot();
+    assert!(snap.spans.is_empty(), "spans recorded while uninstalled");
+    assert!(
+        snap.counters.is_empty(),
+        "counters recorded while uninstalled"
+    );
+    assert!(snap.gauges.is_empty(), "gauges recorded while uninstalled");
+    assert!(m2td::obs::snapshot_if_installed().is_none());
+}
