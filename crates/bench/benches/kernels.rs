@@ -10,7 +10,7 @@ use m2td_linalg::{gram_left_singular_vectors, householder_qr, svd, symmetric_eig
 use m2td_stitch::{stitch, StitchKind};
 use m2td_tensor::{
     hosvd_sparse, sparse_core, ttm_dense, ttm_sparse_transposed, CoreOrdering, DenseTensor, Shape,
-    SparseTensor,
+    SparseTensor, TtmPlan, Workspace,
 };
 use std::hint::black_box;
 
@@ -79,6 +79,62 @@ fn bench_ttm(c: &mut Criterion) {
     g.bench_function("sparse_core_chain", |b| {
         b.iter(|| sparse_core(black_box(&sparse), &factors, CoreOrdering::BestShrinkFirst).unwrap())
     });
+    g.finish();
+}
+
+/// The planned core-recovery chain vs the fixed natural order, per bench
+/// shape, on 1-in-3-thinned sparse inputs — the `ttm_chain` kernel family
+/// recorded in `BENCH_kernels.json`. The two variants are checked to
+/// agree numerically before timing starts.
+fn bench_ttm_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ttm_chain");
+    g.sample_size(15);
+    let shapes: [(&str, Vec<usize>, Vec<usize>); 2] = [
+        ("cube12_r4", vec![12, 12, 12, 12], vec![4, 4, 4, 4]),
+        ("skew32x16x8_r422", vec![32, 16, 8], vec![4, 2, 2]),
+    ];
+    for (tag, dims, ranks) in shapes {
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .filter(|l| l % 3 != 0)
+            .map(|l| (shape.multi_index(l), (l as f64 * 0.19).sin() + 0.4))
+            .collect();
+        let sparse = SparseTensor::from_entries(&dims, &entries).unwrap();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .zip(ranks.iter())
+            .enumerate()
+            .map(|(n, (&d, &r))| {
+                Matrix::from_fn(d, r, |i, j| ((i * (n + 2) + 3 * j) as f64 * 0.23).cos())
+            })
+            .collect();
+        let planned = TtmPlan::with_ordering(&dims, &ranks, CoreOrdering::BestShrinkFirst).unwrap();
+        let natural = TtmPlan::with_ordering(&dims, &ranks, CoreOrdering::Natural).unwrap();
+        let a = planned
+            .execute_sparse(&sparse, &factors, &mut Workspace::new())
+            .unwrap();
+        let b = natural
+            .execute_sparse(&sparse, &factors, &mut Workspace::new())
+            .unwrap();
+        let drift = a.sub(&b).unwrap().frobenius_norm();
+        assert!(drift < 1e-9, "{tag}: orderings disagree by {drift}");
+
+        let mut ws = Workspace::new();
+        g.bench_function(format!("planned_{tag}"), |b| {
+            b.iter(|| {
+                planned
+                    .execute_sparse(black_box(&sparse), &factors, &mut ws)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("natural_{tag}"), |b| {
+            b.iter(|| {
+                natural
+                    .execute_sparse(black_box(&sparse), &factors, &mut ws)
+                    .unwrap()
+            })
+        });
+    }
     g.finish();
 }
 
@@ -229,6 +285,7 @@ criterion_group!(
     bench_svd_routes,
     bench_eig_and_qr,
     bench_ttm,
+    bench_ttm_chain,
     bench_gram_and_hosvd,
     bench_stitch,
     bench_shape_math,

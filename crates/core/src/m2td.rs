@@ -4,7 +4,7 @@ use crate::combine::{combine_pivot_factor, PivotCombine};
 use crate::error::CoreError;
 use crate::Result;
 use m2td_stitch::{stitch, StitchKind, StitchReport};
-use m2td_tensor::{sparse_core, CoreOrdering, SparseTensor, TuckerDecomp};
+use m2td_tensor::{CoreOrdering, SparseTensor, TtmPlan, TuckerDecomp, Workspace};
 use std::time::Instant;
 
 /// How the core tensor is recovered from the join tensor and the factors.
@@ -233,13 +233,18 @@ pub fn m2td_decompose(
                 .to_string(),
         });
     }
+    // Plan the TTM chain once for the join shape (compression-ratio
+    // ordering, semi-sparse execution) and run it with a workspace so the
+    // chain's unfold/product/fold buffers are reused across steps.
+    let chain_plan = TtmPlan::with_ordering(join.dims(), ranks, opts.ordering)?;
+    let mut ws = Workspace::new();
     let core = match opts.projection {
-        CoreProjection::Transpose => sparse_core(&join, &factors, opts.ordering)?,
+        CoreProjection::Transpose => chain_plan.execute_sparse(&join, &factors, &mut ws)?,
         CoreProjection::LeastSquares => {
             // G = J ×ₙ Uⁿ⁺ — realized by replacing each factor U with
             // W = U (UᵀU)⁻¹, since Wᵀ = (UᵀU)⁻¹Uᵀ = U⁺.
             let ls_factors = projection_factors(&factors, opts.projection)?;
-            sparse_core(&join, &ls_factors, opts.ordering)?
+            chain_plan.execute_sparse(&join, &ls_factors, &mut ws)?
         }
     };
     let phase3 = t3.elapsed().as_secs_f64();

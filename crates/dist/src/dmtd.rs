@@ -32,7 +32,9 @@ use m2td_core::{projection_factors, CoreError, M2tdOptions};
 use m2td_fault::{FaultError, FaultPlan, RetryPolicy, TaskCounters};
 use m2td_linalg::{symmetric_eig, Matrix};
 use m2td_stitch::StitchKind;
-use m2td_tensor::{sparse_core, CoreOrdering, DenseTensor, Shape, SparseTensor, TuckerDecomp};
+use m2td_tensor::{
+    CoreOrdering, DenseTensor, Shape, SparseTensor, TtmPlan, TuckerDecomp, Workspace,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Instant;
@@ -546,6 +548,11 @@ pub fn d_m2td_fault_tolerant(
         Phase3Strategy::ChunkPartition => {
             let partitions = engine.workers() as u64;
             let join_cells: Vec<(u64, f64)> = join.iter_linear().collect();
+            // Every chunk shares the join shape and factor ranks, so the
+            // TTM chain is planned once, outside the reducer.
+            let ranks: Vec<usize> = proj_factors.iter().map(|f| f.cols()).collect();
+            let chain_plan =
+                TtmPlan::with_ordering(&join_dims, &ranks, CoreOrdering::BestShrinkFirst)?;
             let (partial_cores, stats3, tasks3) = engine.run_with_faults(
                 PHASE3_JOB,
                 join_cells,
@@ -562,11 +569,7 @@ pub fn d_m2td_fault_tolerant(
                         values.push(v);
                     }
                     let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
-                    Ok(sparse_core(
-                        &chunk,
-                        &proj_factors,
-                        CoreOrdering::BestShrinkFirst,
-                    )?)
+                    Ok(chain_plan.execute_sparse(&chunk, &proj_factors, &mut Workspace::new())?)
                 },
                 plan,
                 policy,

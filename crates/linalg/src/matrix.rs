@@ -154,6 +154,18 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes the matrix in place to `rows x cols`, reusing the existing
+    /// allocation, and zeros every entry. This is the buffer-reuse entry
+    /// point backing [`Self::matmul_into`] and the tensor workspace pool:
+    /// a matrix recycled through `reset` never reallocates unless the new
+    /// shape outgrows its capacity.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Unchecked entry access (debug-asserted).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
@@ -233,6 +245,16 @@ impl Matrix {
     /// accumulation order matches the serial `i-k-j` loop exactly, so
     /// results are bitwise identical at every thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul`] writing into a caller-supplied matrix, which is
+    /// reshaped in place (see [`Self::reset`]) so its allocation is reused
+    /// across calls. Same kernel, same accumulation order — the result is
+    /// bitwise identical to `matmul`'s at every thread count.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 left: self.shape(),
@@ -240,7 +262,7 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let (a, b, m, p) = (&self.data, &other.data, self.cols, other.cols);
         let flops = self.rows * m * p;
         par_rows(&mut out.data, p, flops, |i, out_row| {
@@ -260,7 +282,7 @@ impl Matrix {
                 j0 = j1;
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Product `selfᵀ * other` without materializing the transpose.
@@ -269,6 +291,16 @@ impl Matrix {
     /// is scanned in ascending order, which is the same per-element
     /// accumulation order as the classic serial `k`-outer loop.
     pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::transpose_matmul`] writing into a caller-supplied matrix,
+    /// reshaped in place so its allocation is reused across calls (the TTM
+    /// chain runs one of these per mode — see `m2td_tensor::Workspace`).
+    /// Bitwise identical to `transpose_matmul` at every thread count.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.rows != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 left: (self.cols, self.rows),
@@ -276,7 +308,7 @@ impl Matrix {
                 op: "transpose_matmul",
             });
         }
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.reset(self.cols, other.cols);
         let (a, b, n, m, p) = (&self.data, &other.data, self.rows, self.cols, other.cols);
         let flops = n * m * p;
         par_rows(&mut out.data, p, flops, |i, out_row| {
@@ -291,7 +323,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Product `self * otherᵀ` without materializing the transpose.
@@ -620,6 +652,34 @@ mod tests {
         let fast = a.transpose_matmul(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_kernels() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 5 + j) as f64 * 0.3).sin());
+        let b = Matrix::from_fn(5, 9, |i, j| ((i + 2 * j) as f64 * 0.7).cos());
+        let c = Matrix::from_fn(7, 3, |i, j| (i as f64 - j as f64) * 0.25);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Reusing the same output across a differently shaped product must
+        // reshape cleanly and leave no stale entries behind.
+        a.transpose_matmul_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.transpose_matmul(&c).unwrap());
+        assert_eq!(out.shape(), (5, 3));
+        // Shape errors leave without touching the output shape contract.
+        assert!(b.matmul_into(&c, &mut out).is_err());
+        assert!(b.transpose_matmul_into(&a, &mut out).is_err());
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::from_fn(4, 4, |i, j| (i + j) as f64 + 1.0);
+        let cap = m.as_slice().len();
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert!(m.into_vec().capacity() >= cap);
     }
 
     #[test]

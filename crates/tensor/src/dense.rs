@@ -92,6 +92,12 @@ impl DenseTensor {
         &mut self.data
     }
 
+    /// Consumes the tensor and returns the backing buffer, so intermediates
+    /// of a TTM chain can be recycled through [`crate::Workspace`].
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Value at a multi-index (debug-asserted bounds).
     #[inline]
     pub fn get(&self, index: &[usize]) -> f64 {
@@ -255,10 +261,19 @@ impl DenseTensor {
     /// Mode-`n` unfolding as a dense matrix of shape
     /// `I_n x Π_{m≠n} I_m` (Kolda & Bader convention; see crate docs).
     pub fn unfold(&self, mode: usize) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.unfold_into(mode, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::unfold`] writing into a caller-supplied matrix, which is
+    /// reshaped in place so its allocation is reused across the steps of a
+    /// TTM chain (see [`crate::Workspace`]).
+    pub fn unfold_into(&self, mode: usize, out: &mut Matrix) -> Result<()> {
         self.shape.check_mode(mode)?;
         let rows = self.shape.dim(mode);
         let cols = self.shape.unfold_cols(mode);
-        let mut out = Matrix::zeros(rows, cols);
+        out.reset(rows, cols);
         let mut idx = vec![0usize; self.order()];
         for (lin, &v) in self.data.iter().enumerate() {
             self.shape.multi_index_into(lin, &mut idx);
@@ -266,12 +281,24 @@ impl DenseTensor {
             let c = self.shape.unfold_col_index(mode, &idx);
             out.set(r, c, v);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Inverse of [`Self::unfold`]: folds an `I_n x Π_{m≠n} I_m` matrix back
     /// into a tensor of shape `dims`.
     pub fn fold(matrix: &Matrix, mode: usize, dims: &[usize]) -> Result<DenseTensor> {
+        Self::fold_into(matrix, mode, dims, Vec::new())
+    }
+
+    /// [`Self::fold`] building the tensor on top of a recycled buffer
+    /// (every element is overwritten, so the buffer's prior contents are
+    /// irrelevant — only its capacity is reused).
+    pub fn fold_into(
+        matrix: &Matrix,
+        mode: usize,
+        dims: &[usize],
+        mut buf: Vec<f64>,
+    ) -> Result<DenseTensor> {
         let shape = Shape::new(dims);
         shape.check_mode(mode)?;
         let rows = shape.dim(mode);
@@ -283,13 +310,15 @@ impl DenseTensor {
                 op: "fold",
             });
         }
-        let mut out = DenseTensor::zeros(dims);
-        let mut idx = vec![0usize; shape.order()];
         let total = shape.num_elements();
+        buf.clear();
+        buf.resize(total, 0.0);
+        let mut out = DenseTensor { shape, data: buf };
+        let mut idx = vec![0usize; out.shape.order()];
         for lin in 0..total {
-            shape.multi_index_into(lin, &mut idx);
+            out.shape.multi_index_into(lin, &mut idx);
             let r = idx[mode];
-            let c = shape.unfold_col_index(mode, &idx);
+            let c = out.shape.unfold_col_index(mode, &idx);
             out.data[lin] = matrix.get(r, c);
         }
         Ok(out)
@@ -354,6 +383,23 @@ mod tests {
         assert_eq!(m1.get(1, 0), 4.0);
         assert_eq!(m1.get(0, 1), 2.0);
         assert_eq!(m1.get(0, 3), 13.0);
+    }
+
+    #[test]
+    fn unfold_into_and_fold_into_match_allocating_variants() {
+        let t = DenseTensor::from_fn(&[3, 4, 2], |idx| {
+            ((idx[0] * 8 + idx[1] * 2 + idx[2]) as f64 * 0.19).sin()
+        });
+        let mut m = Matrix::zeros(1, 1);
+        for mode in 0..3 {
+            t.unfold_into(mode, &mut m).unwrap();
+            assert_eq!(m, t.unfold(mode).unwrap());
+            // A recycled, dirty buffer must not leak into the result.
+            let back = DenseTensor::fold_into(&m, mode, t.dims(), vec![7.0; 3]).unwrap();
+            assert_eq!(back, t);
+        }
+        assert!(t.unfold_into(3, &mut m).is_err());
+        assert!(DenseTensor::fold_into(&m, 0, &[5, 5], Vec::new()).is_err());
     }
 
     #[test]

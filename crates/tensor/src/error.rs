@@ -29,6 +29,14 @@ pub enum TensorError {
         /// The tensor shape.
         shape: Vec<usize>,
     },
+    /// The same coordinate was supplied more than once when constructing a
+    /// sparse tensor (each cell holds at most one simulation result).
+    DuplicateEntry {
+        /// The coordinate that appeared more than once.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
     /// A target rank exceeded the corresponding mode size.
     RankTooLarge {
         /// The mode whose rank was too large.
@@ -72,6 +80,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::DuplicateEntry { index, shape } => {
+                write!(f, "duplicate entry at {index:?} for shape {shape:?}")
             }
             TensorError::RankTooLarge {
                 mode,
@@ -121,6 +132,16 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4') && s.contains('2'));
+    }
+
+    #[test]
+    fn duplicate_entry_display_names_the_cell() {
+        let e = TensorError::DuplicateEntry {
+            index: vec![1, 2],
+            shape: vec![3, 3],
+        };
+        let s = e.to_string();
+        assert!(s.contains("duplicate") && s.contains("[1, 2]"));
     }
 
     #[test]

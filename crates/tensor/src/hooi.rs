@@ -6,10 +6,13 @@
 //! other factors, monotonically improving the Tucker fit.
 
 use crate::dense::DenseTensor;
-use crate::hosvd::{dense_core, gram_factor, hosvd_dense, hosvd_sparse, sparse_core, CoreOrdering};
+use crate::hosvd::{
+    dense_core_with, gram_factor, hosvd_dense, hosvd_sparse, sparse_core_with, CoreOrdering,
+};
 use crate::sparse::SparseTensor;
-use crate::ttm::{ttm_dense_transposed, ttm_sparse_transposed};
+use crate::ttm::{ttm_dense_transposed_ws, ttm_sparse_transposed};
 use crate::tucker::TuckerDecomp;
+use crate::workspace::Workspace;
 use crate::Result;
 use m2td_linalg::Matrix;
 
@@ -41,6 +44,9 @@ pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result
     let mut factors = init.factors;
     let mut prev_core_norm = init.core.frobenius_norm();
     let mut sweeps = 0;
+    // One workspace across all sweeps: the chain intermediates recur with
+    // the same handful of sizes, so buffers settle into steady-state reuse.
+    let mut ws = Workspace::new();
 
     for sweep in 1..=opts.max_sweeps {
         sweeps = sweep;
@@ -52,17 +58,21 @@ pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result
                     continue;
                 }
                 let next = match &acc {
-                    None => ttm_dense_transposed(x, m, f)?,
-                    Some(t) => ttm_dense_transposed(t, m, f)?,
+                    None => ttm_dense_transposed_ws(x, m, f, &mut ws)?,
+                    Some(t) => ttm_dense_transposed_ws(t, m, f, &mut ws)?,
                 };
+                if let Some(t) = acc.take() {
+                    ws.recycle_tensor(t);
+                }
                 acc = Some(next);
             }
             let projected = acc.expect("order >= 2 for HOOI inputs");
             let unfolded = projected.unfold(mode)?;
+            ws.recycle_tensor(projected);
             let gram = unfolded.gram_rows();
             factors[mode] = gram_factor(&gram, ranks[mode])?;
         }
-        let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+        let core = dense_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
         let norm = core.frobenius_norm();
         let rel_change = if prev_core_norm > 0.0 {
             (norm - prev_core_norm).abs() / prev_core_norm
@@ -70,12 +80,13 @@ pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result
             0.0
         };
         prev_core_norm = norm;
+        ws.recycle_tensor(core);
         if rel_change < opts.tolerance {
             break;
         }
     }
 
-    let core = dense_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    let core = dense_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
     Ok((TuckerDecomp::new(core, factors)?, sweeps))
 }
 
@@ -87,16 +98,18 @@ pub fn hooi_sparse(x: &SparseTensor, ranks: &[usize], opts: HooiOptions) -> Resu
     let mut factors = init.factors;
     let mut prev_core_norm = init.core.frobenius_norm();
     let mut sweeps = 0;
+    let mut ws = Workspace::new();
 
     for sweep in 1..=opts.max_sweeps {
         sweeps = sweep;
         for mode in 0..x.order() {
-            let projected = project_all_but_sparse(x, &factors, mode)?;
+            let projected = project_all_but_sparse(x, &factors, mode, &mut ws)?;
             let unfolded = projected.unfold(mode)?;
+            ws.recycle_tensor(projected);
             let gram = unfolded.gram_rows();
             factors[mode] = gram_factor(&gram, ranks[mode])?;
         }
-        let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+        let core = sparse_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
         let norm = core.frobenius_norm();
         let rel_change = if prev_core_norm > 0.0 {
             (norm - prev_core_norm).abs() / prev_core_norm
@@ -104,20 +117,26 @@ pub fn hooi_sparse(x: &SparseTensor, ranks: &[usize], opts: HooiOptions) -> Resu
             0.0
         };
         prev_core_norm = norm;
+        ws.recycle_tensor(core);
         if rel_change < opts.tolerance {
             break;
         }
     }
 
-    let core = sparse_core(x, &factors, CoreOrdering::BestShrinkFirst)?;
+    let core = sparse_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
     Ok((TuckerDecomp::new(core, factors)?, sweeps))
 }
 
 /// Projects a sparse tensor onto every factor except `skip`.
+///
+/// The first product uses the sparse scatter kernel (the tensor's
+/// mode-sorted index is cached, so repeated sweeps pay for the sort once
+/// per mode); the rest of the chain runs on workspace-backed dense TTMs.
 fn project_all_but_sparse(
     x: &SparseTensor,
     factors: &[Matrix],
     skip: usize,
+    ws: &mut Workspace,
 ) -> Result<DenseTensor> {
     let mut acc: Option<DenseTensor> = None;
     for (m, f) in factors.iter().enumerate() {
@@ -126,8 +145,11 @@ fn project_all_but_sparse(
         }
         let next = match &acc {
             None => ttm_sparse_transposed(x, m, f)?,
-            Some(t) => ttm_dense_transposed(t, m, f)?,
+            Some(t) => ttm_dense_transposed_ws(t, m, f, ws)?,
         };
+        if let Some(t) = acc.take() {
+            ws.recycle_tensor(t);
+        }
         acc = Some(next);
     }
     Ok(acc.expect("order >= 2 for HOOI inputs"))

@@ -11,9 +11,10 @@
 
 use crate::dense::DenseTensor;
 use crate::error::TensorError;
+use crate::plan::TtmPlan;
 use crate::sparse::SparseTensor;
-use crate::ttm::{ttm_dense_transposed, ttm_sparse_transposed};
 use crate::tucker::TuckerDecomp;
+use crate::workspace::Workspace;
 use crate::Result;
 use m2td_linalg::{symmetric_eig, Matrix};
 
@@ -54,46 +55,32 @@ pub(crate) fn gram_factor(gram: &Matrix, r: usize) -> Result<Matrix> {
     Ok(eig.eigenvectors.leading_columns(r)?)
 }
 
-/// Mode order for a core-recovery TTM chain.
-pub(crate) fn core_mode_order(
-    dims: &[usize],
-    ranks: &[usize],
-    ordering: CoreOrdering,
-) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..dims.len()).collect();
-    if ordering == CoreOrdering::BestShrinkFirst {
-        order.sort_by(|&a, &b| {
-            let ra = dims[a] as f64 / ranks[a] as f64;
-            let rb = dims[b] as f64 / ranks[b] as f64;
-            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
-        });
-    }
-    order
-}
-
 /// Recovers the core `G = X ×₁ U⁽¹⁾ᵀ ⋯ ×_N U⁽ᴺ⁾ᵀ` from a sparse tensor.
 ///
-/// The first product uses the sparse scatter kernel (cost `O(nnz · r)`),
-/// everything after runs on the already-shrunk dense intermediate.
+/// Plans the chain with [`TtmPlan`] and executes it semi-sparse: the
+/// intermediate keeps sparse coordinates over the not-yet-contracted
+/// modes until the densify threshold trips, so early steps cost
+/// `O(stored · r)` rather than `O(dense · r)`.
 pub fn sparse_core(
     x: &SparseTensor,
     factors: &[Matrix],
     ordering: CoreOrdering,
 ) -> Result<DenseTensor> {
-    if factors.len() != x.order() {
-        return Err(TensorError::WrongNumberOfRanks {
-            supplied: factors.len(),
-            order: x.order(),
-        });
-    }
+    sparse_core_with(x, factors, ordering, &mut Workspace::new())
+}
+
+/// [`sparse_core`] with an explicit [`Workspace`], so callers running many
+/// chains (HOOI sweeps, per-chunk reducers) reuse buffers across calls.
+pub fn sparse_core_with(
+    x: &SparseTensor,
+    factors: &[Matrix],
+    ordering: CoreOrdering,
+    ws: &mut Workspace,
+) -> Result<DenseTensor> {
     let ranks: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
-    let order = core_mode_order(x.dims(), &ranks, ordering);
+    let plan = TtmPlan::with_ordering(x.dims(), &ranks, ordering)?;
     let _span = m2td_obs::span!("tensor.sparse_core");
-    let mut acc = ttm_sparse_transposed(x, order[0], &factors[order[0]])?;
-    for &mode in &order[1..] {
-        acc = ttm_dense_transposed(&acc, mode, &factors[mode])?;
-    }
-    Ok(acc)
+    plan.execute_sparse(x, factors, ws)
 }
 
 /// Recovers the core from a dense tensor.
@@ -102,23 +89,19 @@ pub fn dense_core(
     factors: &[Matrix],
     ordering: CoreOrdering,
 ) -> Result<DenseTensor> {
-    if factors.len() != x.order() {
-        return Err(TensorError::WrongNumberOfRanks {
-            supplied: factors.len(),
-            order: x.order(),
-        });
-    }
+    dense_core_with(x, factors, ordering, &mut Workspace::new())
+}
+
+/// [`dense_core`] with an explicit [`Workspace`] (see [`sparse_core_with`]).
+pub fn dense_core_with(
+    x: &DenseTensor,
+    factors: &[Matrix],
+    ordering: CoreOrdering,
+    ws: &mut Workspace,
+) -> Result<DenseTensor> {
     let ranks: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
-    let order = core_mode_order(x.dims(), &ranks, ordering);
-    let mut acc: Option<DenseTensor> = None;
-    for &mode in &order {
-        let next = match &acc {
-            None => ttm_dense_transposed(x, mode, &factors[mode])?,
-            Some(t) => ttm_dense_transposed(t, mode, &factors[mode])?,
-        };
-        acc = Some(next);
-    }
-    Ok(acc.expect("order is non-empty for non-empty tensors"))
+    let plan = TtmPlan::with_ordering(x.dims(), &ranks, ordering)?;
+    plan.execute_dense(x, factors, ws)
 }
 
 /// Suggests per-mode target ranks: for every mode, the smallest rank whose
@@ -229,6 +212,7 @@ pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::plan_mode_order;
 
     fn test_tensor() -> DenseTensor {
         DenseTensor::from_fn(&[4, 5, 3], |i| {
@@ -394,11 +378,11 @@ mod tests {
 
     #[test]
     fn core_mode_order_prefers_big_shrink() {
-        let order = core_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::BestShrinkFirst);
+        let order = plan_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::BestShrinkFirst);
         assert_eq!(order[0], 0); // 100/2 = 50 shrink
         assert_eq!(order[1], 2); // 50/2 = 25
         assert_eq!(order[2], 1); // 10/5 = 2
-        let natural = core_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::Natural);
+        let natural = plan_mode_order(&[100, 10, 50], &[2, 5, 2], CoreOrdering::Natural);
         assert_eq!(natural, vec![0, 1, 2]);
     }
 }

@@ -32,24 +32,33 @@ mod hooi;
 mod hosvd;
 mod incremental;
 mod io;
+mod plan;
 mod shape;
 mod sparse;
 mod ttm;
 mod ttv;
 mod tucker;
+mod workspace;
 
 pub use cp::{cp_als, CpDecomp, CpOptions};
 pub use dense::DenseTensor;
 pub use error::TensorError;
 pub use hooi::{hooi_dense, hooi_sparse, HooiOptions};
-pub use hosvd::{dense_core, hosvd_dense, hosvd_sparse, sparse_core, suggest_ranks, CoreOrdering};
+pub use hosvd::{
+    dense_core, dense_core_with, hosvd_dense, hosvd_sparse, sparse_core, sparse_core_with,
+    suggest_ranks, CoreOrdering,
+};
 pub use incremental::IncrementalEnsemble;
 pub use io::{load_json, save_json};
+pub use plan::TtmPlan;
 pub use shape::Shape;
 pub use sparse::SparseTensor;
-pub use ttm::{ttm_dense, ttm_dense_transposed, ttm_sparse, ttm_sparse_transposed};
+pub use ttm::{
+    ttm_dense, ttm_dense_transposed, ttm_dense_transposed_ws, ttm_sparse, ttm_sparse_transposed,
+};
 pub use ttv::{ttv_dense, ttv_sparse};
 pub use tucker::TuckerDecomp;
+pub use workspace::Workspace;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -18,26 +18,48 @@ use crate::shape::Shape;
 use crate::Result;
 use m2td_linalg::Matrix;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// A sparse `N`-mode tensor in coordinate format, sorted by row-major
 /// linear index, with at most one entry per coordinate.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Entries are immutable after construction; the only mutable state is a
+/// shared, lazily-built [`ModeScatterIndex`] cache that the TTM scatter
+/// kernels use to turn the entry stream into contiguous per-output-cell
+/// groups. Clones share the cache (the entries it indexes are the same),
+/// and equality ignores it.
+#[derive(Debug, Clone)]
 pub struct SparseTensor {
     shape: Shape,
     /// Row-major linear indices, strictly increasing.
     indices: Vec<u64>,
     /// Values, parallel to `indices`.
     values: Vec<f64>,
+    /// Lazily-built per-mode scatter indices (see [`ModeScatterIndex`]).
+    cache: Arc<ScatterCache>,
+}
+
+impl PartialEq for SparseTensor {
+    fn eq(&self, other: &Self) -> bool {
+        // The scatter cache is derived state; two tensors with the same
+        // entries are equal regardless of which indices have been built.
+        self.shape == other.shape && self.indices == other.indices && self.values == other.values
+    }
 }
 
 impl SparseTensor {
+    fn assemble(shape: Shape, indices: Vec<u64>, values: Vec<f64>) -> Self {
+        Self {
+            shape,
+            indices,
+            values,
+            cache: Arc::default(),
+        }
+    }
+
     /// Creates an empty sparse tensor of the given shape.
     pub fn empty(dims: &[usize]) -> Self {
-        Self {
-            shape: Shape::new(dims),
-            indices: Vec::new(),
-            values: Vec::new(),
-        }
+        Self::assemble(Shape::new(dims), Vec::new(), Vec::new())
     }
 
     /// Creates a sparse tensor from `(multi-index, value)` pairs.
@@ -53,18 +75,14 @@ impl SparseTensor {
         pairs.sort_unstable_by_key(|&(i, _)| i);
         for w in pairs.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(TensorError::IndexOutOfBounds {
+                return Err(TensorError::DuplicateEntry {
                     index: shape.multi_index(w[0].0 as usize),
                     shape: dims.to_vec(),
                 });
             }
         }
         let (indices, values) = pairs.into_iter().unzip();
-        Ok(Self {
-            shape,
-            indices,
-            values,
-        })
+        Ok(Self::assemble(shape, indices, values))
     }
 
     /// Builds a sparse tensor by running `f` on a caller-supplied list of
@@ -85,11 +103,7 @@ impl SparseTensor {
         let mut pairs: Vec<(u64, f64)> = map.into_iter().collect();
         pairs.sort_unstable_by_key(|&(i, _)| i);
         let (indices, values) = pairs.into_iter().unzip();
-        Ok(Self {
-            shape,
-            indices,
-            values,
-        })
+        Ok(Self::assemble(shape, indices, values))
     }
 
     /// Creates a sparse tensor from pre-sorted, strictly increasing linear
@@ -120,11 +134,7 @@ impl SparseTensor {
                 op: "from_sorted_linear (indices not strictly increasing)",
             });
         }
-        Ok(Self {
-            shape,
-            indices,
-            values,
-        })
+        Ok(Self::assemble(shape, indices, values))
     }
 
     /// The tensor shape.
@@ -217,11 +227,7 @@ impl SparseTensor {
                 values.push(v);
             }
         }
-        Self {
-            shape: dense.shape().clone(),
-            indices,
-            values,
-        }
+        Self::assemble(dense.shape().clone(), indices, values)
     }
 
     /// Mode-`n` matricization materialized densely
@@ -282,6 +288,117 @@ impl SparseTensor {
         }
         Ok(out)
     }
+
+    /// Returns the mode-`mode` scatter index, building and caching it on
+    /// first use. Callers must have validated `mode` already.
+    pub(crate) fn scatter_index(&self, mode: usize) -> Arc<ModeScatterIndex> {
+        let mut map = self.cache.per_mode.lock().unwrap();
+        map.entry(mode)
+            .or_insert_with(|| Arc::new(ModeScatterIndex::build(self, mode)))
+            .clone()
+    }
+
+    /// Whether a scatter index for `mode` has already been built.
+    pub(crate) fn has_scatter_index(&self, mode: usize) -> bool {
+        self.cache.per_mode.lock().unwrap().contains_key(&mode)
+    }
+}
+
+/// Lazily-built per-mode scatter indices, shared across clones.
+#[derive(Debug, Default)]
+struct ScatterCache {
+    per_mode: Mutex<BTreeMap<usize, Arc<ModeScatterIndex>>>,
+}
+
+/// Mode-sorted view of a sparse tensor's entries for the TTM scatter
+/// kernels.
+///
+/// An entry with linear index `lin` decomposes against mode `n` as
+/// `lin = high·(stride·I_n) + i_n·stride + low` where `stride` is the
+/// row-major stride of mode `n`; the output cells it touches in an
+/// `X ×_n U` product all share the base `high·(stride·J) + low`. The
+/// index groups entries by that `(high, low)` key — which is independent
+/// of the output extent `J`, so one index serves every factor width —
+/// with a *stable* sort, so within each group entries keep the original
+/// stream order. Replaying a group sequentially therefore produces the
+/// exact per-cell accumulation order of the serial entry-stream loop,
+/// which is what makes the parallel scatter bitwise thread-invariant.
+#[derive(Debug)]
+pub(crate) struct ModeScatterIndex {
+    /// Per group, the `high` part of the output base.
+    highs: Vec<usize>,
+    /// Per group, the `low` part of the output base (`low < stride`).
+    lows: Vec<usize>,
+    /// Half-open entry ranges: group `g` owns `entries[starts[g]..starts[g+1]]`.
+    starts: Vec<usize>,
+    /// `(i_n, value)` per entry, permuted so each group is contiguous and
+    /// internally in original stream order.
+    entries: Vec<(u32, f64)>,
+    /// Row-major stride of the indexed mode (product of trailing extents).
+    stride: usize,
+}
+
+impl ModeScatterIndex {
+    fn build(x: &SparseTensor, mode: usize) -> Self {
+        let dims = x.dims();
+        let stride: usize = dims[mode + 1..].iter().product();
+        let in_block = stride * dims[mode];
+        let mut tagged: Vec<(usize, usize, u32, f64)> = Vec::with_capacity(x.nnz());
+        for (&lin, &v) in x.indices.iter().zip(x.values.iter()) {
+            let lin = lin as usize;
+            let high = lin / in_block;
+            let rest = lin % in_block;
+            tagged.push((high, rest % stride, (rest / stride) as u32, v));
+        }
+        // Stable: ties (same output cell) keep stream order.
+        tagged.sort_by_key(|&(h, l, _, _)| (h, l));
+        let mut highs = Vec::new();
+        let mut lows = Vec::new();
+        let mut starts = vec![0usize];
+        let mut entries = Vec::with_capacity(tagged.len());
+        for (h, l, i_n, v) in tagged {
+            if highs.last() != Some(&h) || lows.last() != Some(&l) {
+                if !entries.is_empty() {
+                    starts.push(entries.len());
+                }
+                highs.push(h);
+                lows.push(l);
+            }
+            entries.push((i_n, v));
+        }
+        starts.push(entries.len());
+        Self {
+            highs,
+            lows,
+            starts,
+            entries,
+            stride,
+        }
+    }
+
+    /// Number of distinct output cells (groups).
+    #[inline]
+    pub(crate) fn num_groups(&self) -> usize {
+        self.highs.len()
+    }
+
+    /// The `(high, low)` base decomposition of group `g`.
+    #[inline]
+    pub(crate) fn group_key(&self, g: usize) -> (usize, usize) {
+        (self.highs[g], self.lows[g])
+    }
+
+    /// The `(i_n, value)` entries of group `g`, in stream order.
+    #[inline]
+    pub(crate) fn group_entries(&self, g: usize) -> &[(u32, f64)] {
+        &self.entries[self.starts[g]..self.starts[g + 1]]
+    }
+
+    /// Row-major stride of the indexed mode.
+    #[inline]
+    pub(crate) fn stride(&self) -> usize {
+        self.stride
+    }
 }
 
 #[cfg(test)]
@@ -310,9 +427,39 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_entries_rejected() {
+    fn duplicate_entries_rejected_as_duplicate_entry() {
+        // Regression: this used to be misreported as IndexOutOfBounds.
         let r = SparseTensor::from_entries(&[2, 2], &[(vec![0, 0], 1.0), (vec![0, 0], 2.0)]);
-        assert!(r.is_err());
+        match r {
+            Err(TensorError::DuplicateEntry { index, shape }) => {
+                assert_eq!(index, vec![0, 0]);
+                assert_eq!(shape, vec![2, 2]);
+            }
+            other => panic!("expected DuplicateEntry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scatter_index_groups_cover_entries_in_stream_order() {
+        let t = sample();
+        for mode in 0..3 {
+            let idx = t.scatter_index(mode);
+            assert!(t.has_scatter_index(mode));
+            let total: usize = (0..idx.num_groups())
+                .map(|g| idx.group_entries(g).len())
+                .sum();
+            assert_eq!(total, t.nnz());
+            // Group keys are strictly increasing lexicographically.
+            for g in 1..idx.num_groups() {
+                assert!(idx.group_key(g - 1) < idx.group_key(g));
+            }
+        }
+        // Clones share the cache; equality ignores it.
+        let c = t.clone();
+        assert!(c.has_scatter_index(0));
+        let fresh = sample();
+        assert!(!fresh.has_scatter_index(0));
+        assert_eq!(fresh, t);
     }
 
     #[test]

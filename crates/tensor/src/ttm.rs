@@ -9,6 +9,7 @@
 use crate::dense::DenseTensor;
 use crate::error::TensorError;
 use crate::sparse::SparseTensor;
+use crate::workspace::Workspace;
 use crate::Result;
 use m2td_linalg::Matrix;
 
@@ -57,6 +58,41 @@ pub fn ttm_dense_transposed(x: &DenseTensor, mode: usize, u: &Matrix) -> Result<
     DenseTensor::fold(&product, mode, &out_dims)
 }
 
+/// [`ttm_dense_transposed`] drawing its unfold/product/fold buffers from a
+/// [`Workspace`], so a TTM chain (or a HOOI sweep loop) reuses the same
+/// few allocations step after step. Numerically identical to the
+/// allocating variant — the kernels and accumulation orders are the same.
+pub fn ttm_dense_transposed_ws(
+    x: &DenseTensor,
+    mode: usize,
+    u: &Matrix,
+    ws: &mut Workspace,
+) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.rows() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![x.shape().dim(mode), u.cols()],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_dense_transposed",
+        });
+    }
+    let mut unfolded = ws.take_matrix(0, 0);
+    x.unfold_into(mode, &mut unfolded)?;
+    let mut product = ws.take_matrix(0, 0);
+    u.transpose_matmul_into(&unfolded, &mut product)?;
+    ws.recycle_matrix(unfolded);
+    let out_dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| if m == mode { u.cols() } else { d })
+        .collect();
+    // take(0): fold_into sizes the buffer itself, only capacity matters.
+    let out = DenseTensor::fold_into(&product, mode, &out_dims, ws.take(0))?;
+    ws.recycle_matrix(product);
+    Ok(out)
+}
+
 /// Sparse mode-`n` product `X ×_n U` (`U` is `J × I_n`), producing a dense
 /// tensor. Each stored entry scatters into `J` output cells, so the cost is
 /// `O(nnz · J)` — independent of the full tensor size.
@@ -69,6 +105,7 @@ pub fn ttm_sparse(x: &SparseTensor, mode: usize, u: &Matrix) -> Result<DenseTens
             op: "ttm_sparse",
         });
     }
+    let _span = m2td_obs::span!("tensor.ttm_sparse_fwd", mode = mode);
     scatter_sparse(x, mode, u.rows(), |j, i_n| u.get(j, i_n))
 }
 
@@ -88,25 +125,39 @@ pub fn ttm_sparse_transposed(x: &SparseTensor, mode: usize, u: &Matrix) -> Resul
     scatter_sparse(x, mode, u.cols(), |j, i_n| u.get(i_n, j))
 }
 
-/// Entry count below which the scatter stays on the calling thread.
-const SCATTER_PAR_MIN_NNZ: usize = 1 << 12;
+/// Entry count up to which an *uncached* scatter runs as a plain serial
+/// stream loop: below this, building the mode-sorted index costs more
+/// than it saves. (This replaces the retired `SCATTER_PAR_MIN_NNZ`
+/// stream-replay kernel, which re-scanned the full entry stream once per
+/// partition — `O(parts·nnz·J)` — and is now gone.)
+const SCATTER_DIRECT_MAX_NNZ: usize = 1 << 10;
+
+/// Minimum multiply-add count (`nnz · J`) before the mode-sorted scatter
+/// fans out over the pool.
+const SCATTER_PAR_MIN_WORK: usize = 1 << 12;
 
 /// Shared scatter kernel: output mode-`n` extent is `j_dim`, with
 /// coefficient `coef(j, i_n)` applied to each stored entry.
 ///
-/// All index arithmetic is hoisted out of the entry loop. Because the
-/// input and output tensors differ only in the extent of `mode`, the
-/// row-major stride of `mode` (the product of the trailing extents) is
-/// the same in both, so an input linear index `lin` decomposes as
-/// `lin = high·(stride·I_n) + i_n·stride + low` and the touched output
-/// cells are `high·(stride·J) + j·stride + low` — three divisions per
-/// entry, no per-entry allocation.
+/// Because the input and output tensors differ only in the extent of
+/// `mode`, the row-major stride of `mode` (the product of the trailing
+/// extents) is the same in both, so an input linear index `lin`
+/// decomposes as `lin = high·(stride·I_n) + i_n·stride + low` and the
+/// touched output cells are `high·(stride·J) + j·stride + low`.
 ///
-/// Parallel runs partition *output* cells by `(high, low)`; every part
-/// replays the full entry stream but writes only its own cells, in the
-/// same entry order the serial loop uses. Per-cell accumulation order is
-/// therefore identical at every thread count, making the result bitwise
-/// equal to the serial kernel's.
+/// Two paths, chosen as follows:
+///
+/// * **Direct** — `nnz ≤ SCATTER_DIRECT_MAX_NNZ` and no mode-sorted index
+///   is cached yet: one serial pass over the entry stream (the original
+///   serial kernel, kept as the small-tensor fallback).
+/// * **Mode-sorted** — otherwise: the tensor's cached mode-sorted index
+///   (`ModeScatterIndex` in `sparse.rs`) groups entries by output cell
+///   `(high, low)`; threads own contiguous, disjoint group ranges and each
+///   group replays its entries in original stream order. Total work is
+///   `O(nnz·J)` — the retired stream-replay path paid `O(parts·nnz·J)`.
+///
+/// Both paths accumulate into each output cell in entry-stream order, so
+/// results are bitwise identical to each other and across thread counts.
 fn scatter_sparse(
     x: &SparseTensor,
     mode: usize,
@@ -129,13 +180,7 @@ fn scatter_sparse(
     let out_block = stride * j_dim;
     let data = out.as_mut_slice();
 
-    let parts = if x.nnz() < SCATTER_PAR_MIN_NNZ {
-        1
-    } else {
-        m2td_par::max_threads().min(x.nnz() / SCATTER_PAR_MIN_NNZ + 1)
-    };
-    let sink = m2td_par::UnsafeSlice::new(data);
-    m2td_par::par_for_each_index(parts, |part| {
+    if x.nnz() <= SCATTER_DIRECT_MAX_NNZ && !x.has_scatter_index(mode) {
         for (lin, v) in x.iter_linear() {
             let lin = lin as usize;
             let high = lin / in_block;
@@ -143,13 +188,36 @@ fn scatter_sparse(
             let i_n = rest / stride;
             let low = rest % stride;
             let base = high * out_block + low;
-            if parts > 1 && base % parts != part {
-                continue;
-            }
             for j in 0..j_dim {
-                // SAFETY: cell `base + j·stride` belongs to exactly the
-                // part `base % parts`, so concurrent writers are disjoint.
-                unsafe { sink.add_assign(base + j * stride, coef(j, i_n) * v) };
+                data[base + j * stride] += coef(j, i_n) * v;
+            }
+        }
+        return Ok(out);
+    }
+
+    let idx = x.scatter_index(mode);
+    debug_assert_eq!(idx.stride(), stride);
+    let groups = idx.num_groups();
+    let parts = if x.nnz() * j_dim < SCATTER_PAR_MIN_WORK {
+        1
+    } else {
+        m2td_par::max_threads().clamp(1, groups)
+    };
+    let sink = m2td_par::UnsafeSlice::new(data);
+    m2td_par::par_for_each_index(parts, |part| {
+        let g0 = part * groups / parts;
+        let g1 = (part + 1) * groups / parts;
+        for g in g0..g1 {
+            let (high, low) = idx.group_key(g);
+            let base = high * out_block + low;
+            for &(i_n, v) in idx.group_entries(g) {
+                for j in 0..j_dim {
+                    // SAFETY: cell `base + j·stride` decomposes uniquely
+                    // into (group, j) — `low < stride`, `j < j_dim` — and
+                    // each group belongs to exactly one contiguous part,
+                    // so concurrent writers are disjoint.
+                    unsafe { sink.add_assign(base + j * stride, coef(j, i_n as usize) * v) };
+                }
             }
         }
     });
@@ -252,9 +320,44 @@ mod tests {
     }
 
     #[test]
+    fn direct_and_mode_sorted_paths_are_bitwise_identical() {
+        // Small tensor: the first call takes the direct stream loop; after
+        // forcing the index, the same call takes the mode-sorted path.
+        let d = DenseTensor::from_fn(&[5, 6, 4], |i| {
+            ((i[0] * 11 + i[1] * 5 + i[2]) as f64 * 0.23).sin()
+        });
+        let s = SparseTensor::from_dense(&d);
+        for mode in 0..3 {
+            let u = Matrix::from_fn(d.dims()[mode], 3, |i, j| ((i * 3 + j) as f64).cos());
+            assert!(s.nnz() <= SCATTER_DIRECT_MAX_NNZ);
+            assert!(!s.has_scatter_index(mode));
+            let direct = ttm_sparse_transposed(&s, mode, &u).unwrap();
+            s.scatter_index(mode); // force the cached path
+            let sorted = ttm_sparse_transposed(&s, mode, &u).unwrap();
+            assert_eq!(direct, sorted, "path divergence in mode {mode}");
+        }
+    }
+
+    #[test]
+    fn ws_variant_is_bitwise_identical_to_allocating_variant() {
+        let t = dense_3x4x2();
+        let mut ws = crate::Workspace::new();
+        for mode in 0..3 {
+            let u = Matrix::from_fn(t.dims()[mode], 2, |i, j| ((i * 2 + j) as f64 * 0.4).sin());
+            let plain = ttm_dense_transposed(&t, mode, &u).unwrap();
+            let pooled = ttm_dense_transposed_ws(&t, mode, &u, &mut ws).unwrap();
+            assert_eq!(plain, pooled, "ws variant diverged in mode {mode}");
+            ws.recycle_tensor(pooled);
+        }
+        assert!(ws.reuse_hits() > 0, "workspace never reused a buffer");
+        let bad = Matrix::zeros(9, 9);
+        assert!(ttm_dense_transposed_ws(&t, 0, &bad, &mut ws).is_err());
+    }
+
+    #[test]
     fn sparse_scatter_bitwise_identical_across_thread_counts() {
-        // 4096 stored entries clears SCATTER_PAR_MIN_NNZ, so the
-        // partitioned path actually runs at t > 1.
+        // 4096 stored entries clears SCATTER_DIRECT_MAX_NNZ, so the
+        // mode-sorted parallel path actually runs at t > 1.
         let d = DenseTensor::from_fn(&[16, 16, 16], |i| {
             (1 + i[0] * 7 + i[1] * 3 + i[2]) as f64 * 0.5 - 100.0
         });

@@ -7,12 +7,18 @@
 use m2td_linalg::Matrix;
 use m2td_tensor::{
     hosvd_dense, hosvd_sparse, ttm_dense, ttm_dense_transposed, ttm_sparse, ttm_sparse_transposed,
-    ttv_dense, DenseTensor, IncrementalEnsemble, Shape, SparseTensor,
+    ttv_dense, CoreOrdering, DenseTensor, IncrementalEnsemble, Shape, SparseTensor, TtmPlan,
+    Workspace,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 const CASES: u64 = 48;
+
+/// `m2td_par::set_max_threads` is process-global; tests that sweep thread
+/// counts serialize on this lock so they don't race each other.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
 
 /// Random tensor dims: 2–4 modes of extent 2–5.
 fn rand_dims(rng: &mut StdRng) -> Vec<usize> {
@@ -220,6 +226,7 @@ fn tucker_cell_agrees_with_reconstruction() {
 /// factors are computed concurrently) must stay within 1e-10 Frobenius.
 #[test]
 fn parallel_sparse_ttm_matches_serial_on_random_tensors() {
+    let _guard = THREADS_LOCK.lock().unwrap();
     for seed in 0..16u64 {
         let mut rng = StdRng::seed_from_u64(2000 + seed);
         // 3 modes, extents up to 12, randomly thinned — keeps some cases
@@ -263,6 +270,111 @@ fn parallel_sparse_ttm_matches_serial_on_random_tensors() {
             assert!(
                 diff < 1e-10,
                 "hosvd core drift {diff} t={threads} seed={seed}"
+            );
+        }
+        m2td_par::set_max_threads(0);
+    }
+}
+
+/// The planned (compression-ratio-ordered, semi-sparse) TTM chain must
+/// agree with the naive fixed-order dense chain to 1e-10 Frobenius on
+/// random tensors, at both a moderate (~40%) and a low (~10%) fill — the
+/// first exercises the mid-chain densify flip, the second keeps the chain
+/// semi-sparse to the end.
+#[test]
+fn ttm_plan_matches_naive_fixed_order_dense_chain() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let order = rng.gen_range(2usize..5);
+        let dims: Vec<usize> = (0..order).map(|_| rng.gen_range(2usize..6)).collect();
+        let ranks: Vec<usize> = dims.iter().map(|&d| rng.gen_range(1usize..d + 1)).collect();
+        let keep = if seed % 2 == 0 { 10 } else { 5 } as usize; // ~10% / ~40% fill
+        let shape = Shape::new(&dims);
+        let dense = DenseTensor::from_fn(&dims, |idx| {
+            let l = shape.linear_index(idx);
+            if l % keep < keep.div_ceil(2) {
+                rng.gen_range(-2.0..2.0)
+            } else {
+                0.0
+            }
+        });
+        let sparse = SparseTensor::from_dense(&dense);
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .zip(ranks.iter())
+            .enumerate()
+            .map(|(n, (&d, &r))| {
+                Matrix::from_fn(d, r, |i, j| ((i * (2 * n + 3) + 7 * j) as f64 * 0.13).sin())
+            })
+            .collect();
+
+        // Naive reference: dense kernels in fixed natural mode order.
+        let mut reference = dense.clone();
+        for (mode, f) in factors.iter().enumerate() {
+            reference = ttm_dense_transposed(&reference, mode, f).unwrap();
+        }
+
+        for ordering in [CoreOrdering::Natural, CoreOrdering::BestShrinkFirst] {
+            let plan = TtmPlan::with_ordering(&dims, &ranks, ordering).unwrap();
+            let mut ws = Workspace::new();
+            let got = plan.execute_sparse(&sparse, &factors, &mut ws).unwrap();
+            let diff = got.sub(&reference).unwrap().frobenius_norm();
+            assert!(
+                diff < 1e-10,
+                "seed={seed} {ordering:?} plan chain drifted {diff} from naive chain"
+            );
+        }
+    }
+}
+
+/// The mode-sorted scatter kernel and the semi-sparse plan executor must
+/// be bitwise identical at every thread count. Tensors here exceed the
+/// direct-path nnz cutoff, so the mode-sorted (cached-index) path runs.
+#[test]
+fn mode_sorted_scatter_is_bitwise_thread_invariant() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let dims: Vec<usize> = (0..3).map(|_| rng.gen_range(12usize..17)).collect();
+        let shape = Shape::new(&dims);
+        // ~75% fill of a >=1728-cell tensor: nnz > 1024, well past the
+        // direct-path cutoff.
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .filter(|l| l % 4 != 0)
+            .map(|l| (shape.multi_index(l), rng.gen_range(-2.0..2.0)))
+            .collect();
+        assert!(
+            entries.len() > 1024,
+            "test tensor must take the sorted path"
+        );
+        let sparse = SparseTensor::from_entries(&dims, &entries).unwrap();
+        let mode = rng.gen_range(0usize..3);
+        let u = Matrix::from_fn(dims[mode], 4, |i, j| ((i * 3 + j) as f64 * 0.41).cos());
+        let ranks = vec![3usize; 3];
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| Matrix::from_fn(d, 3, |i, j| ((i + 11 * j) as f64 * 0.19).sin()))
+            .collect();
+        let plan = TtmPlan::with_ordering(&dims, &ranks, CoreOrdering::BestShrinkFirst).unwrap();
+
+        m2td_par::set_max_threads(1);
+        let scatter_serial = ttm_sparse_transposed(&sparse, mode, &u).unwrap();
+        let core_serial = plan
+            .execute_sparse(&sparse, &factors, &mut Workspace::new())
+            .unwrap();
+
+        for threads in [2usize, 8] {
+            m2td_par::set_max_threads(threads);
+            assert_eq!(
+                ttm_sparse_transposed(&sparse, mode, &u).unwrap(),
+                scatter_serial,
+                "scatter not bitwise at t={threads} seed={seed}"
+            );
+            assert_eq!(
+                plan.execute_sparse(&sparse, &factors, &mut Workspace::new())
+                    .unwrap(),
+                core_serial,
+                "plan execution not bitwise at t={threads} seed={seed}"
             );
         }
         m2td_par::set_max_threads(0);

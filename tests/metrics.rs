@@ -170,6 +170,109 @@ fn mapreduce_counters_match_returned_task_counters() {
     );
 }
 
+/// Both sparse TTM directions carry a span (the forward kernel was
+/// historically uninstrumented), and the TTM-chain planner records its
+/// span and op-count/size gauges.
+#[test]
+fn ttm_kernels_and_plan_are_instrumented() {
+    use m2td::linalg::Matrix;
+    use m2td::tensor::{ttm_sparse, ttm_sparse_transposed, TtmPlan, Workspace};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+    m2td::obs::reset();
+
+    let dims = [5usize, 4, 3];
+    let shape = Shape::new(&dims);
+    let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+        .filter(|l| l % 2 == 0)
+        .map(|l| (shape.multi_index(l), (l as f64 * 0.37).sin() + 0.2))
+        .collect();
+    let x = SparseTensor::from_entries(&dims, &entries).unwrap();
+    let u = Matrix::from_fn(5, 2, |i, j| ((i * 2 + j) as f64 * 0.3).cos());
+    ttm_sparse(&x, 0, &u.transpose()).unwrap();
+    ttm_sparse_transposed(&x, 0, &u).unwrap();
+
+    let ranks = [2usize, 2, 2];
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .zip(ranks.iter())
+        .map(|(&d, &r)| Matrix::from_fn(d, r, |i, j| ((i + 3 * j) as f64 * 0.21).sin()))
+        .collect();
+    let plan = TtmPlan::new(&dims, &ranks).unwrap();
+    plan.execute_sparse(&x, &factors, &mut Workspace::new())
+        .unwrap();
+
+    let snap = m2td::obs::snapshot();
+    m2td::obs::uninstall();
+
+    assert!(
+        snap.span("tensor.ttm_sparse_fwd{mode=0}").is_some(),
+        "forward sparse TTM span missing"
+    );
+    assert!(
+        snap.span("tensor.ttm_sparse{mode=0}").is_some(),
+        "transposed sparse TTM span missing"
+    );
+    assert!(snap.span("ttm.plan").is_some(), "planner span missing");
+    let madds = snap.gauge("ttm.plan_madds").unwrap_or(-1.0);
+    assert_eq!(
+        madds,
+        plan.predicted_madds() as f64,
+        "ttm.plan_madds gauge disagrees with the plan's op-count model"
+    );
+    assert!(
+        snap.gauge("ttm.intermediate_elems").unwrap_or(0.0) > 0.0,
+        "intermediate-size gauge missing"
+    );
+}
+
+/// Acceptance criterion: on the bench shapes, the planner's chain does no
+/// more FP multiply-adds than the fixed natural order — asserted through
+/// the `ttm.plan_madds` gauge each execution records.
+#[test]
+fn planner_chain_madds_never_exceed_fixed_order() {
+    use m2td::linalg::Matrix;
+    use m2td::tensor::{CoreOrdering, TtmPlan, Workspace};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+
+    for (dims, ranks) in [
+        (vec![12usize, 12, 12, 12], vec![4usize, 4, 4, 4]),
+        (vec![32, 16, 8], vec![4, 2, 2]),
+    ] {
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .filter(|l| l % 3 == 0)
+            .map(|l| (shape.multi_index(l), (l as f64 * 0.11).sin()))
+            .collect();
+        let x = SparseTensor::from_entries(&dims, &entries).unwrap();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .zip(ranks.iter())
+            .map(|(&d, &r)| Matrix::from_fn(d, r, |i, j| ((i * 7 + j) as f64 * 0.17).cos()))
+            .collect();
+
+        let gauge_for = |ordering: CoreOrdering| {
+            m2td::obs::reset();
+            let plan = TtmPlan::with_ordering(&dims, &ranks, ordering).unwrap();
+            plan.execute_sparse(&x, &factors, &mut Workspace::new())
+                .unwrap();
+            m2td::obs::snapshot()
+                .gauge("ttm.plan_madds")
+                .expect("plan execution must record its op count")
+        };
+        let planned = gauge_for(CoreOrdering::BestShrinkFirst);
+        let natural = gauge_for(CoreOrdering::Natural);
+        assert!(
+            planned <= natural,
+            "planner does {planned} madds vs {natural} natural for {dims:?}/{ranks:?}"
+        );
+    }
+    m2td::obs::uninstall();
+}
+
 #[test]
 fn without_subscriber_nothing_is_recorded_and_reports_carry_no_metrics() {
     let _guard = OBS_LOCK.lock().unwrap();
