@@ -8,6 +8,7 @@
 //! m2td-cli compare --system sir --resolution 8 --rank 3
 //! m2td-cli run --system double_pendulum --groups 4      # multi-way
 //! m2td-cli run --system sir --save decomposition.json   # persist Tucker
+//! m2td-cli run --system sir --corrupt-rate 0.01 --guard-policy fail
 //! ```
 
 use m2td_bench::registry::{system_by_name, SystemKind};
@@ -83,17 +84,46 @@ FLAGS (run/compare):
   --max-retries <n>      attempts per simulation run      [default 3]
   --metrics-out <path>   install the telemetry subscriber and write a
                          JSON metrics snapshot (spans, counters, gauges)
-                         when the command finishes
+                         when the command finishes — even when it fails
+  --guard-policy <p>     install the m2td-guard layer with policy
+                         fail | clamp-rank | regularize[:lambda]
+  --error-budget <f>     install the guard acceptance check: maximum
+                         relative reconstruction error before a run is
+                         reported UNHEALTHY (exit code 3)
+  --corrupt-rate <f>     chaos stream: fraction of simulated cells
+                         poisoned with NaN, in [0,1)      [default 0]
 
 FLAGS (run only):
   --method <m>           select | avg | concat | zero-join |
                          random | grid | slice | latin-hypercube | stratified
                                                           [default select]
   --save <path>          write the Tucker decomposition as JSON
+
+EXIT CODES:
+  0  success             2  usage or runtime error
+  3  run completed but the guard acceptance check failed
 "
 }
 
-fn run() -> Result<(), String> {
+/// Validates a probability-like flag: finite and in `[0, 1)`.
+fn check_rate(name: &str, v: f64) -> Result<(), String> {
+    if !(v.is_finite() && (0.0..1.0).contains(&v)) {
+        return Err(format!("--{name} {v} must lie in [0, 1)"));
+    }
+    Ok(())
+}
+
+/// Validates a density-like flag: finite and in `(0, 1]`.
+fn check_frac(name: &str, v: f64) -> Result<(), String> {
+    if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+        return Err(format!("--{name} {v} must lie in (0, 1]"));
+    }
+    Ok(())
+}
+
+/// Returns `Ok(healthy)`: `false` when any printed run failed its guard
+/// acceptance check (the process then exits with code 3).
+fn run() -> Result<bool, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().map(|s| s.as_str()) else {
         return Err(usage().to_string());
@@ -114,7 +144,7 @@ fn run() -> Result<(), String> {
                     sys.param_names().join(", ")
                 );
             }
-            Ok(())
+            Ok(true)
         }
         "run" | "compare" => {
             let args = Args::parse(&raw[1..])?;
@@ -124,178 +154,236 @@ fn run() -> Result<(), String> {
             if metrics_out.is_some() {
                 m2td_obs::install();
             }
-            let kind = match args.get("system") {
-                None => SystemKind::DoublePendulum,
-                Some(name) => {
-                    system_by_name(name).ok_or_else(|| format!("unknown system '{name}'"))?
-                }
-            };
-            let resolution: usize = args.parse_or("resolution", 10)?;
-            let rank: usize = args.parse_or("rank", 4)?;
-            let mut cfg = workbench_config(kind, resolution, rank);
-            cfg.seed = args.parse_or("seed", 42u64)?;
-            cfg.noise_sigma = args.parse_or("noise", 0.0f64)?;
-            let p_frac: f64 = args.parse_or("p-frac", 1.0)?;
-            let e_frac: f64 = args.parse_or("e-frac", 1.0)?;
-            let cell_frac: f64 = args.parse_or("cell-frac", 1.0)?;
-            let groups: usize = args.parse_or("groups", 2)?;
-            let threads: usize = args.parse_or("threads", 0)?;
-            if threads > 0 {
-                m2td_par::set_max_threads(threads);
-            }
-            let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
-            let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
-            let max_retries: u32 = args.parse_or("max-retries", 3)?;
-            if !(0.0..1.0).contains(&fault_rate) {
-                return Err(format!("--fault-rate {fault_rate} must lie in [0, 1)"));
-            }
-            let faults = (fault_rate > 0.0).then(|| {
-                SimFaultPolicy::new(fault_seed, fault_rate).with_max_attempts(max_retries)
-            });
-
-            let system = kind.instantiate();
-            eprintln!(
-                "building ground truth: {resolution}^5 cells for {}...",
-                system.name()
-            );
-            let bench =
-                Workbench::new(system.as_ref(), cfg).map_err(|e| format!("workbench: {e}"))?;
-            let mode_names = bench.mode_names();
-            let pivot = match args.get("pivot") {
-                None => bench.n_modes() - 1,
-                Some(name) => mode_names
-                    .iter()
-                    .position(|m| m == name)
-                    .ok_or_else(|| format!("unknown pivot '{name}' (modes: {mode_names:?})"))?,
-            };
-
-            if command == "compare" {
-                let budget = bench
-                    .m2td_budget(pivot, p_frac, e_frac)
-                    .map_err(|e| e.to_string())?;
-                println!("budget: {budget} cells (paper parity)\n");
-                for combine in PivotCombine::all() {
-                    let opts = M2tdOptions {
-                        combine,
-                        ..M2tdOptions::default()
-                    };
-                    let r = match &faults {
-                        Some(policy) => bench
-                            .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
-                            .map_err(|e| e.to_string())?,
-                        None => bench
-                            .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
-                            .map_err(|e| e.to_string())?,
-                    };
-                    print_report(&r);
-                }
-                for scheme in [
-                    &RandomSampling as &dyn SamplingScheme,
-                    &GridSampling,
-                    &SliceSampling,
-                    &LatinHypercubeSampling,
-                    &StratifiedSampling,
-                ] {
-                    let r = bench
-                        .run_conventional(scheme, budget)
-                        .map_err(|e| e.to_string())?;
-                    print_report(&r);
-                }
-                if let Some(path) = &metrics_out {
-                    write_metrics(path)?;
-                }
-                return Ok(());
-            }
-
-            // run: one method.
-            let method = args.get("method").unwrap_or("select");
-            let report = match method {
-                "select" | "avg" | "concat" | "zero-join" => {
-                    let opts = M2tdOptions {
-                        combine: match method {
-                            "avg" => PivotCombine::Average,
-                            "concat" => PivotCombine::Concat,
-                            _ => PivotCombine::Select,
-                        },
-                        stitch: if method == "zero-join" {
-                            StitchKind::ZeroJoin
-                        } else {
-                            StitchKind::Join
-                        },
-                        ..M2tdOptions::default()
-                    };
-                    if groups != 2 {
-                        if faults.is_some() {
-                            return Err(
-                                "--fault-rate is only supported for two-way runs (--groups 2)"
-                                    .to_string(),
-                            );
-                        }
-                        bench
-                            .run_m2td_multi(pivot, groups, opts, p_frac, e_frac)
-                            .map_err(|e| e.to_string())?
-                    } else {
-                        match &faults {
-                            Some(policy) => bench
-                                .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
-                                .map_err(|e| e.to_string())?,
-                            None => bench
-                                .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
-                                .map_err(|e| e.to_string())?,
-                        }
-                    }
-                }
-                "random" | "grid" | "slice" | "latin-hypercube" | "stratified" => {
-                    let scheme: &dyn SamplingScheme = match method {
-                        "random" => &RandomSampling,
-                        "grid" => &GridSampling,
-                        "slice" => &SliceSampling,
-                        "latin-hypercube" => &LatinHypercubeSampling,
-                        _ => &StratifiedSampling,
-                    };
-                    let budget = bench
-                        .m2td_budget(pivot, p_frac, e_frac)
-                        .map_err(|e| e.to_string())?;
-                    bench
-                        .run_conventional(scheme, budget)
-                        .map_err(|e| e.to_string())?
-                }
-                other => return Err(format!("unknown method '{other}'\n\n{}", usage())),
-            };
-            print_report(&report);
-
-            if let Some(path) = args.get("save") {
-                let (x1, x2, partition) = bench
-                    .subsystems(pivot, p_frac, e_frac, cell_frac)
-                    .map_err(|e| e.to_string())?;
-                let ranks: Vec<usize> = partition
-                    .join_modes()
-                    .iter()
-                    .map(|&m| rank.min(bench.full_dims()[m]))
-                    .collect();
-                let d = m2td_core::m2td_decompose(
-                    &x1,
-                    &x2,
-                    partition.k(),
-                    &ranks,
-                    M2tdOptions::default(),
-                )
-                .map_err(|e| e.to_string())?;
-                m2td_tensor::save_json(&d.tucker, std::path::Path::new(path))
-                    .map_err(|e| e.to_string())?;
-                println!("Tucker decomposition written to {path}");
-            }
+            // The snapshot is written even when the experiment errors out:
+            // a chaos run that aborts on a guard detection must still
+            // surface its `guard.*` counters.
+            let outcome = run_experiment(command, &args);
             if let Some(path) = &metrics_out {
                 write_metrics(path)?;
             }
-            Ok(())
+            outcome
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(true)
         }
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
+}
+
+fn run_experiment(command: &str, args: &Args) -> Result<bool, String> {
+    let kind = match args.get("system") {
+        None => SystemKind::DoublePendulum,
+        Some(name) => system_by_name(name).ok_or_else(|| format!("unknown system '{name}'"))?,
+    };
+    let resolution: usize = args.parse_or("resolution", 10)?;
+    let rank: usize = args.parse_or("rank", 4)?;
+    if resolution < 2 {
+        return Err(format!("--resolution {resolution} must be at least 2"));
+    }
+    if rank == 0 {
+        return Err("--rank 0 is out of range: ranks must be at least 1".to_string());
+    }
+    let mut cfg = workbench_config(kind, resolution, rank);
+    cfg.seed = args.parse_or("seed", 42u64)?;
+    cfg.noise_sigma = args.parse_or("noise", 0.0f64)?;
+    if !(cfg.noise_sigma.is_finite() && cfg.noise_sigma >= 0.0) {
+        return Err(format!(
+            "--noise {} must be a non-negative finite number",
+            cfg.noise_sigma
+        ));
+    }
+    let p_frac: f64 = args.parse_or("p-frac", 1.0)?;
+    let e_frac: f64 = args.parse_or("e-frac", 1.0)?;
+    let cell_frac: f64 = args.parse_or("cell-frac", 1.0)?;
+    check_frac("p-frac", p_frac)?;
+    check_frac("e-frac", e_frac)?;
+    check_frac("cell-frac", cell_frac)?;
+    let groups: usize = args.parse_or("groups", 2)?;
+    if groups < 2 {
+        return Err(format!("--groups {groups} must be at least 2"));
+    }
+    let threads: usize = args.parse_or("threads", 0)?;
+    if threads > 0 {
+        m2td_par::set_max_threads(threads);
+    }
+    let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
+    let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
+    let max_retries: u32 = args.parse_or("max-retries", 3)?;
+    check_rate("fault-rate", fault_rate)?;
+    if max_retries == 0 {
+        return Err("--max-retries 0 is out of range: at least one attempt is needed".to_string());
+    }
+    let corrupt_rate: f64 = args.parse_or("corrupt-rate", 0.0)?;
+    check_rate("corrupt-rate", corrupt_rate)?;
+
+    // Guard layer: installed iff a guard flag is present, so plain runs
+    // keep the uninstalled fast path (one relaxed atomic load per check).
+    let guard_policy = match args.get("guard-policy") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<m2td_guard::GuardPolicy>()
+                .map_err(|e| format!("--guard-policy: {e}"))?,
+        ),
+    };
+    let error_budget = match args.get("error-budget") {
+        None => None,
+        Some(v) => {
+            let b: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --error-budget"))?;
+            if !(b.is_finite() && b > 0.0) {
+                return Err(format!(
+                    "--error-budget {b} must be a positive finite number"
+                ));
+            }
+            Some(b)
+        }
+    };
+    if guard_policy.is_some() || error_budget.is_some() {
+        let mut gc = m2td_guard::GuardConfig::with_policy(
+            guard_policy.unwrap_or(m2td_guard::GuardPolicy::Fail),
+        );
+        if let Some(b) = error_budget {
+            gc = gc.with_error_budget(b);
+        }
+        m2td_guard::install(gc);
+    }
+
+    // One fault policy covers both chaos streams: simulation failures
+    // (--fault-rate) and NaN-cell corruption (--corrupt-rate).
+    let faults = (fault_rate > 0.0 || corrupt_rate > 0.0).then(|| {
+        SimFaultPolicy::new(fault_seed, fault_rate)
+            .with_max_attempts(max_retries)
+            .with_nan_cell_rate(corrupt_rate)
+    });
+
+    let system = kind.instantiate();
+    eprintln!(
+        "building ground truth: {resolution}^5 cells for {}...",
+        system.name()
+    );
+    let bench = Workbench::new(system.as_ref(), cfg).map_err(|e| format!("workbench: {e}"))?;
+    let mode_names = bench.mode_names();
+    let pivot = match args.get("pivot") {
+        None => bench.n_modes() - 1,
+        Some(name) => mode_names
+            .iter()
+            .position(|m| m == name)
+            .ok_or_else(|| format!("unknown pivot '{name}' (modes: {mode_names:?})"))?,
+    };
+
+    if command == "compare" {
+        let budget = bench
+            .m2td_budget(pivot, p_frac, e_frac)
+            .map_err(|e| e.to_string())?;
+        println!("budget: {budget} cells (paper parity)\n");
+        let mut healthy = true;
+        for combine in PivotCombine::all() {
+            let opts = M2tdOptions {
+                combine,
+                ..M2tdOptions::default()
+            };
+            let r = match &faults {
+                Some(policy) => bench
+                    .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
+                    .map_err(|e| e.to_string())?,
+                None => bench
+                    .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                    .map_err(|e| e.to_string())?,
+            };
+            print_report(&r);
+            healthy &= r.is_healthy();
+        }
+        for scheme in [
+            &RandomSampling as &dyn SamplingScheme,
+            &GridSampling,
+            &SliceSampling,
+            &LatinHypercubeSampling,
+            &StratifiedSampling,
+        ] {
+            let r = bench
+                .run_conventional(scheme, budget)
+                .map_err(|e| e.to_string())?;
+            print_report(&r);
+            healthy &= r.is_healthy();
+        }
+        return Ok(healthy);
+    }
+
+    // run: one method.
+    let method = args.get("method").unwrap_or("select");
+    let report = match method {
+        "select" | "avg" | "concat" | "zero-join" => {
+            let opts = M2tdOptions {
+                combine: match method {
+                    "avg" => PivotCombine::Average,
+                    "concat" => PivotCombine::Concat,
+                    _ => PivotCombine::Select,
+                },
+                stitch: if method == "zero-join" {
+                    StitchKind::ZeroJoin
+                } else {
+                    StitchKind::Join
+                },
+                ..M2tdOptions::default()
+            };
+            if groups != 2 {
+                if faults.is_some() {
+                    return Err(
+                        "--fault-rate/--corrupt-rate are only supported for two-way runs \
+                         (--groups 2)"
+                            .to_string(),
+                    );
+                }
+                bench
+                    .run_m2td_multi(pivot, groups, opts, p_frac, e_frac)
+                    .map_err(|e| e.to_string())?
+            } else {
+                match &faults {
+                    Some(policy) => bench
+                        .run_m2td_degraded(pivot, opts, p_frac, e_frac, cell_frac, policy)
+                        .map_err(|e| e.to_string())?,
+                    None => bench
+                        .run_m2td_cells(pivot, opts, p_frac, e_frac, cell_frac)
+                        .map_err(|e| e.to_string())?,
+                }
+            }
+        }
+        "random" | "grid" | "slice" | "latin-hypercube" | "stratified" => {
+            let scheme: &dyn SamplingScheme = match method {
+                "random" => &RandomSampling,
+                "grid" => &GridSampling,
+                "slice" => &SliceSampling,
+                "latin-hypercube" => &LatinHypercubeSampling,
+                _ => &StratifiedSampling,
+            };
+            let budget = bench
+                .m2td_budget(pivot, p_frac, e_frac)
+                .map_err(|e| e.to_string())?;
+            bench
+                .run_conventional(scheme, budget)
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown method '{other}'\n\n{}", usage())),
+    };
+    print_report(&report);
+
+    if let Some(path) = args.get("save") {
+        let (x1, x2, partition) = bench
+            .subsystems(pivot, p_frac, e_frac, cell_frac)
+            .map_err(|e| e.to_string())?;
+        let ranks: Vec<usize> = partition
+            .join_modes()
+            .iter()
+            .map(|&m| rank.min(bench.full_dims()[m]))
+            .collect();
+        let d = m2td_core::m2td_decompose(&x1, &x2, partition.k(), &ranks, M2tdOptions::default())
+            .map_err(|e| e.to_string())?;
+        m2td_tensor::save_json(&d.tucker, std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        println!("Tucker decomposition written to {path}");
+    }
+    Ok(report.is_healthy())
 }
 
 /// Writes the current telemetry snapshot as pretty-printed JSON.
@@ -328,11 +416,21 @@ fn print_report(r: &RunReport) {
             d.planned_cells,
         );
     }
+    if let Some(g) = &r.guard {
+        println!(
+            "{:<18} guard: {} — relative error {:.3e} vs budget {:.3e}",
+            "",
+            if g.healthy { "healthy" } else { "UNHEALTHY" },
+            g.relative_error,
+            g.budget,
+        );
+    }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(3),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)

@@ -2,7 +2,7 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use m2td_linalg::{symmetric_eig, Matrix};
+use m2td_linalg::Matrix;
 
 /// How the pivot-mode factor matrices of the two sub-tensor decompositions
 /// are merged into one factor for the join tensor.
@@ -154,8 +154,7 @@ pub fn combine_pivot_factor(
         }
         PivotCombine::Concat => {
             let summed = gram1.add(gram2)?;
-            let eig = symmetric_eig(&summed)?;
-            Ok(eig.eigenvectors.leading_columns(r)?)
+            Ok(m2td_guard::gram_factor("phase1.combine", None, &summed, r)?)
         }
         PivotCombine::Select => {
             let u2_aligned = align_signs(u1, u2)?;

@@ -21,6 +21,10 @@ pub enum CoreError {
     Stitch(m2td_stitch::StitchError),
     /// Simulation/ensemble failure.
     Sim(m2td_sim::SimError),
+    /// A numerical guard detected a condition the installed policy refuses
+    /// to repair (non-finite values at a phase boundary, rank deficiency,
+    /// ill-conditioning, or a blown reconstruction-error budget).
+    Guard(m2td_guard::GuardError),
     /// Too many simulation runs failed for degraded-mode decomposition to
     /// proceed: surviving-cell coverage fell below the configured floor.
     InsufficientCoverage {
@@ -40,6 +44,7 @@ impl fmt::Display for CoreError {
             CoreError::Sampling(e) => write!(f, "sampling error: {e}"),
             CoreError::Stitch(e) => write!(f, "stitch error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Guard(e) => write!(f, "numerical guard violation: {e}"),
             CoreError::InsufficientCoverage { coverage, required } => write!(
                 f,
                 "insufficient simulation coverage for degraded-mode decomposition: \
@@ -60,6 +65,7 @@ impl std::error::Error for CoreError {
             CoreError::Sampling(e) => Some(e),
             CoreError::Stitch(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Guard(e) => Some(e),
         }
     }
 }
@@ -91,6 +97,17 @@ impl From<m2td_stitch::StitchError> for CoreError {
 impl From<m2td_sim::SimError> for CoreError {
     fn from(e: m2td_sim::SimError) -> Self {
         CoreError::Sim(e)
+    }
+}
+
+impl From<m2td_guard::GuardError> for CoreError {
+    fn from(e: m2td_guard::GuardError) -> Self {
+        match e {
+            // A linalg failure inside a guarded call is still a plain
+            // linalg error to pipeline consumers.
+            m2td_guard::GuardError::Linalg(l) => CoreError::Linalg(l),
+            other => CoreError::Guard(other),
+        }
     }
 }
 

@@ -77,6 +77,11 @@ pub struct M2tdDecomposition {
     pub stitch_report: StitchReport,
     /// Wall-clock phase timings.
     pub timings: M2tdTimings,
+    /// Outcome of the end-to-end acceptance check (relative reconstruction
+    /// error of the recovered core over the observed join cells, against
+    /// the installed budget). `None` unless `m2td-guard` is installed with
+    /// an error budget.
+    pub guard: Option<m2td_guard::GuardVerdict>,
 }
 
 /// Runs M2TD over two PF-partitioned sub-ensemble tensors.
@@ -154,6 +159,11 @@ pub fn m2td_decompose(
         }
     }
 
+    // Phase-boundary sentinel: reject poisoned inputs before any phase
+    // runs (no-ops while m2td-guard is uninstalled).
+    m2td_guard::check_cells("phase1.x1", x1.iter())?;
+    m2td_guard::check_cells("phase1.x2", x2.iter())?;
+
     // ---- Phase 1: sub-tensor decompositions + pivot combination --------
     // The X₁ side (pivot grams/bases + X₁ free factors) and the X₂ side
     // are independent by construction, so they run concurrently on the
@@ -174,13 +184,13 @@ pub fn m2td_decompose(
             let mut pivot = Vec::with_capacity(k);
             for n in 0..k {
                 let gram1 = x1.unfold_gram(n)?;
-                let u1 = leading(&gram1, ranks[n])?;
+                let u1 = leading(&gram1, ranks[n], n)?;
                 pivot.push((gram1, u1));
             }
             let mut free = Vec::with_capacity(m1 - k);
             for n in k..m1 {
                 let gram = x1.unfold_gram(n)?;
-                free.push(leading(&gram, ranks[n])?);
+                free.push(leading(&gram, ranks[n], n)?);
             }
             Ok((pivot, free))
         },
@@ -188,13 +198,14 @@ pub fn m2td_decompose(
             let mut pivot = Vec::with_capacity(k);
             for n in 0..k {
                 let gram2 = x2.unfold_gram(n)?;
-                let u2 = leading(&gram2, ranks[n])?;
+                let u2 = leading(&gram2, ranks[n], n)?;
                 pivot.push((gram2, u2));
             }
             let mut free = Vec::with_capacity(m2 - k);
             for n in k..m2 {
+                let join_mode = k + (m1 - k) + (n - k);
                 let gram = x2.unfold_gram(n)?;
-                free.push(leading(&gram, ranks[k + (m1 - k) + (n - k)])?);
+                free.push(leading(&gram, ranks[join_mode], join_mode)?);
             }
             Ok((pivot, free))
         },
@@ -202,18 +213,26 @@ pub fn m2td_decompose(
     let (pivot1, free1) = side1?;
     let (pivot2, free2) = side2?;
     let mut factors = Vec::with_capacity(join_order);
-    for (n, ((gram1, u1), (gram2, u2))) in pivot1.iter().zip(pivot2.iter()).enumerate() {
+    for ((gram1, u1), (gram2, u2)) in pivot1.iter().zip(pivot2.iter()) {
+        // The guard's ClampRank policy may have truncated one side's
+        // pivot basis; combination needs equal widths, so harmonize both
+        // sides to the narrower one.
+        let width = u1.cols().min(u2.cols());
         factors.push(combine_pivot_factor(
             opts.combine,
             gram1,
             gram2,
-            u1,
-            u2,
-            ranks[n],
+            &u1.leading_columns(width)?,
+            &u2.leading_columns(width)?,
+            width,
         )?);
     }
     factors.extend(free1);
     factors.extend(free2);
+    // Phase-1 boundary sentinel: combined factors are the phase output.
+    for (n, f) in factors.iter().enumerate() {
+        m2td_guard::check_matrix("phase1.factor", Some(n), f)?;
+    }
     let phase1 = t1.elapsed().as_secs_f64();
     drop(span1);
 
@@ -221,6 +240,9 @@ pub fn m2td_decompose(
     let span2 = m2td_obs::span!("phase2.stitch");
     let t2 = Instant::now();
     let (join, stitch_report) = stitch(x1, x2, k, opts.stitch)?;
+    // Phase-2 boundary sentinel: a poisoned join cell must not reach core
+    // recovery.
+    m2td_guard::check_cells("phase2.join", join.iter())?;
     let phase2 = t2.elapsed().as_secs_f64();
     drop(span2);
 
@@ -235,8 +257,11 @@ pub fn m2td_decompose(
     }
     // Plan the TTM chain once for the join shape (compression-ratio
     // ordering, semi-sparse execution) and run it with a workspace so the
-    // chain's unfold/product/fold buffers are reused across steps.
-    let chain_plan = TtmPlan::with_ordering(join.dims(), ranks, opts.ordering)?;
+    // chain's unfold/product/fold buffers are reused across steps. Sized
+    // off the *actual* factor widths, which the guard's ClampRank policy
+    // may have shrunk below the requested ranks.
+    let widths: Vec<usize> = factors.iter().map(|f| f.cols()).collect();
+    let chain_plan = TtmPlan::with_ordering(join.dims(), &widths, opts.ordering)?;
     let mut ws = Workspace::new();
     let core = match opts.projection {
         CoreProjection::Transpose => chain_plan.execute_sparse(&join, &factors, &mut ws)?,
@@ -248,8 +273,13 @@ pub fn m2td_decompose(
         }
     };
     let phase3 = t3.elapsed().as_secs_f64();
+    // Phase-3 boundary sentinel: the recovered core is the run's output;
+    // a non-finite entry here is exactly the "silent garbage core" the
+    // guard layer exists to prevent.
+    m2td_guard::check_dense("phase3.core", core.dims(), core.as_slice())?;
 
     let tucker = TuckerDecomp::new(core, factors)?;
+    let guard = acceptance_verdict(&tucker, &join)?;
     Ok(M2tdDecomposition {
         tucker,
         stitch_report,
@@ -258,13 +288,48 @@ pub fn m2td_decompose(
             phase2_stitch: phase2,
             phase3_core: phase3,
         },
+        guard,
     })
 }
 
-/// Leading-`r` eigenvectors of a Gram matrix.
-fn leading(gram: &m2td_linalg::Matrix, r: usize) -> Result<m2td_linalg::Matrix> {
-    let eig = m2td_linalg::symmetric_eig(gram)?;
-    Ok(eig.eigenvectors.leading_columns(r)?)
+/// End-to-end acceptance check: relative reconstruction error of the
+/// decomposition over the *observed* join cells, judged against the
+/// installed error budget. `None` (and no reconstruction work at all)
+/// unless `m2td-guard` is installed with a budget configured.
+fn acceptance_verdict(
+    tucker: &TuckerDecomp,
+    join: &SparseTensor,
+) -> Result<Option<m2td_guard::GuardVerdict>> {
+    if !m2td_guard::installed() || m2td_guard::config().error_budget.is_none() {
+        return Ok(None);
+    }
+    let recon = tucker.reconstruct()?;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (idx, v) in join.iter() {
+        let d = recon.get(&idx) - v;
+        num += d * d;
+        den += v * v;
+    }
+    let relative_error = if den > 0.0 {
+        (num / den).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    Ok(m2td_guard::budget_verdict(relative_error))
+}
+
+/// Leading-`r` eigenvectors of a Gram matrix for join mode `join_mode`,
+/// routed through the numerical guard layer (spectrum checks and policy
+/// repairs when `m2td-guard` is installed; a plain eig + truncation
+/// otherwise).
+fn leading(gram: &m2td_linalg::Matrix, r: usize, join_mode: usize) -> Result<m2td_linalg::Matrix> {
+    Ok(m2td_guard::gram_factor(
+        "phase1.factor",
+        Some(join_mode),
+        gram,
+        r,
+    )?)
 }
 
 /// Applies the configured core projection to a factor list: returns the
@@ -286,12 +351,15 @@ pub fn projection_factors(
 /// `W = U (UᵀU)⁻¹`, so that `Wᵀ = U⁺` (the factor's pseudo-inverse).
 ///
 /// A tiny ridge keeps the `r × r` solve well-posed when a combined factor
-/// is nearly rank-deficient.
+/// is nearly rank-deficient. With `m2td-guard` installed under
+/// `Regularize(λ)`, the configured `λ` replaces the built-in `1e-12` —
+/// this solve is where that policy's ridge actually lands.
 fn ls_projection_factor(u: &m2td_linalg::Matrix) -> Result<m2td_linalg::Matrix> {
     let r = u.cols();
+    let ridge = m2td_guard::ridge_lambda().unwrap_or(1e-12);
     let mut gram = u.transpose_matmul(u)?;
     for i in 0..r {
-        gram.set(i, i, gram.get(i, i) + 1e-12);
+        gram.set(i, i, gram.get(i, i) + ridge);
     }
     // Solve (UᵀU) Xᵀ = Uᵀ row-by-row of U: each row w_i of W solves
     // (UᵀU) w_i = u_i where u_i is the i-th row of U.

@@ -12,7 +12,7 @@ use crate::combine::{align_signs, PivotCombine};
 use crate::error::CoreError;
 use crate::m2td::{projection_factors, M2tdDecomposition, M2tdOptions, M2tdTimings};
 use crate::Result;
-use m2td_linalg::{symmetric_eig, Matrix};
+use m2td_linalg::Matrix;
 use m2td_stitch::stitch_multi;
 use m2td_tensor::{sparse_core, SparseTensor, TuckerDecomp};
 use std::time::Instant;
@@ -38,8 +38,7 @@ fn combine_multi(
             for g in &grams[1..] {
                 sum = sum.add(g)?;
             }
-            let eig = symmetric_eig(&sum)?;
-            Ok(eig.eigenvectors.leading_columns(r)?)
+            Ok(m2td_guard::gram_factor("phase1.combine", None, &sum, r)?)
         }
         PivotCombine::Select => {
             let rows = factors[0].rows();
@@ -167,12 +166,12 @@ pub fn m2td_decompose_multi(
             phase2_stitch: phase2,
             phase3_core: phase3,
         },
+        guard: None,
     })
 }
 
 fn leading(gram: &Matrix, r: usize) -> Result<Matrix> {
-    let eig = symmetric_eig(gram)?;
-    Ok(eig.eigenvectors.leading_columns(r)?)
+    Ok(m2td_guard::gram_factor("phase1.factor", None, gram, r)?)
 }
 
 #[cfg(test)]

@@ -103,6 +103,15 @@ impl SimFaultPolicy {
         self.max_attempts = max_attempts.max(1);
         self
     }
+
+    /// Poisons a deterministic fraction of the simulated sub-ensemble
+    /// cells with NaN (corrupted telemetry / sensor dropout). Without an
+    /// installed `m2td-guard` the NaNs propagate silently; with one they
+    /// are caught at the phase-1 boundary.
+    pub fn with_nan_cell_rate(mut self, rate: f64) -> Self {
+        self.plan = self.plan.with_nan_cell_rate(rate);
+        self
+    }
 }
 
 /// Degraded-mode accounting attached to a [`RunReport`] when the run
@@ -157,6 +166,19 @@ pub struct RunReport {
     /// installed; covers everything recorded since the last
     /// `m2td_obs::reset()`, not just this run.
     pub metrics: Option<m2td_obs::MetricsSnapshot>,
+    /// Outcome of the guard layer's end-to-end acceptance check (relative
+    /// reconstruction error over the observed join cells vs the configured
+    /// budget). `None` unless `m2td-guard` is installed with an error
+    /// budget; only M2TD runs compute it.
+    pub guard: Option<m2td_guard::GuardVerdict>,
+}
+
+impl RunReport {
+    /// Whether the run is healthy: either no acceptance check ran (no
+    /// guard installed, or no budget configured) or the check passed.
+    pub fn is_healthy(&self) -> bool {
+        self.guard.is_none_or(|v| v.healthy)
+    }
 }
 
 /// Output of [`Workbench::build_subsystems`]: the two sub-tensors plus
@@ -168,6 +190,31 @@ struct SubsystemBuild {
     distinct_sims: usize,
     simulate_secs: f64,
     degraded: Option<DegradedStats>,
+}
+
+/// Replaces each cell selected by the fault plan's NaN stream with NaN.
+/// Rebuilds the tensor from its (already sorted) linear storage, so the
+/// untouched cells keep their exact bit patterns.
+fn poison_cells(
+    x: &m2td_tensor::SparseTensor,
+    plan: &FaultPlan,
+    subsystem: u64,
+) -> Result<m2td_tensor::SparseTensor> {
+    let mut indices = Vec::with_capacity(x.nnz());
+    let mut values = Vec::with_capacity(x.nnz());
+    for (l, v) in x.iter_linear() {
+        indices.push(l);
+        values.push(if plan.cell_goes_nan(subsystem, l) {
+            f64::NAN
+        } else {
+            v
+        });
+    }
+    Ok(m2td_tensor::SparseTensor::from_sorted_linear(
+        x.dims(),
+        indices,
+        values,
+    )?)
 }
 
 /// A fixed `(system, space, grid, rank)` experiment context with the
@@ -351,6 +398,7 @@ impl<'a> Workbench<'a> {
             stitch: None,
             degraded: None,
             metrics: m2td_obs::snapshot_if_installed(),
+            guard: None,
         })
     }
 
@@ -482,8 +530,18 @@ impl<'a> Workbench<'a> {
         drop(sim_span);
         let simulate_secs = t_sim.elapsed().as_secs_f64();
 
-        let x1 = partition.extract_sub_tensor(&full1, &self.defaults, SubSystem::First)?;
-        let x2 = partition.extract_sub_tensor(&full2, &self.defaults, SubSystem::Second)?;
+        let mut x1 = partition.extract_sub_tensor(&full1, &self.defaults, SubSystem::First)?;
+        let mut x2 = partition.extract_sub_tensor(&full2, &self.defaults, SubSystem::Second)?;
+        // Chaos stream: poison a deterministic fraction of the simulated
+        // cells with NaN, modeling corrupted observations entering the
+        // sub-ensembles. The streams are keyed per sub-system so the two
+        // tensors draw independently.
+        if let Some(policy) = faults {
+            if policy.plan.nan_cell_rate > 0.0 {
+                x1 = poison_cells(&x1, &policy.plan, 1)?;
+                x2 = poison_cells(&x2, &policy.plan, 2)?;
+            }
+        }
         Ok(SubsystemBuild {
             x1,
             x2,
@@ -577,6 +635,7 @@ impl<'a> Workbench<'a> {
             stitch: Some(decomp.stitch_report),
             degraded: build.degraded,
             metrics: m2td_obs::snapshot_if_installed(),
+            guard: decomp.guard,
         })
     }
 
@@ -661,6 +720,7 @@ impl<'a> Workbench<'a> {
             stitch: Some(decomp.stitch_report.clone()),
             degraded: None,
             metrics: m2td_obs::snapshot_if_installed(),
+            guard: decomp.guard,
         })
     }
 
@@ -704,6 +764,7 @@ impl<'a> Workbench<'a> {
             stitch: Some(report),
             degraded: None,
             metrics: m2td_obs::snapshot_if_installed(),
+            guard: None,
         })
     }
 }

@@ -13,12 +13,42 @@
 //! phase-3 failure resumes from persisted phase-1 factors and phase-2 join
 //! cells instead of recomputing them. Stale or corrupt checkpoint files
 //! are treated as absent, never trusted.
+//!
+//! ## Record integrity (format v2)
+//!
+//! Every record is a JSON object `{version, fingerprint, checksum,
+//! payload}` where `checksum` is FNV-1a-64 over the compact serialization
+//! of `fingerprint` followed by that of `payload` — covering the
+//! fingerprint too, so a bit-flip *anywhere* meaningful is detected.
+//! Records are written atomically (`*.tmp` + rename) and orphaned temp
+//! files from a crash mid-write are deleted when the store opens. A record
+//! that fails to parse, carries the wrong format version, or fails its
+//! checksum is **quarantined** (renamed to `*.quarantined.json`, bumping
+//! the `guard.ckpt_quarantined` counter) and reported absent, forcing the
+//! phase to recompute — garbage is never deserialized into the pipeline.
 
 use m2td_core::M2tdOptions;
+use m2td_fault::CorruptionKind;
 use m2td_json::{FromJson, Json, ToJson};
 use m2td_linalg::Matrix;
 use m2td_tensor::SparseTensor;
 use std::path::{Path, PathBuf};
+
+/// Current checkpoint record format version. Records claiming any other
+/// version are quarantined on load.
+const FORMAT_VERSION: i64 = 2;
+
+/// FNV-1a 64-bit hash over a byte stream.
+fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Identity of one D-M2TD invocation: checkpoints are only resumable when
 /// every field matches, including a content hash of both entry streams.
@@ -121,11 +151,21 @@ pub struct CheckpointStore {
 pub type CheckpointError = String;
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a checkpoint directory.
+    /// Opens (creating if needed) a checkpoint directory. Orphaned `*.tmp`
+    /// files left by a crash mid-write are deleted: they were never
+    /// renamed into place, so they are by definition incomplete.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("create checkpoint dir {}: {e}", dir.display()))?;
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
         Ok(Self { dir })
     }
 
@@ -138,26 +178,136 @@ impl CheckpointStore {
         self.dir.join(format!("phase{phase}.json"))
     }
 
+    fn quarantine_path(&self, phase: u8) -> PathBuf {
+        self.dir.join(format!("phase{phase}.quarantined.json"))
+    }
+
+    /// Checksum binding a record's fingerprint and payload together: a
+    /// mutation of either (or of the stored checksum itself) fails
+    /// verification on load.
+    fn record_checksum(fingerprint: &Json, payload: &Json) -> u64 {
+        fnv1a64(&[
+            fingerprint.to_compact().as_bytes(),
+            payload.to_compact().as_bytes(),
+        ])
+    }
+
     fn save(&self, phase: u8, fp: &Fingerprint, payload: Json) -> Result<(), CheckpointError> {
+        let fingerprint = fp.to_json();
+        let checksum = Self::record_checksum(&fingerprint, &payload);
         let doc = Json::Obj(vec![
-            ("fingerprint".to_string(), fp.to_json()),
+            ("version".to_string(), Json::Int(FORMAT_VERSION)),
+            ("fingerprint".to_string(), fingerprint),
+            // Bit-cast through i64, as for the content hash.
+            ("checksum".to_string(), Json::Int(checksum as i64)),
             ("payload".to_string(), payload),
         ]);
         let path = self.phase_path(phase);
-        std::fs::write(&path, doc.to_compact())
-            .map_err(|e| format!("write checkpoint {}: {e}", path.display()))
+        // Atomic publish: a crash between write and rename leaves only a
+        // *.tmp orphan (cleaned up on store open), never a torn record at
+        // the checkpoint path.
+        let tmp = self.dir.join(format!("phase{phase}.json.tmp"));
+        std::fs::write(&tmp, doc.to_compact())
+            .map_err(|e| format!("write checkpoint temp {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("publish checkpoint {}: {e}", path.display()))
     }
 
-    /// Loads a phase payload iff the file exists, parses, and its
-    /// fingerprint matches `fp`. Any failure yields `None`.
+    /// Moves a failed-verification record aside and reports it absent. The
+    /// quarantined file is kept for post-mortem, not reloaded.
+    fn quarantine(&self, phase: u8, reason: &str) -> Option<Json> {
+        let path = self.phase_path(phase);
+        let _ = std::fs::rename(&path, self.quarantine_path(phase));
+        m2td_obs::counter_add("guard.ckpt_quarantined", 1);
+        m2td_obs::counter_add(format!("guard.ckpt_quarantined.{reason}"), 1);
+        None
+    }
+
+    /// Loads a phase payload iff the file exists, parses, carries the
+    /// current format version, passes its checksum, and its fingerprint
+    /// matches `fp`. Integrity failures quarantine the record (it can
+    /// never load, and keeping it would mask the corruption); a clean
+    /// fingerprint mismatch is merely a checkpoint from a different run
+    /// and is left in place.
     fn load(&self, phase: u8, fp: &Fingerprint) -> Option<Json> {
-        let text = std::fs::read_to_string(self.phase_path(phase)).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        let stored = Fingerprint::from_json(doc.get("fingerprint")?).ok()?;
+        let text = match std::fs::read_to_string(self.phase_path(phase)) {
+            Ok(t) => t,
+            Err(_) => return None,
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(_) => return self.quarantine(phase, "unparseable"),
+        };
+        match doc.get("version") {
+            Some(Json::Int(v)) if *v == FORMAT_VERSION => {}
+            _ => return self.quarantine(phase, "version"),
+        }
+        let stored_checksum = match doc.get("checksum") {
+            Some(Json::Int(c)) => *c as u64,
+            _ => return self.quarantine(phase, "checksum"),
+        };
+        let (fingerprint, payload) = match (doc.get("fingerprint"), doc.get("payload")) {
+            (Some(f), Some(p)) => (f, p),
+            _ => return self.quarantine(phase, "structure"),
+        };
+        if Self::record_checksum(fingerprint, payload) != stored_checksum {
+            return self.quarantine(phase, "checksum");
+        }
+        let stored = match Fingerprint::from_json(fingerprint) {
+            Ok(s) => s,
+            Err(_) => return self.quarantine(phase, "fingerprint"),
+        };
         if &stored != fp {
             return None;
         }
-        doc.get("payload").cloned()
+        Some(payload.clone())
+    }
+
+    /// Applies a [`CorruptionKind`] mutation to the stored record of
+    /// `phase`, simulating disk/format corruption for the chaos harness.
+    /// Returns whether a record existed to corrupt. The mutation bypasses
+    /// the atomic write path on purpose — it models damage *after* a
+    /// successful publish.
+    pub fn corrupt(&self, phase: u8, kind: CorruptionKind) -> Result<bool, CheckpointError> {
+        let path = self.phase_path(phase);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Ok(false),
+        };
+        let mutated = match kind {
+            CorruptionKind::BitFlip => {
+                let mut b = bytes;
+                let mid = b.len() / 2;
+                b[mid] ^= 0x01;
+                b
+            }
+            CorruptionKind::Truncate => bytes[..bytes.len() / 2].to_vec(),
+            CorruptionKind::StaleVersion => {
+                // Claim an older format version; the checksum (which does
+                // not cover the version field) stays valid, so detection
+                // must come from the version check alone.
+                match Json::parse(&String::from_utf8_lossy(&bytes)) {
+                    Ok(Json::Obj(fields)) => {
+                        let rewritten: Vec<(String, Json)> = fields
+                            .into_iter()
+                            .map(|(k, v)| {
+                                if k == "version" {
+                                    (k, Json::Int(FORMAT_VERSION - 1))
+                                } else {
+                                    (k, v)
+                                }
+                            })
+                            .collect();
+                        Json::Obj(rewritten).to_compact().into_bytes()
+                    }
+                    // Unparseable record: degrade to a torn write.
+                    _ => bytes[..bytes.len() / 2].to_vec(),
+                }
+            }
+        };
+        std::fs::write(&path, mutated)
+            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?;
+        Ok(true)
     }
 
     /// Persists the phase-1 output: combined factors in join order.
@@ -187,13 +337,15 @@ impl CheckpointStore {
         SparseTensor::from_json(&payload).ok()
     }
 
-    /// Deletes any checkpoint files in the store.
+    /// Deletes any checkpoint files in the store, including quarantined
+    /// records.
     pub fn clear(&self) -> Result<(), CheckpointError> {
         for phase in [1u8, 2] {
-            let path = self.phase_path(phase);
-            if path.exists() {
-                std::fs::remove_file(&path)
-                    .map_err(|e| format!("remove checkpoint {}: {e}", path.display()))?;
+            for path in [self.phase_path(phase), self.quarantine_path(phase)] {
+                if path.exists() {
+                    std::fs::remove_file(&path)
+                        .map_err(|e| format!("remove checkpoint {}: {e}", path.display()))?;
+                }
             }
         }
         Ok(())
@@ -265,6 +417,96 @@ mod tests {
         std::fs::write(store.dir().join("phase1.json"), "{not json").unwrap();
         std::fs::write(store.dir().join("phase2.json"), "{\"payload\": 3}").unwrap();
         assert!(store.load_phase1(&fp).is_none());
+        assert!(store.load_phase2(&fp).is_none());
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_cleaned_on_open() {
+        let store = tmp_store("tmp_cleanup");
+        let orphan = store.dir().join("phase1.json.tmp");
+        std::fs::write(&orphan, "half-written garbage").unwrap();
+        // Re-opening the same directory removes the orphan.
+        let reopened = CheckpointStore::new(store.dir()).unwrap();
+        assert!(!orphan.exists());
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        assert!(reopened.load_phase1(&fp).is_none());
+    }
+
+    #[test]
+    fn every_corruption_kind_is_detected_and_quarantined() {
+        for (name, kind) in [
+            ("bitflip", CorruptionKind::BitFlip),
+            ("truncate", CorruptionKind::Truncate),
+            ("stale", CorruptionKind::StaleVersion),
+        ] {
+            let store = tmp_store(&format!("corrupt_{name}"));
+            let (x1, x2) = tensors();
+            let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+            store.save_phase2(&fp, &x1).unwrap();
+            assert!(store.corrupt(2, kind).unwrap(), "no record to corrupt");
+            assert!(
+                store.load_phase2(&fp).is_none(),
+                "{kind} survived verification"
+            );
+            // The damaged record was moved aside, not left in place.
+            assert!(store.dir().join("phase2.quarantined.json").exists());
+            assert!(!store.dir().join("phase2.json").exists());
+            // A fresh save then loads cleanly again.
+            store.save_phase2(&fp, &x1).unwrap();
+            assert_eq!(store.load_phase2(&fp).unwrap(), x1);
+        }
+    }
+
+    #[test]
+    fn corrupting_an_absent_record_reports_false() {
+        let store = tmp_store("corrupt_absent");
+        assert!(!store.corrupt(1, CorruptionKind::BitFlip).unwrap());
+    }
+
+    #[test]
+    fn quarantine_bumps_the_guard_counter() {
+        let store = tmp_store("quarantine_counter");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        store.save_phase1(&fp, &[Matrix::identity(3)]).unwrap();
+        store.corrupt(1, CorruptionKind::Truncate).unwrap();
+        m2td_obs::install();
+        let before = m2td_obs::snapshot()
+            .counter("guard.ckpt_quarantined")
+            .unwrap_or(0);
+        assert!(store.load_phase1(&fp).is_none());
+        let after = m2td_obs::snapshot()
+            .counter("guard.ckpt_quarantined")
+            .unwrap_or(0);
+        m2td_obs::uninstall();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn stale_version_keeps_valid_checksum_but_still_fails() {
+        // The stale-version mutation leaves fingerprint and payload (and
+        // thus the checksum) untouched: only the version check can catch
+        // it. This pins that the check exists.
+        let store = tmp_store("stale_checksum");
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        store.save_phase2(&fp, &x1).unwrap();
+        store.corrupt(2, CorruptionKind::StaleVersion).unwrap();
+        let text = std::fs::read_to_string(store.dir().join("phase2.json")).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let stored = match doc.get("checksum") {
+            Some(Json::Int(c)) => *c as u64,
+            other => panic!("missing checksum: {other:?}"),
+        };
+        let recomputed = CheckpointStore::record_checksum(
+            doc.get("fingerprint").unwrap(),
+            doc.get("payload").unwrap(),
+        );
+        assert_eq!(
+            stored, recomputed,
+            "stale-version must not break the checksum"
+        );
         assert!(store.load_phase2(&fp).is_none());
     }
 

@@ -30,7 +30,7 @@ use crate::cluster::{ClusterModel, PhaseCost};
 use crate::mapreduce::{MapReduce, ShuffleStats};
 use m2td_core::{projection_factors, CoreError, M2tdOptions};
 use m2td_fault::{FaultError, FaultPlan, RetryPolicy, TaskCounters};
-use m2td_linalg::{symmetric_eig, Matrix};
+use m2td_linalg::Matrix;
 use m2td_stitch::StitchKind;
 use m2td_tensor::{
     CoreOrdering, DenseTensor, Shape, SparseTensor, TtmPlan, TuckerDecomp, Workspace,
@@ -94,6 +94,12 @@ impl From<m2td_linalg::LinalgError> for DistError {
 impl From<FaultError> for DistError {
     fn from(e: FaultError) -> Self {
         DistError::Exhausted(e)
+    }
+}
+
+impl From<m2td_guard::GuardError> for DistError {
+    fn from(e: m2td_guard::GuardError) -> Self {
+        DistError::Core(e.into())
     }
 }
 
@@ -305,6 +311,10 @@ pub fn d_m2td_fault_tolerant(
     }
     let plan = &faults.plan;
     let policy = &faults.policy;
+    // Phase-boundary sentinel: reject poisoned inputs before any phase
+    // runs (no-ops while m2td-guard is uninstalled).
+    m2td_guard::check_cells("phase1.x1", x1.iter())?;
+    m2td_guard::check_cells("phase1.x2", x2.iter())?;
     let fp = Fingerprint::new(x1, x2, k, ranks, &opts);
     let ckpt_factors = checkpoint.and_then(|c| c.load_phase1(&fp));
     let ckpt_join = checkpoint.and_then(|c| c.load_phase2(&fp));
@@ -358,8 +368,12 @@ pub fn d_m2td_fault_tolerant(
                     let mut factors = Vec::with_capacity(dims.len());
                     for (mode, &r) in rks.iter().enumerate() {
                         let gram = tensor.unfold_gram(mode)?;
-                        let eig = symmetric_eig(&gram)?;
-                        factors.push(eig.eigenvectors.leading_columns(r)?);
+                        factors.push(m2td_guard::gram_factor(
+                            "phase1.factor",
+                            Some(mode),
+                            &gram,
+                            r,
+                        )?);
                         grams.push(gram);
                     }
                     Ok((*kappa, grams, factors))
@@ -384,13 +398,17 @@ pub fn d_m2td_fault_tolerant(
             // order).
             let mut factors: Vec<Matrix> = Vec::with_capacity(ranks.len());
             for n in 0..k {
+                // The guard's ClampRank policy may have truncated one
+                // side's factor; pivot combination needs equal widths, so
+                // harmonize both sides to the narrower one.
+                let width = factors1[n].cols().min(factors2[n].cols());
                 factors.push(m2td_core::combine_pivot_factor(
                     opts.combine,
                     &grams1[n],
                     &grams2[n],
-                    &factors1[n],
-                    &factors2[n],
-                    ranks[n],
+                    &factors1[n].leading_columns(width)?,
+                    &factors2[n].leading_columns(width)?,
+                    width,
                 )?);
             }
             for f in &factors1[k..] {
@@ -399,9 +417,19 @@ pub fn d_m2td_fault_tolerant(
             for f in &factors2[k..] {
                 factors.push(f.clone());
             }
+            for (n, f) in factors.iter().enumerate() {
+                m2td_guard::check_matrix("phase1.factor", Some(n), f)?;
+            }
             if let Some(c) = checkpoint {
                 c.save_phase1(&fp, &factors)
                     .map_err(DistError::Checkpoint)?;
+                // Corruption stream: damage the freshly published record
+                // (models disk corruption after a successful write). This
+                // run keeps its in-memory factors; the *next* run must
+                // quarantine the record and recompute.
+                if let Some(kind) = plan.ckpt_corruption(1) {
+                    c.corrupt(1, kind).map_err(DistError::Checkpoint)?;
+                }
             }
             let stats = PhaseStats::computed(t1.elapsed().as_secs_f64(), stats1, tasks1);
             (factors, stats)
@@ -527,6 +555,9 @@ pub fn d_m2td_fault_tolerant(
             let join = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
             if let Some(c) = checkpoint {
                 c.save_phase2(&fp, &join).map_err(DistError::Checkpoint)?;
+                if let Some(kind) = plan.ckpt_corruption(2) {
+                    c.corrupt(2, kind).map_err(DistError::Checkpoint)?;
+                }
             }
             let stats = PhaseStats::computed(t2.elapsed().as_secs_f64(), stats2, tasks2);
             (join, stats)
@@ -534,6 +565,9 @@ pub fn d_m2td_fault_tolerant(
     };
 
     drop(span2);
+    // Phase-2 boundary sentinel: a poisoned join cell (from a NaN that
+    // slipped into the stitch arithmetic) must not reach core recovery.
+    m2td_guard::check_cells("phase2.join", join.iter())?;
 
     // ---- Phase 3: parallel core recovery --------------------------------
     let _span3 = m2td_obs::span!("phase3.core");
@@ -590,6 +624,10 @@ pub fn d_m2td_fault_tolerant(
         Phase3Strategy::ModeShuffle => phase3_mode_shuffle(&join, &proj_factors, engine, faults)?,
     };
     let phase3 = PhaseStats::computed(t3.elapsed().as_secs_f64(), stats3, tasks3);
+    // Phase-3 boundary sentinel: the recovered core is the run's output;
+    // a non-finite entry here is exactly the "silent garbage core" the
+    // guard layer exists to prevent.
+    m2td_guard::check_dense("phase3.core", core.dims(), core.as_slice())?;
 
     let tucker = TuckerDecomp::new(core, factors)?;
     Ok(DistDecomposition {

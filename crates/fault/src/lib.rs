@@ -68,6 +68,30 @@ impl fmt::Display for TaskKind {
     }
 }
 
+/// A checkpoint mutation injected by the corruption stream. Each kind
+/// models a distinct real-world failure: a flipped bit on disk, a torn
+/// (partial) write that survived a crash, and a record written by an older
+/// incompatible format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionKind {
+    /// Flip one bit somewhere in the record body.
+    BitFlip,
+    /// Truncate the record (a torn write).
+    Truncate,
+    /// Rewrite the record claiming an older format version.
+    StaleVersion,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionKind::BitFlip => write!(f, "bit-flip"),
+            CorruptionKind::Truncate => write!(f, "truncate"),
+            CorruptionKind::StaleVersion => write!(f, "stale-version"),
+        }
+    }
+}
+
 /// The outcome a [`FaultPlan`] injects for one task attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultDecision {
@@ -104,6 +128,13 @@ pub struct FaultPlan {
     /// Upper bound on consecutive kills injected into one task;
     /// `u32::MAX` disables the cap (useful to force retry exhaustion).
     pub kill_cap: u32,
+    /// Probability that a freshly written phase checkpoint is corrupted
+    /// on "disk" (the corruption stream; see [`FaultPlan::ckpt_corruption`]).
+    pub ckpt_corrupt_rate: f64,
+    /// Probability that one simulated cell value is replaced by NaN before
+    /// decomposition (models a diverged solver writing garbage output that
+    /// passes the scheduler but poisons the numerics).
+    pub nan_cell_rate: f64,
     /// Which jobs the map/reduce faults apply to.
     pub scope: FaultScope,
 }
@@ -118,6 +149,8 @@ impl FaultPlan {
             straggle_secs: 0.0,
             sim_fail_rate: 0.0,
             kill_cap: 2,
+            ckpt_corrupt_rate: 0.0,
+            nan_cell_rate: 0.0,
             scope: FaultScope::AllJobs,
         }
     }
@@ -152,6 +185,18 @@ impl FaultPlan {
     /// Replaces the consecutive-kill cap.
     pub fn with_kill_cap(mut self, cap: u32) -> Self {
         self.kill_cap = cap;
+        self
+    }
+
+    /// Sets the checkpoint-corruption rate of the corruption stream.
+    pub fn with_ckpt_corrupt_rate(mut self, rate: f64) -> Self {
+        self.ckpt_corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the NaN-cell injection rate of the corruption stream.
+    pub fn with_nan_cell_rate(mut self, rate: f64) -> Self {
+        self.nan_cell_rate = rate;
         self
     }
 
@@ -205,6 +250,40 @@ impl FaultPlan {
         fails
     }
 
+    /// The corruption (if any) the stream injects into the checkpoint of
+    /// phase `phase`. Pure in its arguments: the first draw decides *if*
+    /// the record is corrupted at `ckpt_corrupt_rate`, a second independent
+    /// draw picks *which* [`CorruptionKind`]. Injections bump the
+    /// `fault.ckpt_corruptions_injected` counter when an `m2td-obs`
+    /// subscriber is installed.
+    pub fn ckpt_corruption(&self, phase: u64) -> Option<CorruptionKind> {
+        if uniform(self.seed, STREAM_CKPT, phase, 0, SALT_CORRUPT) >= self.ckpt_corrupt_rate {
+            return None;
+        }
+        let pick = uniform(self.seed, STREAM_CKPT, phase, 1, SALT_CORRUPT);
+        let kind = if pick < 1.0 / 3.0 {
+            CorruptionKind::BitFlip
+        } else if pick < 2.0 / 3.0 {
+            CorruptionKind::Truncate
+        } else {
+            CorruptionKind::StaleVersion
+        };
+        m2td_obs::counter_add("fault.ckpt_corruptions_injected", 1);
+        Some(kind)
+    }
+
+    /// Whether the corruption stream replaces simulated cell `cell` of
+    /// stream `stream` (e.g. a subsystem index) with NaN. Injections bump
+    /// the `fault.nan_cells_injected` counter when an `m2td-obs` subscriber
+    /// is installed.
+    pub fn cell_goes_nan(&self, stream: u64, cell: u64) -> bool {
+        let hit = uniform(self.seed, stream, cell, 0, SALT_NANCELL) < self.nan_cell_rate;
+        if hit {
+            m2td_obs::counter_add("fault.nan_cells_injected", 1);
+        }
+        hit
+    }
+
     /// Whether a simulation run for `config` survives a budget of
     /// `max_attempts` attempts; also returns the attempts consumed.
     pub fn sim_survives(&self, config: u64, max_attempts: u32) -> (bool, u32) {
@@ -221,6 +300,12 @@ impl FaultPlan {
 const SALT_KILL: u64 = 0x4b49_4c4c;
 /// See [`SALT_KILL`].
 const SALT_STRAGGLE: u64 = 0x5354_5247;
+/// Salt of the checkpoint-corruption stream ("CRPT").
+const SALT_CORRUPT: u64 = 0x4352_5054;
+/// Salt of the NaN-cell injection stream ("NANC").
+const SALT_NANCELL: u64 = 0x4e41_4e43;
+/// Stream id for checkpoint-corruption draws (not tied to any job).
+const STREAM_CKPT: u64 = 0x636b_7074;
 
 /// Deterministic uniform draw in `[0, 1)` keyed by the full task identity.
 fn uniform(seed: u64, stream: u64, task: u64, attempt: u32, salt: u64) -> f64 {
@@ -516,6 +601,58 @@ mod tests {
         assert_eq!(a.attempts(), 6);
         assert_eq!(a.kills(), 1);
         assert_eq!(a.virtual_lost_secs, 2.0);
+    }
+
+    #[test]
+    fn corruption_stream_is_deterministic_and_honours_rate() {
+        let plan = FaultPlan::none().with_ckpt_corrupt_rate(0.5);
+        let plan = FaultPlan { seed: 13, ..plan };
+        let mut hits = 0usize;
+        for phase in 0..2_000u64 {
+            let a = plan.ckpt_corruption(phase);
+            let b = plan.ckpt_corruption(phase);
+            assert_eq!(a, b, "corruption draws must be pure");
+            if a.is_some() {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "corruption fraction {frac}");
+        // All three kinds appear under a rate-1 stream.
+        let all = FaultPlan {
+            seed: 13,
+            ..FaultPlan::none().with_ckpt_corrupt_rate(1.0)
+        };
+        let kinds: std::collections::HashSet<_> =
+            (0..100u64).filter_map(|p| all.ckpt_corruption(p)).collect();
+        assert_eq!(
+            kinds.len(),
+            3,
+            "expected every CorruptionKind, got {kinds:?}"
+        );
+        // Zero-rate plans never corrupt.
+        assert_eq!(FaultPlan::none().ckpt_corruption(1), None);
+    }
+
+    #[test]
+    fn nan_cell_stream_is_deterministic_and_honours_rate() {
+        let plan = FaultPlan {
+            seed: 21,
+            ..FaultPlan::none().with_nan_cell_rate(0.1)
+        };
+        let mut hits = 0usize;
+        for cell in 0..5_000u64 {
+            let a = plan.cell_goes_nan(3, cell);
+            assert_eq!(a, plan.cell_goes_nan(3, cell));
+            if a {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 5_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "nan fraction {frac}");
+        // Streams are independent: same cells, different subsystem stream.
+        assert!((0..5_000u64).any(|c| plan.cell_goes_nan(3, c) != plan.cell_goes_nan(4, c)));
+        assert!(!FaultPlan::none().cell_goes_nan(0, 0));
     }
 
     #[test]

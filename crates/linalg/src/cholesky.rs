@@ -36,7 +36,7 @@ impl CholeskyFactor {
             }
             let d = self.l.get(i, i);
             if d.abs() < f64::EPSILON {
-                return Err(LinalgError::SingularMatrix);
+                return Err(LinalgError::SingularPivot { pivot: i, value: d });
             }
             x[i] = s / d;
         }
@@ -68,7 +68,7 @@ pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor> {
             d -= ljk * ljk;
         }
         if d <= 0.0 || !d.is_finite() {
-            return Err(LinalgError::NotPositiveDefinite);
+            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
         }
         let djj = d.sqrt();
         l.set(j, j, djj);
@@ -123,10 +123,14 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
-        assert!(matches!(
-            cholesky(&a),
-            Err(LinalgError::NotPositiveDefinite)
-        ));
+        match cholesky(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot, value }) => {
+                // Pivot 1's Schur complement is 1 - 2·2/1 = -3.
+                assert_eq!(pivot, 1);
+                assert!((value + 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
     }
 
     #[test]

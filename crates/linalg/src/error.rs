@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// Library code never panics on malformed input; dimension mismatches and
 /// numerically impossible requests are reported through this enum instead.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// Two operands had incompatible shapes. Carries `(rows_a, cols_a)` and
     /// `(rows_b, cols_b)` of the offending operands.
@@ -37,10 +37,25 @@ pub enum LinalgError {
         /// The maximum admissible rank.
         available: usize,
     },
-    /// The matrix was not positive definite (Cholesky) or was otherwise
-    /// numerically singular.
-    NotPositiveDefinite,
-    /// A triangular or general solve hit a (near-)zero pivot.
+    /// The matrix was not positive definite: a Cholesky pivot came out
+    /// non-positive (or non-finite). Carries the offending pivot so callers
+    /// can report *where* positive-definiteness broke down.
+    NotPositiveDefinite {
+        /// Index of the offending diagonal pivot.
+        pivot: usize,
+        /// Value of the Schur-complement diagonal at that pivot.
+        value: f64,
+    },
+    /// A triangular or general solve hit a (near-)zero pivot. Carries the
+    /// offending pivot index and value for diagnosis.
+    SingularPivot {
+        /// Index of the offending diagonal pivot.
+        pivot: usize,
+        /// Value of the diagonal at that pivot.
+        value: f64,
+    },
+    /// A matrix was singular to working precision (no single pivot to blame,
+    /// e.g. detected structurally rather than during elimination).
     SingularMatrix,
     /// An iterative kernel failed to converge within its iteration budget.
     NoConvergence {
@@ -76,9 +91,16 @@ impl fmt::Display for LinalgError {
                 f,
                 "requested rank {requested} exceeds available rank {available}"
             ),
-            LinalgError::NotPositiveDefinite => {
-                write!(f, "matrix is not positive definite")
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(
+                    f,
+                    "matrix is not positive definite: pivot {pivot} is {value:.6e}"
+                )
             }
+            LinalgError::SingularPivot { pivot, value } => write!(
+                f,
+                "matrix is singular to working precision: pivot {pivot} is {value:.6e}"
+            ),
             LinalgError::SingularMatrix => write!(f, "matrix is singular to working precision"),
             LinalgError::NoConvergence { kernel, iterations } => {
                 write!(f, "{kernel} failed to converge after {iterations} sweeps")

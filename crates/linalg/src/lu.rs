@@ -42,7 +42,8 @@ impl LuFactors {
     /// # Errors
     ///
     /// * [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
-    /// * [`LinalgError::SingularMatrix`] on a zero pivot.
+    /// * [`LinalgError::SingularPivot`] on a (near-)zero pivot, carrying the
+    ///   offending pivot index and value.
     #[allow(clippy::needless_range_loop)] // substitutions read earlier/later x entries
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
@@ -70,7 +71,7 @@ impl LuFactors {
             }
             let d = self.lu.get(i, i);
             if d.abs() < f64::EPSILON {
-                return Err(LinalgError::SingularMatrix);
+                return Err(LinalgError::SingularPivot { pivot: i, value: d });
             }
             x[i] = s / d;
         }
@@ -81,7 +82,7 @@ impl LuFactors {
     ///
     /// # Errors
     ///
-    /// [`LinalgError::SingularMatrix`] when the matrix is singular.
+    /// [`LinalgError::SingularPivot`] when the matrix is singular.
     pub fn inverse(&self) -> Result<Matrix> {
         let n = self.lu.rows();
         let mut inv = Matrix::zeros(n, n);
@@ -209,10 +210,13 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
         let lu = lu_decompose(&a).unwrap();
         assert!((lu.determinant()).abs() < 1e-12);
-        assert!(matches!(
-            lu.solve(&[1.0, 1.0]),
-            Err(LinalgError::SingularMatrix)
-        ));
+        match lu.solve(&[1.0, 1.0]) {
+            Err(LinalgError::SingularPivot { pivot, value }) => {
+                assert_eq!(pivot, 1);
+                assert!(value.abs() < 1e-12);
+            }
+            other => panic!("expected SingularPivot, got {other:?}"),
+        }
         assert!(lu.inverse().is_err());
     }
 

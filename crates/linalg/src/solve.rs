@@ -11,7 +11,8 @@ use crate::Result;
 ///
 /// * [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`] on
 ///   shape problems.
-/// * [`LinalgError::SingularMatrix`] on a (near-)zero diagonal entry.
+/// * [`LinalgError::SingularPivot`] on a (near-)zero diagonal entry,
+///   carrying the offending pivot index and value.
 #[allow(clippy::needless_range_loop)] // forward substitution reads x[k] for k < i
 pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let (m, n) = l.shape();
@@ -33,7 +34,7 @@ pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         let d = l.get(i, i);
         if d.abs() < f64::EPSILON {
-            return Err(LinalgError::SingularMatrix);
+            return Err(LinalgError::SingularPivot { pivot: i, value: d });
         }
         x[i] = s / d;
     }
@@ -66,7 +67,7 @@ pub fn solve_upper_triangular(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         let d = u.get(i, i);
         if d.abs() < f64::EPSILON {
-            return Err(LinalgError::SingularMatrix);
+            return Err(LinalgError::SingularPivot { pivot: i, value: d });
         }
         x[i] = s / d;
     }
@@ -104,10 +105,13 @@ mod tests {
     #[test]
     fn singular_diagonal_is_detected() {
         let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
-        assert!(matches!(
-            solve_lower_triangular(&l, &[1.0, 1.0]),
-            Err(LinalgError::SingularMatrix)
-        ));
+        match solve_lower_triangular(&l, &[1.0, 1.0]) {
+            Err(LinalgError::SingularPivot { pivot, value }) => {
+                assert_eq!(pivot, 0);
+                assert_eq!(value, 0.0);
+            }
+            other => panic!("expected SingularPivot, got {other:?}"),
+        }
     }
 
     #[test]

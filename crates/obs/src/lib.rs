@@ -284,6 +284,17 @@ impl MetricsSnapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// All counters whose name starts with `prefix`, e.g.
+    /// `counters_with_prefix("guard.")` for every guard detection. The
+    /// returned slice of pairs keeps the registry's sorted name order.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect()
+    }
+
     /// The thread-count-invariant projection: `(label, count)` per span.
     /// Times and depths legitimately vary across thread counts; counts
     /// must not.

@@ -1,10 +1,11 @@
 //! Error type for tensor operations.
 
+use m2td_guard::GuardError;
 use m2td_linalg::LinalgError;
 use std::fmt;
 
 /// Errors produced by tensor kernels.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TensorError {
     /// Two tensors (or a tensor and an index) disagreed on shape.
     ShapeMismatch {
@@ -62,6 +63,9 @@ pub enum TensorError {
     },
     /// An underlying linear-algebra kernel failed.
     Linalg(LinalgError),
+    /// A numerical guard detected a condition the installed policy refuses
+    /// to repair (rank deficiency, ill-conditioning, non-finite values).
+    Guard(GuardError),
 }
 
 impl fmt::Display for TensorError {
@@ -100,6 +104,7 @@ impl fmt::Display for TensorError {
                 write!(f, "serialization error: {message}")
             }
             TensorError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            TensorError::Guard(e) => write!(f, "numerical guard violation: {e}"),
         }
     }
 }
@@ -108,6 +113,7 @@ impl std::error::Error for TensorError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TensorError::Linalg(e) => Some(e),
+            TensorError::Guard(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +122,17 @@ impl std::error::Error for TensorError {
 impl From<LinalgError> for TensorError {
     fn from(e: LinalgError) -> Self {
         TensorError::Linalg(e)
+    }
+}
+
+impl From<GuardError> for TensorError {
+    fn from(e: GuardError) -> Self {
+        // An underlying linalg failure inside a guarded call is still a
+        // plain linalg error to tensor consumers.
+        match e {
+            GuardError::Linalg(l) => TensorError::Linalg(l),
+            other => TensorError::Guard(other),
+        }
     }
 }
 

@@ -70,7 +70,7 @@ pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result
             let unfolded = projected.unfold(mode)?;
             ws.recycle_tensor(projected);
             let gram = unfolded.gram_rows();
-            factors[mode] = gram_factor(&gram, ranks[mode])?;
+            factors[mode] = gram_factor(&gram, ranks[mode], mode)?;
         }
         let core = dense_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
         let norm = core.frobenius_norm();
@@ -107,7 +107,7 @@ pub fn hooi_sparse(x: &SparseTensor, ranks: &[usize], opts: HooiOptions) -> Resu
             let unfolded = projected.unfold(mode)?;
             ws.recycle_tensor(projected);
             let gram = unfolded.gram_rows();
-            factors[mode] = gram_factor(&gram, ranks[mode])?;
+            factors[mode] = gram_factor(&gram, ranks[mode], mode)?;
         }
         let core = sparse_core_with(x, &factors, CoreOrdering::BestShrinkFirst, &mut ws)?;
         let norm = core.frobenius_norm();

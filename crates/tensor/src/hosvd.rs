@@ -49,10 +49,13 @@ fn check_ranks(dims: &[usize], ranks: &[usize]) -> Result<()> {
     Ok(())
 }
 
-/// Returns the `r` leading eigenvectors of a Gram matrix as a factor.
-pub(crate) fn gram_factor(gram: &Matrix, r: usize) -> Result<Matrix> {
-    let eig = symmetric_eig(gram)?;
-    Ok(eig.eigenvectors.leading_columns(r)?)
+/// Returns the `r` leading eigenvectors of a mode-`mode` Gram matrix as a
+/// factor, routed through the numerical guard layer: with `m2td-guard`
+/// installed the spectrum is checked for effective rank and conditioning
+/// (and may be clamped per the installed policy); uninstalled, this is a
+/// plain eig + truncation.
+pub(crate) fn gram_factor(gram: &Matrix, r: usize, mode: usize) -> Result<Matrix> {
+    Ok(m2td_guard::gram_factor("tensor.gram", Some(mode), gram, r)?)
 }
 
 /// Recovers the core `G = X ×₁ U⁽¹⁾ᵀ ⋯ ×_N U⁽ᴺ⁾ᵀ` from a sparse tensor.
@@ -161,7 +164,7 @@ pub fn hosvd_dense(x: &DenseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     let factors = m2td_par::par_map(&modes, |&(mode, r)| -> Result<_> {
         let unfolded = x.unfold(mode)?;
         let gram = unfolded.gram_rows();
-        gram_factor(&gram, r)
+        gram_factor(&gram, r, mode)
     })
     .into_iter()
     .collect::<Result<Vec<_>>>()?;
@@ -201,7 +204,7 @@ pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     let modes: Vec<(usize, usize)> = ranks.iter().copied().enumerate().collect();
     let factors = m2td_par::par_map(&modes, |&(mode, r)| -> Result<_> {
         let gram = x.unfold_gram(mode)?;
-        gram_factor(&gram, r)
+        gram_factor(&gram, r, mode)
     })
     .into_iter()
     .collect::<Result<Vec<_>>>()?;
@@ -287,7 +290,7 @@ mod tests {
         let x = test_tensor();
         let s = SparseTensor::from_dense(&x);
         let factors: Vec<Matrix> = (0..3)
-            .map(|m| gram_factor(&s.unfold_gram(m).unwrap(), 2).unwrap())
+            .map(|m| gram_factor(&s.unfold_gram(m).unwrap(), 2, m).unwrap())
             .collect();
         let natural = sparse_core(&s, &factors, CoreOrdering::Natural).unwrap();
         let best = sparse_core(&s, &factors, CoreOrdering::BestShrinkFirst).unwrap();

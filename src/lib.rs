@@ -31,6 +31,7 @@
 pub use m2td_core as core;
 pub use m2td_dist as dist;
 pub use m2td_fault as fault;
+pub use m2td_guard as guard;
 pub use m2td_json as json;
 pub use m2td_linalg as linalg;
 pub use m2td_obs as obs;
