@@ -7,10 +7,11 @@ use m2td_bench::criterion_group;
 use m2td_bench::harness::{BatchSize, Criterion};
 use m2td_bench::registry::bench_thread_counts;
 use m2td_linalg::{gram_left_singular_vectors, householder_qr, svd, symmetric_eig, Matrix};
+use m2td_sketch::{range_finder, SketchConfig, SketchPolicy};
 use m2td_stitch::{stitch, StitchKind};
 use m2td_tensor::{
-    hosvd_sparse, sparse_core, ttm_dense, ttm_sparse_transposed, CoreOrdering, DenseTensor, Shape,
-    SparseTensor, TtmPlan, Workspace,
+    hosvd_sparse, hosvd_sparse_exact, hosvd_sparse_sketched, sparse_core, ttm_dense,
+    ttm_sparse_transposed, CoreOrdering, DenseTensor, Shape, SparseTensor, TtmPlan, Workspace,
 };
 use std::hint::black_box;
 
@@ -136,6 +137,90 @@ fn bench_ttm_chain(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// Randomized (sketched) kernels vs their exact counterparts — the
+/// `sketch` family in `BENCH_kernels.json`. Two headline shapes:
+///
+/// * a tall-skinny matrix (the shape where the Gaussian range-finder's
+///   `O(mns)` beats the exact route), sketched vs `svd`-backed exact
+///   factors at rank 4, and
+/// * the `cube12_r4` sparse HOSVD with MACH entry sampling vs the exact
+///   sparse HOSVD.
+///
+/// Each sketched record carries its measured `rel_err` (computed outside
+/// the timed region) so the JSON trajectory tracks accuracy next to
+/// speed.
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(15);
+
+    // Tall-skinny range-finder: 1024 rows, 64 columns, rank 8 — big
+    // enough that the exact Jacobi's `O(m n^2)` sweeps dwarf the
+    // sketch's `O(m n s)` products.
+    let a = Matrix::from_fn(1024, 64, |i, j| {
+        ((i * 7 + j * 3) as f64 * 0.013).sin() + 0.01 * ((i * j) as f64 * 0.9).sin()
+    });
+    let rank = 8;
+    let cfg = SketchConfig::with_size(16)
+        .with_seed(0x5EED)
+        .with_power_iters(1);
+    g.bench_function("range_finder_exact_1024x64_r8", |b| {
+        b.iter(|| svd(black_box(&a)).unwrap())
+    });
+    let exact_u = svd(&a).unwrap().u.leading_columns(rank).unwrap();
+    g.attach_rel_err(projection_rel_err(&a, &exact_u));
+    g.bench_function("range_finder_sketched_1024x64_r8", |b| {
+        b.iter(|| range_finder(black_box(&a), rank, &cfg).unwrap())
+    });
+    let sketched = range_finder(&a, rank, &cfg).unwrap();
+    g.attach_rel_err(sketched.rel_err);
+
+    // MACH-sampled sparse HOSVD on the cube12 bench shape.
+    let sparse = full_sparse(&[12, 12, 12, 12]);
+    let ranks = [4usize, 4, 4, 4];
+    let mach = SketchConfig::with_size(8)
+        .with_seed(0x5EED)
+        .with_policy(SketchPolicy::Mach { keep: 0.3 });
+    g.bench_function("hosvd_exact_cube12_r4", |b| {
+        b.iter(|| hosvd_sparse_exact(black_box(&sparse), &ranks).unwrap())
+    });
+    let exact = hosvd_sparse_exact(&sparse, &ranks).unwrap();
+    g.attach_rel_err(tucker_rel_err(&exact, &sparse));
+    g.bench_function("hosvd_mach_cube12_r4", |b| {
+        b.iter(|| hosvd_sparse_sketched(black_box(&sparse), &ranks, &mach).unwrap())
+    });
+    let (_, rel_err) = hosvd_sparse_sketched(&sparse, &ranks, &mach).unwrap();
+    g.attach_rel_err(rel_err);
+
+    g.finish();
+}
+
+/// `‖A − UUᵀA‖_F / ‖A‖_F` for an orthonormal `U` — the same projection
+/// residual the sketched range-finder reports, measured here for the
+/// exact route so the two records are comparable.
+fn projection_rel_err(a: &Matrix, u: &Matrix) -> f64 {
+    let proj = u.matmul(&u.transpose().matmul(a).unwrap()).unwrap();
+    let num = a.sub(&proj).unwrap().frobenius_norm();
+    let den = a.frobenius_norm();
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Reconstruction error of a sparse-tensor Tucker decomposition via the
+/// free identity `‖X − X̂‖² = ‖X‖² − ‖G‖²` (orthonormal factors, core
+/// projected from the full tensor).
+fn tucker_rel_err(t: &m2td_tensor::TuckerDecomp, x: &SparseTensor) -> f64 {
+    let total = x.frobenius_norm().powi(2);
+    let captured = t.core.frobenius_norm().powi(2);
+    if total > 0.0 {
+        ((total - captured).max(0.0) / total).sqrt()
+    } else {
+        0.0
+    }
 }
 
 fn bench_gram_and_hosvd(c: &mut Criterion) {
@@ -286,6 +371,7 @@ criterion_group!(
     bench_eig_and_qr,
     bench_ttm,
     bench_ttm_chain,
+    bench_sketch,
     bench_gram_and_hosvd,
     bench_stitch,
     bench_shape_math,

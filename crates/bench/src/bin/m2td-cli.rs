@@ -92,6 +92,13 @@ FLAGS (run/compare):
                          reported UNHEALTHY (exit code 3)
   --corrupt-rate <f>     chaos stream: fraction of simulated cells
                          poisoned with NaN, in [0,1)      [default 0]
+  --sketch-size <n>      install the m2td-sketch layer: randomized
+                         range-finder / sketched-Gram width [default 8]
+  --sketch-seed <n>      seed of the sketch RNG stream    [default 0x5EED]
+  --power-iters <n>      range-finder power iterations    [default 1]
+  --sketch-policy <p>    sketch policy:
+                         gaussian | mach[:keep] | mach-biased[:keep]
+                                                          [default gaussian]
 
 FLAGS (run only):
   --method <m>           select | avg | concat | zero-join |
@@ -248,6 +255,31 @@ fn run_experiment(command: &str, args: &Args) -> Result<bool, String> {
             gc = gc.with_error_budget(b);
         }
         m2td_guard::install(gc);
+    }
+
+    // Sketch layer: like the guard, installed iff a sketch flag is
+    // present, so plain runs stay on the bitwise-identical exact path.
+    let sketch_flags = ["sketch-size", "sketch-seed", "power-iters", "sketch-policy"];
+    if sketch_flags.iter().any(|f| args.get(f).is_some()) {
+        let defaults = m2td_sketch::SketchConfig::default();
+        let size: usize = args.parse_or("sketch-size", defaults.size)?;
+        if size == 0 {
+            return Err("--sketch-size 0 is out of range: at least one column is needed".into());
+        }
+        let seed: u64 = args.parse_or("sketch-seed", defaults.seed)?;
+        let power_iters: usize = args.parse_or("power-iters", defaults.power_iters)?;
+        let policy = match args.get("sketch-policy") {
+            None => defaults.policy,
+            Some(s) => s
+                .parse::<m2td_sketch::SketchPolicy>()
+                .map_err(|e| format!("--sketch-policy: {e}"))?,
+        };
+        m2td_sketch::install(
+            m2td_sketch::SketchConfig::with_size(size)
+                .with_seed(seed)
+                .with_power_iters(power_iters)
+                .with_policy(policy),
+        );
     }
 
     // One fault policy covers both chaos streams: simulation failures

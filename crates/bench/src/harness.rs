@@ -60,6 +60,7 @@ impl Criterion {
                         0.0
                     },
                     samples: s.count as usize,
+                    rel_err: None,
                 });
             }
         }
@@ -115,6 +116,7 @@ impl BenchmarkGroup<'_> {
             threads: m2td_par::max_threads(),
             mean_ns,
             samples: b.iters,
+            rel_err: None,
         };
         println!(
             "{}/{}: {} ({} samples, threads={})",
@@ -125,6 +127,16 @@ impl BenchmarkGroup<'_> {
             record.threads
         );
         self.records.push(record);
+    }
+
+    /// Attaches a measured relative error (computed OUTSIDE any timed
+    /// region) to the most recently recorded benchmark in this group.
+    /// Used by randomized-kernel benches so `BENCH_kernels.json` carries
+    /// accuracy next to speed.
+    pub fn attach_rel_err(&mut self, rel_err: f64) {
+        if let Some(last) = self.records.last_mut() {
+            last.rel_err = Some(rel_err);
+        }
     }
 
     /// Ends the group (for API parity; records are already stored).

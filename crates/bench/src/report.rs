@@ -149,17 +149,25 @@ pub struct KernelRecord {
     pub mean_ns: f64,
     /// Number of timed samples behind the mean.
     pub samples: usize,
+    /// Measured relative error of the benched route against ground truth
+    /// (randomized-kernel benches only; exact kernels leave it `None`).
+    /// Computed outside the timed region and serialized only when present.
+    pub rel_err: Option<f64>,
 }
 
 impl ToJson for KernelRecord {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("group".to_string(), self.group.to_json()),
             ("name".to_string(), self.name.to_json()),
             ("threads".to_string(), self.threads.to_json()),
             ("mean_ns".to_string(), self.mean_ns.to_json()),
             ("samples".to_string(), self.samples.to_json()),
-        ])
+        ];
+        if let Some(e) = self.rel_err {
+            fields.push(("rel_err".to_string(), e.to_json()));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -171,6 +179,10 @@ impl FromJson for KernelRecord {
             threads: FromJson::from_json(json.require("threads")?)?,
             mean_ns: FromJson::from_json(json.require("mean_ns")?)?,
             samples: FromJson::from_json(json.require("samples")?)?,
+            rel_err: match json.get("rel_err") {
+                None => None,
+                Some(v) => Some(v.as_f64()?),
+            },
         })
     }
 }
@@ -238,6 +250,7 @@ mod tests {
                 threads: 1,
                 mean_ns: 1.5e7,
                 samples: 10,
+                rel_err: None,
             },
             KernelRecord {
                 group: "parallel_speedup".into(),
@@ -245,6 +258,7 @@ mod tests {
                 threads: 4,
                 mean_ns: 4.2e6,
                 samples: 10,
+                rel_err: Some(3.5e-3),
             },
         ];
         let path = std::env::temp_dir().join("m2td_kernel_records_test.json");

@@ -183,13 +183,13 @@ pub fn m2td_decompose(
         || {
             let mut pivot = Vec::with_capacity(k);
             for n in 0..k {
-                let gram1 = x1.unfold_gram(n)?;
+                let gram1 = m2td_tensor::phase_gram(x1, n)?;
                 let u1 = leading(&gram1, ranks[n], n)?;
                 pivot.push((gram1, u1));
             }
             let mut free = Vec::with_capacity(m1 - k);
             for n in k..m1 {
-                let gram = x1.unfold_gram(n)?;
+                let gram = m2td_tensor::phase_gram(x1, n)?;
                 free.push(leading(&gram, ranks[n], n)?);
             }
             Ok((pivot, free))
@@ -197,14 +197,14 @@ pub fn m2td_decompose(
         || {
             let mut pivot = Vec::with_capacity(k);
             for n in 0..k {
-                let gram2 = x2.unfold_gram(n)?;
+                let gram2 = m2td_tensor::phase_gram(x2, n)?;
                 let u2 = leading(&gram2, ranks[n], n)?;
                 pivot.push((gram2, u2));
             }
             let mut free = Vec::with_capacity(m2 - k);
             for n in k..m2 {
                 let join_mode = k + (m1 - k) + (n - k);
-                let gram = x2.unfold_gram(n)?;
+                let gram = m2td_tensor::phase_gram(x2, n)?;
                 free.push(leading(&gram, ranks[join_mode], join_mode)?);
             }
             Ok((pivot, free))

@@ -118,7 +118,7 @@ pub fn m2td_decompose_multi(
     for n in 0..k {
         let grams: Vec<Matrix> = subs
             .iter()
-            .map(|x| x.unfold_gram(n).map_err(CoreError::from))
+            .map(|x| m2td_tensor::phase_gram(x, n).map_err(CoreError::from))
             .collect::<Result<_>>()?;
         let pivot_factors: Vec<Matrix> = grams
             .iter()
@@ -134,7 +134,7 @@ pub fn m2td_decompose_multi(
     let mut rank_pos = k;
     for x in subs {
         for mode in k..x.order() {
-            let gram = x.unfold_gram(mode)?;
+            let gram = m2td_tensor::phase_gram(x, mode)?;
             factors.push(leading(&gram, ranks[rank_pos])?);
             rank_pos += 1;
         }

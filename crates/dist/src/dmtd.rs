@@ -367,7 +367,7 @@ pub fn d_m2td_fault_tolerant(
                     let mut grams = Vec::with_capacity(dims.len());
                     let mut factors = Vec::with_capacity(dims.len());
                     for (mode, &r) in rks.iter().enumerate() {
-                        let gram = tensor.unfold_gram(mode)?;
+                        let gram = m2td_tensor::phase_gram(&tensor, mode)?;
                         factors.push(m2td_guard::gram_factor(
                             "phase1.factor",
                             Some(mode),

@@ -543,6 +543,51 @@ pub fn gram_factor(
     Ok(eig.eigenvectors.leading_columns(r_used)?)
 }
 
+/// Outcome of a [`with_error_budget`] acceptance gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetGate {
+    /// The measured error is finite and within the effective budget.
+    Accepted,
+    /// The measured error exceeded the effective budget (or was
+    /// non-finite); the caller must fall back to its exact route.
+    Rejected,
+}
+
+impl BudgetGate {
+    /// Whether the approximate result may be used.
+    pub fn accepted(self) -> bool {
+        matches!(self, BudgetGate::Accepted)
+    }
+}
+
+/// Gates an *approximate* computation behind an error budget.
+///
+/// `compute` runs unconditionally and must return its result together
+/// with a **measured** relative error. The error is then checked against
+/// the installed [`GuardConfig::error_budget`] when the guard is
+/// installed and a budget is configured, and against `default_budget`
+/// otherwise — approximate routes are never accepted *unmeasured*, even
+/// with the guard uninstalled. A rejection does not bump any `guard.*`
+/// counter (nothing corrupted the pipeline — the caller simply retries
+/// exactly); callers record their own fallback counters.
+pub fn with_error_budget<T>(
+    default_budget: f64,
+    compute: impl FnOnce() -> Result<(T, f64), GuardError>,
+) -> Result<(T, f64, BudgetGate), GuardError> {
+    let budget = if installed() {
+        config().error_budget.unwrap_or(default_budget)
+    } else {
+        default_budget
+    };
+    let (value, relative_error) = compute()?;
+    let gate = if relative_error.is_finite() && relative_error <= budget {
+        BudgetGate::Accepted
+    } else {
+        BudgetGate::Rejected
+    };
+    Ok((value, relative_error, gate))
+}
+
 /// The end-to-end acceptance check: compares the observed relative
 /// reconstruction error against the installed budget. Returns `None` when
 /// the guard is uninstalled or no budget is configured; an unhealthy
@@ -791,6 +836,33 @@ mod tests {
             assert_eq!(snap.counter("guard.nonfinite"), Some(1));
             m2td_obs::reset();
             m2td_obs::uninstall();
+        });
+    }
+
+    #[test]
+    fn with_error_budget_gates_on_installed_then_default_budget() {
+        // Uninstalled: the default budget applies.
+        {
+            let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            uninstall();
+            let (v, err, gate) = with_error_budget(0.5, || Ok((7, 0.4))).unwrap();
+            assert_eq!((v, err), (7, 0.4));
+            assert!(gate.accepted());
+            let (_, _, gate) = with_error_budget(0.5, || Ok(((), 0.6))).unwrap();
+            assert_eq!(gate, BudgetGate::Rejected);
+            let (_, _, gate) = with_error_budget(0.5, || Ok(((), f64::NAN))).unwrap();
+            assert!(!gate.accepted(), "non-finite error can never be accepted");
+        }
+        // Installed with a budget: the installed budget wins.
+        let cfg = GuardConfig::DEFAULT.with_error_budget(0.1);
+        with_guard(cfg, || {
+            let (_, _, gate) = with_error_budget(0.5, || Ok(((), 0.3))).unwrap();
+            assert_eq!(gate, BudgetGate::Rejected, "installed budget must win");
+        });
+        // Installed without a budget: falls back to the default.
+        with_guard(GuardConfig::DEFAULT, || {
+            let (_, _, gate) = with_error_budget(0.5, || Ok(((), 0.3))).unwrap();
+            assert!(gate.accepted());
         });
     }
 

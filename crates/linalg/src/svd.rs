@@ -210,17 +210,19 @@ fn column_order_by_norm_desc(norms: &[f64]) -> Vec<usize> {
 ///
 /// # Errors
 ///
-/// * [`LinalgError::RankTooLarge`] if `r > a.rows()`.
+/// * [`LinalgError::RankTooLarge`] if `r > min(a.rows(), a.cols())` — a
+///   rank-`r` column space needs at least `r` columns to span it; the Gram
+///   spectrum has at most `min(m, n)` nonzero eigenvalues.
 /// * [`LinalgError::EmptyInput`] for an empty matrix.
 pub fn gram_left_singular_vectors(a: &Matrix, r: usize) -> Result<Matrix> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(LinalgError::EmptyInput);
     }
-    if r > m {
+    if r > m.min(n) {
         return Err(LinalgError::RankTooLarge {
             requested: r,
-            available: m,
+            available: m.min(n),
         });
     }
     let _span = m2td_obs::span!("linalg.gram_svd");
@@ -241,10 +243,10 @@ pub fn truncated_left_singular_vectors(a: &Matrix, r: usize) -> Result<Matrix> {
     if m == 0 || n == 0 {
         return Err(LinalgError::EmptyInput);
     }
-    if r > m.min(n.max(m)) || r > m {
+    if r > m.min(n) {
         return Err(LinalgError::RankTooLarge {
             requested: r,
-            available: m,
+            available: m.min(n),
         });
     }
     if n >= m {
@@ -424,6 +426,28 @@ mod tests {
         assert!(gram_left_singular_vectors(&a, 4).is_err());
         assert!(truncated_left_singular_vectors(&a, 4).is_err());
         assert!(svd(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn gram_route_rejects_rank_beyond_min_dimension() {
+        // Regression: a tall-skinny matrix (m > n) has at most n nonzero
+        // singular values, but the Gram route used to accept any r ≤ m and
+        // hand back eigenvectors of numerically-zero eigenvalues. Both
+        // routes must reject r > min(m, n) with a structured error naming
+        // the true ceiling.
+        let tall = Matrix::from_fn(6, 2, |i, j| ((i * 2 + j) as f64 * 0.4).sin());
+        for f in [gram_left_singular_vectors, truncated_left_singular_vectors] {
+            match f(&tall, 3) {
+                Err(LinalgError::RankTooLarge {
+                    requested,
+                    available,
+                }) => assert_eq!((requested, available), (3, 2)),
+                other => panic!("expected RankTooLarge, got {other:?}"),
+            }
+            // r = min(m, n) stays accepted.
+            let u = f(&tall, 2).unwrap();
+            assert_eq!(u.shape(), (6, 2));
+        }
     }
 
     #[test]

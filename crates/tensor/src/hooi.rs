@@ -7,7 +7,7 @@
 
 use crate::dense::DenseTensor;
 use crate::hosvd::{
-    dense_core_with, gram_factor, hosvd_dense, hosvd_sparse, sparse_core_with, CoreOrdering,
+    dense_core_with, gram_factor, hosvd_dense, hosvd_sparse_exact, sparse_core_with, CoreOrdering,
 };
 use crate::sparse::SparseTensor;
 use crate::ttm::{ttm_dense_transposed_ws, ttm_sparse_transposed};
@@ -90,11 +90,44 @@ pub fn hooi_dense(x: &DenseTensor, ranks: &[usize], opts: HooiOptions) -> Result
     Ok((TuckerDecomp::new(core, factors)?, sweeps))
 }
 
-/// HOOI on a sparse tensor. Initializes with [`hosvd_sparse`]; the first
+/// HOOI on a sparse tensor. Initializes with the sparse HOSVD; the first
 /// projection of every sweep uses the sparse scatter kernel so the cost per
 /// sweep stays `O(nnz · r)` plus dense work on the shrunk intermediates.
+///
+/// While `m2td_sketch` is [installed](m2td_sketch::install), dispatches to
+/// the randomized route (`crate::sketch`): MACH policies run the sweeps on
+/// a thin entry sample (recovering the final core from the full tensor),
+/// the Gaussian policy sketches only the HOSVD initialization. Either way
+/// the measured reconstruction error is gated by
+/// `m2td_guard::with_error_budget`, falling back to
+/// [`hooi_sparse_exact`] on a violation.
 pub fn hooi_sparse(x: &SparseTensor, ranks: &[usize], opts: HooiOptions) -> Result<HooiOutcome> {
-    let init = hosvd_sparse(x, ranks)?;
+    if m2td_sketch::installed() {
+        return crate::sketch::hooi_sparse_guarded(x, ranks, opts, &m2td_sketch::config());
+    }
+    hooi_sparse_exact(x, ranks, opts)
+}
+
+/// The never-randomized sparse HOOI: exact HOSVD initialization, exact
+/// sweeps over the full tensor.
+pub fn hooi_sparse_exact(
+    x: &SparseTensor,
+    ranks: &[usize],
+    opts: HooiOptions,
+) -> Result<HooiOutcome> {
+    let init = hosvd_sparse_exact(x, ranks)?;
+    hooi_sparse_from(x, init, ranks, opts)
+}
+
+/// The HOOI sweep loop from an explicit initialization (exact or
+/// sketched): re-optimizes every factor per sweep, then recovers the core
+/// from the **full** tensor.
+pub(crate) fn hooi_sparse_from(
+    x: &SparseTensor,
+    init: TuckerDecomp,
+    ranks: &[usize],
+    opts: HooiOptions,
+) -> Result<HooiOutcome> {
     let mut factors = init.factors;
     let mut prev_core_norm = init.core.frobenius_norm();
     let mut sweeps = 0;

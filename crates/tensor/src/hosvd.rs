@@ -194,7 +194,32 @@ pub fn hosvd_dense(x: &DenseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
 ///
 /// As [`hosvd_dense`]; an all-null tensor additionally errors with
 /// [`TensorError::EmptyTensor`].
+///
+/// # Sketched route
+///
+/// While `m2td_sketch` is [installed](m2td_sketch::install), this
+/// dispatches to the randomized route (`crate::sketch`): factors from
+/// sketched Grams or a MACH entry sample per the installed policy, gated
+/// by `m2td_guard::with_error_budget` on the *measured* reconstruction
+/// error, falling back to [`hosvd_sparse_exact`] when the budget is
+/// violated. Fixed sketch seed ⇒ bitwise-identical results at every
+/// thread count.
 pub fn hosvd_sparse(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
+    check_ranks(x.dims(), ranks)?;
+    if x.nnz() == 0 {
+        return Err(TensorError::EmptyTensor);
+    }
+    if m2td_sketch::installed() {
+        return crate::sketch::hosvd_sparse_guarded(x, ranks, &m2td_sketch::config());
+    }
+    hosvd_sparse_exact(x, ranks)
+}
+
+/// The exact sparse HOSVD route: per-mode sparse Grams and guarded
+/// eigensolves, never randomized. [`hosvd_sparse`] dispatches here while
+/// sketching is uninstalled, and the sketched route falls back here on a
+/// budget violation.
+pub fn hosvd_sparse_exact(x: &SparseTensor, ranks: &[usize]) -> Result<TuckerDecomp> {
     check_ranks(x.dims(), ranks)?;
     if x.nnz() == 0 {
         return Err(TensorError::EmptyTensor);

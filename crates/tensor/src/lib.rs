@@ -34,6 +34,7 @@ mod incremental;
 mod io;
 mod plan;
 mod shape;
+pub mod sketch;
 mod sparse;
 mod ttm;
 mod ttv;
@@ -43,15 +44,16 @@ mod workspace;
 pub use cp::{cp_als, CpDecomp, CpOptions};
 pub use dense::DenseTensor;
 pub use error::TensorError;
-pub use hooi::{hooi_dense, hooi_sparse, HooiOptions};
+pub use hooi::{hooi_dense, hooi_sparse, hooi_sparse_exact, HooiOptions};
 pub use hosvd::{
-    dense_core, dense_core_with, hosvd_dense, hosvd_sparse, sparse_core, sparse_core_with,
-    suggest_ranks, CoreOrdering,
+    dense_core, dense_core_with, hosvd_dense, hosvd_sparse, hosvd_sparse_exact, sparse_core,
+    sparse_core_with, suggest_ranks, CoreOrdering,
 };
 pub use incremental::IncrementalEnsemble;
 pub use io::{load_json, save_json};
 pub use plan::TtmPlan;
 pub use shape::Shape;
+pub use sketch::{hooi_sparse_sketched, hosvd_sparse_sketched, mach_sample, phase_gram};
 pub use sparse::SparseTensor;
 pub use ttm::{
     ttm_dense, ttm_dense_transposed, ttm_dense_transposed_ws, ttm_sparse, ttm_sparse_transposed,
@@ -62,3 +64,16 @@ pub use workspace::Workspace;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Process-global sketch/guard state makes concurrently-running tests
+/// race on install/uninstall; tests that flip it serialize here.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    static SKETCH_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn sketch_lock() -> MutexGuard<'static, ()> {
+        SKETCH_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -38,6 +38,7 @@ pub use m2td_obs as obs;
 pub use m2td_par as par;
 pub use m2td_sampling as sampling;
 pub use m2td_sim as sim;
+pub use m2td_sketch as sketch;
 pub use m2td_stitch as stitch;
 pub use m2td_tensor as tensor;
 
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use m2td_linalg::Matrix;
     pub use m2td_sampling::{PfPartition, SamplingScheme};
     pub use m2td_sim::{EnsembleBuilder, EnsembleSystem, ParameterSpace, TimeGrid};
+    pub use m2td_sketch::{SketchConfig, SketchPolicy};
     pub use m2td_stitch::{stitch, StitchKind};
     pub use m2td_tensor::{DenseTensor, SparseTensor, TuckerDecomp};
 }

@@ -292,3 +292,57 @@ fn without_subscriber_nothing_is_recorded_and_reports_carry_no_metrics() {
     assert!(snap.gauges.is_empty(), "gauges recorded while uninstalled");
     assert!(m2td::obs::snapshot_if_installed().is_none());
 }
+
+/// The randomized routes are instrumented: the Gaussian range-finder and
+/// the per-mode sketched Gram each carry a `sketch.*` span, and the
+/// sketch width plus the measured relative error land as gauges.
+#[test]
+fn sketch_routes_are_instrumented() {
+    use m2td::linalg::Matrix;
+    use m2td::sketch::{range_finder, SketchConfig};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    m2td::obs::install();
+    m2td::obs::reset();
+
+    let a = Matrix::from_fn(48, 12, |i, j| {
+        ((i * 5 + j) as f64 * 0.21).sin() + 0.01 * ((i * j) as f64 * 0.7).cos()
+    });
+    let cfg = SketchConfig::with_size(6).with_seed(9);
+    range_finder(&a, 3, &cfg).unwrap();
+
+    // A tall mode-0 with full fibers: the shape where the sketched Gram's
+    // op-count plan says "sketch", so `phase_gram` actually takes the
+    // randomized route while the config is installed.
+    let dims = [32usize, 50];
+    let shape = Shape::new(&dims);
+    let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+        .map(|l| (shape.multi_index(l), (l as f64 * 0.13).sin() + 0.3))
+        .collect();
+    let x = SparseTensor::from_entries(&dims, &entries).unwrap();
+    m2td::sketch::install(cfg);
+    m2td::tensor::phase_gram(&x, 0).unwrap();
+    m2td::sketch::uninstall();
+
+    let snap = m2td::obs::snapshot();
+    m2td::obs::uninstall();
+
+    assert!(
+        snap.span("sketch.range_finder").is_some(),
+        "range-finder span missing"
+    );
+    assert!(
+        snap.span("sketch.gram{mode=0}").is_some(),
+        "sketched Gram span missing: {:?}",
+        snap.spans.iter().map(|s| &s.label).collect::<Vec<_>>()
+    );
+    assert!(
+        snap.gauge("sketch.size").unwrap_or(0.0) >= 1.0,
+        "sketch.size gauge missing"
+    );
+    let rel_err = snap.gauge("sketch.rel_err").unwrap_or(-1.0);
+    assert!(
+        rel_err.is_finite() && rel_err >= 0.0,
+        "sketch.rel_err gauge missing or non-finite: {rel_err}"
+    );
+}
