@@ -365,6 +365,48 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     m2td_par::set_max_threads(0);
 }
 
+/// Envelope-transport overhead: the same D-M2TD job over the direct
+/// in-process path vs the checksummed channel transport, at 1, 2 and 8
+/// logical workers. The channel numbers price serialization, checksum
+/// verification and the extra mpsc hop; results are asserted bitwise
+/// equal before timing starts so the family never prices a wrong answer.
+fn bench_dist_overhead(c: &mut Criterion) {
+    use m2td_core::M2tdOptions;
+    use m2td_dist::{d_m2td, MapReduce, TransportKind};
+
+    let cell = |p: usize, a: usize, b: usize| {
+        ((p as f64) * 0.5).sin() * ((a as f64) * 0.4 + 1.0) * ((b as f64) * 0.3 + 1.0) + 0.2
+    };
+    let pair = |dims: [usize; 2]| {
+        let x1 = DenseTensor::from_fn(&dims, |i| cell(i[0], i[1], dims[1] / 2));
+        let x2 = DenseTensor::from_fn(&dims, |i| cell(i[0], dims[1] / 2, i[1]));
+        (SparseTensor::from_dense(&x1), SparseTensor::from_dense(&x2))
+    };
+    let (x1, x2) = pair([8, 6]);
+    let ranks = [3, 3, 3];
+    let opts = M2tdOptions::default();
+
+    let mut g = c.benchmark_group("dist_overhead");
+    g.sample_size(10);
+    for workers in [1usize, 2, 8] {
+        let direct = MapReduce::new(workers).with_transport(TransportKind::Direct);
+        let channel = direct.with_transport(TransportKind::Channel);
+        let baseline = d_m2td(&x1, &x2, 1, &ranks, opts, &direct).unwrap();
+        let over_channel = d_m2td(&x1, &x2, 1, &ranks, opts, &channel).unwrap();
+        assert_eq!(
+            baseline.tucker.core.as_slice(),
+            over_channel.tucker.core.as_slice(),
+            "channel transport diverged at w={workers}"
+        );
+        for (tag, engine) in [("direct", direct), ("channel", channel)] {
+            g.bench_function(format!("{tag}_w{workers}"), |b| {
+                b.iter(|| d_m2td(black_box(&x1), &x2, 1, &ranks, opts, &engine).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     kernels,
     bench_svd_routes,
@@ -376,6 +418,7 @@ criterion_group!(
     bench_stitch,
     bench_shape_math,
     bench_incremental_gram,
+    bench_dist_overhead,
     bench_parallel_speedup
 );
 

@@ -9,6 +9,8 @@
 //! m2td-cli run --system double_pendulum --groups 4      # multi-way
 //! m2td-cli run --system sir --save decomposition.json   # persist Tucker
 //! m2td-cli run --system sir --corrupt-rate 0.01 --guard-policy fail
+//! m2td-cli dist --dir /tmp/job --transport channel --doom-tasks 1
+//! m2td-cli dlq list --dir /tmp/job
 //! ```
 
 use m2td_bench::registry::{system_by_name, SystemKind};
@@ -63,6 +65,10 @@ USAGE:
   m2td-cli list-systems
   m2td-cli run     [flags]   run one strategy and print its report
   m2td-cli compare [flags]   run every strategy at budget parity
+  m2td-cli dist    [flags]   run resumable sharded D-M2TD on a synthetic
+                             deterministic input pair
+  m2td-cli dlq <list|requeue|purge> --dir <path>
+                             inspect or act on the dead-letter queue
 
 FLAGS (run/compare):
   --system <name>        double_pendulum | triple_pendulum | lorenz | sir | rossler
@@ -106,9 +112,35 @@ FLAGS (run only):
                                                           [default select]
   --save <path>          write the Tucker decomposition as JSON
 
+FLAGS (dist):
+  --dir <path>           job directory: checkpoints, manifest.json and
+                         dlq.json live here (required)
+  --workers <n>          logical workers                  [default 2]
+  --transport <t>        direct | channel (overrides M2TD_TRANSPORT)
+  --p-dim <n>            pivot-mode extent of the input   [default 8]
+  --f-dim <n>            free-mode extent of the input    [default 6]
+  --rank <n>             target Tucker rank per mode      [default 3]
+  --kill-rate <f>        per-attempt task kill probability [default 0]
+  --straggle-rate <f>    per-attempt straggler probability [default 0]
+  --straggle-secs <f>    virtual straggler delay          [default 20]
+  --xport-corrupt-rate <f>  per-envelope wire-damage probability
+                                                          [default 0]
+  --doom-tasks <csv>     reduce task ids (< 64) whose every attempt is
+                         killed — they exhaust retries and park in the
+                         dead-letter queue
+  --doom-job <n>         job the fault plan targets when dooming
+                         (1..3; restricts ALL injected faults) [default 3]
+  --fault-seed <n>       seed of the fault schedule       [default 0]
+  --max-retries <n>      attempts per task                [default 4]
+  --min-coverage <f>     phase-3 coverage floor for degraded completion
+                                                          [default 0.5]
+  --metrics-out <path>   as for run/compare
+
 EXIT CODES:
   0  success             2  usage or runtime error
   3  run completed but the guard acceptance check failed
+  4  dist completed degraded: tasks are parked in the dead-letter
+     queue (requeue with `m2td-cli dlq requeue`, then rerun)
 "
 }
 
@@ -128,9 +160,10 @@ fn check_frac(name: &str, v: f64) -> Result<(), String> {
     Ok(())
 }
 
-/// Returns `Ok(healthy)`: `false` when any printed run failed its guard
-/// acceptance check (the process then exits with code 3).
-fn run() -> Result<bool, String> {
+/// Returns the process exit code: 0 on success, 3 when a printed run
+/// failed its guard acceptance check, 4 when a dist run completed
+/// degraded with tasks parked in the dead-letter queue.
+fn run() -> Result<u8, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().map(|s| s.as_str()) else {
         return Err(usage().to_string());
@@ -151,7 +184,7 @@ fn run() -> Result<bool, String> {
                     sys.param_names().join(", ")
                 );
             }
-            Ok(true)
+            Ok(0)
         }
         "run" | "compare" => {
             let args = Args::parse(&raw[1..])?;
@@ -168,11 +201,31 @@ fn run() -> Result<bool, String> {
             if let Some(path) = &metrics_out {
                 write_metrics(path)?;
             }
+            outcome.map(|healthy| if healthy { 0 } else { 3 })
+        }
+        "dist" => {
+            let args = Args::parse(&raw[1..])?;
+            let metrics_out = args.get("metrics-out").map(str::to_string);
+            if metrics_out.is_some() {
+                m2td_obs::install();
+            }
+            // Snapshot written even on failure, as for run/compare: a
+            // degraded or aborted job must still surface dlq.* gauges.
+            let outcome = run_dist(&args);
+            if let Some(path) = &metrics_out {
+                write_metrics(path)?;
+            }
             outcome
+        }
+        "dlq" => {
+            let Some(action) = raw.get(1).map(|s| s.as_str()) else {
+                return Err(format!("dlq needs an action\n\n{}", usage()));
+            };
+            run_dlq(action, &Args::parse(&raw[2..])?)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(true)
+            Ok(0)
         }
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -418,6 +471,200 @@ fn run_experiment(command: &str, args: &Args) -> Result<bool, String> {
     Ok(report.is_healthy())
 }
 
+/// The deterministic synthetic input pair of `dist`: two dense 2-mode
+/// sub-tensors over analytic values, so every invocation with the same
+/// dimensions sees bitwise-identical inputs (no RNG, no files).
+fn dist_inputs(
+    p_dim: usize,
+    f_dim: usize,
+) -> Result<(m2td_tensor::SparseTensor, m2td_tensor::SparseTensor), String> {
+    let cell = |p: usize, a: usize, b: usize| {
+        ((p as f64) * 0.5).sin() * ((a as f64) * 0.4 + 1.0) * ((b as f64) * 0.3 + 1.0) + 0.2
+    };
+    let build = |g: &dyn Fn(usize, usize) -> f64| {
+        let entries: Vec<(Vec<usize>, f64)> = (0..p_dim)
+            .flat_map(|p| (0..f_dim).map(move |f| (vec![p, f], g(p, f))))
+            .collect();
+        m2td_tensor::SparseTensor::from_entries(&[p_dim, f_dim], &entries)
+            .map_err(|e| e.to_string())
+    };
+    let x1 = build(&|p, f| cell(p, f, f_dim / 2))?;
+    let x2 = build(&|p, f| cell(p, f_dim / 2, f))?;
+    Ok((x1, x2))
+}
+
+/// FNV-1a over a byte string; the hash `dist` prints for its core so
+/// shell scripts can compare runs without parsing tensors.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// `dist`: one resumable sharded D-M2TD run over a job directory.
+fn run_dist(args: &Args) -> Result<u8, String> {
+    use m2td_dist::{
+        d_m2td_resumable, CheckpointStore, DlqStore, FaultConfig, JobRecovery, ManifestStore,
+        MapReduce, Phase3Strategy, TransportKind,
+    };
+    use m2td_fault::{FaultPlan, RetryPolicy};
+    use m2td_json::ToJson;
+
+    let dir = args.get("dir").ok_or("dist needs --dir <path>")?;
+    let workers: usize = args.parse_or("workers", 2)?;
+    let transport = match args.get("transport") {
+        None => TransportKind::from_env(),
+        Some(s) => s
+            .parse::<TransportKind>()
+            .map_err(|e| format!("--transport: {e}"))?,
+    };
+    let p_dim: usize = args.parse_or("p-dim", 8)?;
+    let f_dim: usize = args.parse_or("f-dim", 6)?;
+    let rank: usize = args.parse_or("rank", 3)?;
+    if p_dim < 2 || f_dim < 2 {
+        return Err("--p-dim and --f-dim must be at least 2".to_string());
+    }
+    if rank == 0 {
+        return Err("--rank 0 is out of range: ranks must be at least 1".to_string());
+    }
+    let kill_rate: f64 = args.parse_or("kill-rate", 0.0)?;
+    let straggle_rate: f64 = args.parse_or("straggle-rate", 0.0)?;
+    let straggle_secs: f64 = args.parse_or("straggle-secs", 20.0)?;
+    let xport_rate: f64 = args.parse_or("xport-corrupt-rate", 0.0)?;
+    let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
+    let max_retries: u32 = args.parse_or("max-retries", 4)?;
+    let min_coverage: f64 = args.parse_or("min-coverage", 0.5)?;
+    check_rate("kill-rate", kill_rate)?;
+    check_rate("straggle-rate", straggle_rate)?;
+    check_rate("xport-corrupt-rate", xport_rate)?;
+    if max_retries == 0 {
+        return Err("--max-retries 0 is out of range: at least one attempt is needed".to_string());
+    }
+    if !(0.0..=1.0).contains(&min_coverage) {
+        return Err(format!("--min-coverage {min_coverage} must lie in [0, 1]"));
+    }
+    let doom_job: u64 = args.parse_or("doom-job", 3u64)?;
+    if !(1..=3).contains(&doom_job) {
+        return Err(format!("--doom-job {doom_job} must be a phase job (1..3)"));
+    }
+    let mut doom_mask = 0u64;
+    if let Some(csv) = args.get("doom-tasks") {
+        for part in csv.split(',') {
+            let task: u64 = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--doom-tasks: invalid task id '{part}'"))?;
+            if task >= 64 {
+                return Err(format!("--doom-tasks: task id {task} must be below 64"));
+            }
+            doom_mask |= 1 << task;
+        }
+    }
+
+    let mut plan = FaultPlan::new(fault_seed, kill_rate, straggle_rate, straggle_secs)
+        .with_xport_corrupt_rate(xport_rate);
+    if doom_mask != 0 {
+        // Dooming is scoped to one job so phases that require full
+        // coverage are not condemned by task ids they share with it.
+        plan = plan.with_doom_mask(doom_mask).in_job(doom_job);
+    }
+    let faults = FaultConfig {
+        plan,
+        policy: RetryPolicy::with_max_attempts(max_retries),
+    };
+
+    let (x1, x2) = dist_inputs(p_dim, f_dim)?;
+    let ranks = [rank.min(p_dim), rank.min(f_dim), rank.min(f_dim)];
+    let engine = MapReduce::new(workers).with_transport(transport);
+    let checkpoint = CheckpointStore::new(dir).map_err(|e| e.to_string())?;
+    let manifest = ManifestStore::open(dir).map_err(|e| e.to_string())?;
+    let dlq = DlqStore::open(dir);
+    let recovery = JobRecovery::new(&manifest, &dlq).with_min_coverage(min_coverage);
+
+    eprintln!(
+        "dist: {p_dim}x{f_dim} inputs, ranks {ranks:?}, {workers} workers, {transport:?} transport"
+    );
+    let report = d_m2td_resumable(
+        &x1,
+        &x2,
+        1,
+        &ranks,
+        M2tdOptions::default(),
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &faults,
+        Some(&checkpoint),
+        &recovery,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let d = &report.dist;
+    let mut hashed = d.tucker.core.to_json().to_compact();
+    for f in &d.tucker.factors {
+        hashed.push_str(&f.to_json().to_compact());
+    }
+    println!(
+        "phases: {} + {} + {} reduce groups, {} attempts total",
+        d.phase1.shuffle.reduce_groups,
+        d.phase2.shuffle.reduce_groups,
+        d.phase3.shuffle.reduce_groups,
+        d.total_tasks().attempts(),
+    );
+    println!(
+        "resume: {} tasks replayed from manifest, {} dead-letter entries drained",
+        report.resumed_tasks, report.drained,
+    );
+    println!("core fnv64: {:016x}", fnv1a64(hashed.as_bytes()));
+    if report.degraded {
+        println!(
+            "DEGRADED: phase-3 tasks {:?} are parked in the dead-letter queue; \
+             requeue with `m2td-cli dlq requeue --dir {dir}` and rerun",
+            report.dead_tasks,
+        );
+        return Ok(4);
+    }
+    Ok(0)
+}
+
+/// `dlq`: list, requeue or purge the dead-letter queue of a job directory.
+fn run_dlq(action: &str, args: &Args) -> Result<u8, String> {
+    let dir = args.get("dir").ok_or("dlq needs --dir <path>")?;
+    let store = m2td_dist::DlqStore::open(dir);
+    match action {
+        "list" => {
+            let entries = store.entries();
+            println!("{} dead-letter entries in {dir}", entries.len());
+            for e in entries {
+                println!(
+                    "job {} phase {} {} task {:<4} attempts {}  {}  {}",
+                    e.job,
+                    e.phase,
+                    e.kind,
+                    e.task,
+                    e.attempts,
+                    if e.requeued { "requeued" } else { "parked" },
+                    e.error,
+                );
+            }
+            Ok(0)
+        }
+        "requeue" => {
+            let n = store.requeue_all()?;
+            println!("{n} entries marked for requeue; the next resumable run re-executes them");
+            Ok(0)
+        }
+        "purge" => {
+            let n = store.purge()?;
+            println!("{n} entries purged");
+            Ok(0)
+        }
+        other => Err(format!("unknown dlq action '{other}'\n\n{}", usage())),
+    }
+}
+
 /// Writes the current telemetry snapshot as pretty-printed JSON.
 fn write_metrics(path: &str) -> Result<(), String> {
     use m2td_json::ToJson;
@@ -461,8 +708,7 @@ fn print_report(r: &RunReport) {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(3),
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)

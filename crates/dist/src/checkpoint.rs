@@ -20,12 +20,22 @@
 //! payload}` where `checksum` is FNV-1a-64 over the compact serialization
 //! of `fingerprint` followed by that of `payload` — covering the
 //! fingerprint too, so a bit-flip *anywhere* meaningful is detected.
-//! Records are written atomically (`*.tmp` + rename) and orphaned temp
-//! files from a crash mid-write are deleted when the store opens. A record
-//! that fails to parse, carries the wrong format version, or fails its
-//! checksum is **quarantined** (renamed to `*.quarantined.json`, bumping
-//! the `guard.ckpt_quarantined` counter) and reported absent, forcing the
+//! Records are written atomically (uniquely named `*.tmp.<pid>.<n>` +
+//! rename, so two stores publishing into the same directory never tear
+//! each other's writes) and orphaned temp files from a crash mid-write are
+//! deleted when the store opens. A record that fails to parse, carries the
+//! wrong format version, or fails its checksum is **quarantined** (renamed
+//! to `phase<N>.quarantined.<seq>.json`, bumping the
+//! `guard.ckpt_quarantined` counter) and reported absent, forcing the
 //! phase to recompute — garbage is never deserialized into the pipeline.
+//! Quarantined records are kept for post-mortem but not forever: a
+//! retention sweep on open (and after each new quarantine) keeps the
+//! newest [`QUARANTINE_KEEP`] per phase and counts removals in
+//! `guard.ckpt_quarantine_swept`.
+//!
+//! The record helpers ([`seal_record`]/[`open_record`]/[`write_atomic`])
+//! are shared crate-wide: the job manifest and the dead-letter queue
+//! persist in the same format-v2 envelope.
 
 use m2td_core::M2tdOptions;
 use m2td_fault::CorruptionKind;
@@ -33,13 +43,18 @@ use m2td_json::{FromJson, Json, ToJson};
 use m2td_linalg::Matrix;
 use m2td_tensor::SparseTensor;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Current checkpoint record format version. Records claiming any other
 /// version are quarantined on load.
 const FORMAT_VERSION: i64 = 2;
 
-/// FNV-1a 64-bit hash over a byte stream.
-fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+/// Quarantined records kept per phase by the retention sweep.
+const QUARANTINE_KEEP: usize = 4;
+
+/// FNV-1a 64-bit hash over a byte stream. Shared with the transport layer,
+/// which uses it as the task-envelope payload checksum.
+pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in chunks {
         for &b in *chunk {
@@ -48,6 +63,69 @@ fn fnv1a64(chunks: &[&[u8]]) -> u64 {
         }
     }
     h
+}
+
+/// Monotonic discriminator making temp-file names unique within this
+/// process; combined with the pid it keeps concurrent writers (two stores
+/// on one directory, or a restarted job racing its predecessor) from ever
+/// clobbering each other's in-flight temp files.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Checksum binding a record's fingerprint and payload together: a
+/// mutation of either (or of the stored checksum itself) fails
+/// verification on load.
+pub(crate) fn record_checksum(fingerprint: &Json, payload: &Json) -> u64 {
+    fnv1a64(&[
+        fingerprint.to_compact().as_bytes(),
+        payload.to_compact().as_bytes(),
+    ])
+}
+
+/// Wraps `payload` in a format-v2 record: `{version, fingerprint,
+/// checksum, payload}` with the checksum covering both fingerprint and
+/// payload.
+pub(crate) fn seal_record(fingerprint: &Json, payload: Json) -> Json {
+    let checksum = record_checksum(fingerprint, &payload);
+    Json::Obj(vec![
+        ("version".to_string(), Json::Int(FORMAT_VERSION)),
+        ("fingerprint".to_string(), fingerprint.clone()),
+        // Bit-cast through i64: the hash uses all 64 bits, and
+        // `Json::Int` is an i64.
+        ("checksum".to_string(), Json::Int(checksum as i64)),
+        ("payload".to_string(), payload),
+    ])
+}
+
+/// Verifies a format-v2 record (version and checksum) and returns its
+/// fingerprint and payload; `None` means damaged or wrong version.
+pub(crate) fn open_record(doc: &Json) -> Option<(&Json, &Json)> {
+    match doc.get("version") {
+        Some(Json::Int(v)) if *v == FORMAT_VERSION => {}
+        _ => return None,
+    }
+    let stored = match doc.get("checksum") {
+        Some(Json::Int(c)) => *c as u64,
+        _ => return None,
+    };
+    let (fingerprint, payload) = match (doc.get("fingerprint"), doc.get("payload")) {
+        (Some(f), Some(p)) => (f, p),
+        _ => return None,
+    };
+    (record_checksum(fingerprint, payload) == stored).then_some((fingerprint, payload))
+}
+
+/// Atomically publishes `text` at `path`: write a uniquely named temp file
+/// in the same directory, then rename into place. A crash mid-write leaves
+/// only a `*.tmp.*` orphan, never a torn record at `path`.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("record");
+    let tmp = path.with_file_name(format!("{name}.tmp.{}.{n}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("write temp {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("publish {}: {e}", path.display()))
 }
 
 /// Identity of one D-M2TD invocation: checkpoints are only resumable when
@@ -160,13 +238,17 @@ impl CheckpointStore {
             .map_err(|e| format!("create checkpoint dir {}: {e}", dir.display()))?;
         if let Ok(entries) = std::fs::read_dir(&dir) {
             for entry in entries.flatten() {
-                let path = entry.path();
-                if path.extension().is_some_and(|e| e == "tmp") {
-                    let _ = std::fs::remove_file(&path);
+                let name = entry.file_name();
+                // Matches both the legacy `*.json.tmp` form and the unique
+                // `*.json.tmp.<pid>.<n>` form.
+                if name.to_string_lossy().contains(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
                 }
             }
         }
-        Ok(Self { dir })
+        let store = Self { dir };
+        store.sweep_quarantine();
+        Ok(store)
     }
 
     /// The directory checkpoints are stored in.
@@ -178,48 +260,75 @@ impl CheckpointStore {
         self.dir.join(format!("phase{phase}.json"))
     }
 
-    fn quarantine_path(&self, phase: u8) -> PathBuf {
-        self.dir.join(format!("phase{phase}.quarantined.json"))
+    /// The quarantined records of `phase`, as `(sequence, path)` pairs in
+    /// arbitrary order. Higher sequence = newer quarantine.
+    fn quarantined_files(&self, phase: u8) -> Vec<(u64, PathBuf)> {
+        let prefix = format!("phase{phase}.quarantined.");
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(rest) = name.strip_prefix(&prefix) else {
+                    continue;
+                };
+                let Some(seq) = rest
+                    .strip_suffix(".json")
+                    .and_then(|s| s.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                out.push((seq, entry.path()));
+            }
+        }
+        out
     }
 
-    /// Checksum binding a record's fingerprint and payload together: a
-    /// mutation of either (or of the stored checksum itself) fails
-    /// verification on load.
-    fn record_checksum(fingerprint: &Json, payload: &Json) -> u64 {
-        fnv1a64(&[
-            fingerprint.to_compact().as_bytes(),
-            payload.to_compact().as_bytes(),
-        ])
+    /// Retention sweep: keeps the newest [`QUARANTINE_KEEP`] quarantined
+    /// records per phase, deleting older ones and counting each removal in
+    /// `guard.ckpt_quarantine_swept`.
+    fn sweep_quarantine(&self) {
+        for phase in [1u8, 2] {
+            let mut files = self.quarantined_files(phase);
+            if files.len() <= QUARANTINE_KEEP {
+                continue;
+            }
+            files.sort_by_key(|(seq, _)| *seq);
+            let excess = files.len() - QUARANTINE_KEEP;
+            for (_, path) in files.into_iter().take(excess) {
+                if std::fs::remove_file(&path).is_ok() {
+                    m2td_obs::counter_add("guard.ckpt_quarantine_swept", 1);
+                }
+            }
+        }
     }
 
     fn save(&self, phase: u8, fp: &Fingerprint, payload: Json) -> Result<(), CheckpointError> {
-        let fingerprint = fp.to_json();
-        let checksum = Self::record_checksum(&fingerprint, &payload);
-        let doc = Json::Obj(vec![
-            ("version".to_string(), Json::Int(FORMAT_VERSION)),
-            ("fingerprint".to_string(), fingerprint),
-            // Bit-cast through i64, as for the content hash.
-            ("checksum".to_string(), Json::Int(checksum as i64)),
-            ("payload".to_string(), payload),
-        ]);
-        let path = self.phase_path(phase);
-        // Atomic publish: a crash between write and rename leaves only a
-        // *.tmp orphan (cleaned up on store open), never a torn record at
-        // the checkpoint path.
-        let tmp = self.dir.join(format!("phase{phase}.json.tmp"));
-        std::fs::write(&tmp, doc.to_compact())
-            .map_err(|e| format!("write checkpoint temp {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| format!("publish checkpoint {}: {e}", path.display()))
+        let doc = seal_record(&fp.to_json(), payload);
+        write_atomic(&self.phase_path(phase), &doc.to_compact())
     }
 
     /// Moves a failed-verification record aside and reports it absent. The
-    /// quarantined file is kept for post-mortem, not reloaded.
+    /// quarantined file is kept for post-mortem, not reloaded. Counters
+    /// bump only when the rename wins: in the restarted-job race two
+    /// stores can detect the same damaged record, but exactly one owns the
+    /// quarantine — the loser sees the source already gone and stays
+    /// silent instead of double-counting.
     fn quarantine(&self, phase: u8, reason: &str) -> Option<Json> {
-        let path = self.phase_path(phase);
-        let _ = std::fs::rename(&path, self.quarantine_path(phase));
-        m2td_obs::counter_add("guard.ckpt_quarantined", 1);
-        m2td_obs::counter_add(format!("guard.ckpt_quarantined.{reason}"), 1);
+        let next = self
+            .quarantined_files(phase)
+            .iter()
+            .map(|(seq, _)| seq + 1)
+            .max()
+            .unwrap_or(1);
+        let dst = self
+            .dir
+            .join(format!("phase{phase}.quarantined.{next}.json"));
+        if std::fs::rename(self.phase_path(phase), &dst).is_ok() {
+            m2td_obs::counter_add("guard.ckpt_quarantined", 1);
+            m2td_obs::counter_add(format!("guard.ckpt_quarantined.{reason}"), 1);
+            self.sweep_quarantine();
+        }
         None
     }
 
@@ -250,7 +359,7 @@ impl CheckpointStore {
             (Some(f), Some(p)) => (f, p),
             _ => return self.quarantine(phase, "structure"),
         };
-        if Self::record_checksum(fingerprint, payload) != stored_checksum {
+        if record_checksum(fingerprint, payload) != stored_checksum {
             return self.quarantine(phase, "checksum");
         }
         let stored = match Fingerprint::from_json(fingerprint) {
@@ -341,7 +450,9 @@ impl CheckpointStore {
     /// records.
     pub fn clear(&self) -> Result<(), CheckpointError> {
         for phase in [1u8, 2] {
-            for path in [self.phase_path(phase), self.quarantine_path(phase)] {
+            let mut paths = vec![self.phase_path(phase)];
+            paths.extend(self.quarantined_files(phase).into_iter().map(|(_, p)| p));
+            for path in paths {
                 if path.exists() {
                     std::fs::remove_file(&path)
                         .map_err(|e| format!("remove checkpoint {}: {e}", path.display()))?;
@@ -355,6 +466,11 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that install the global obs subscriber, so
+    /// concurrent tests cannot capture each other's counter bumps.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
 
     fn tmp_store(name: &str) -> CheckpointStore {
         let dir = std::env::temp_dir()
@@ -450,7 +566,7 @@ mod tests {
                 "{kind} survived verification"
             );
             // The damaged record was moved aside, not left in place.
-            assert!(store.dir().join("phase2.quarantined.json").exists());
+            assert!(store.dir().join("phase2.quarantined.1.json").exists());
             assert!(!store.dir().join("phase2.json").exists());
             // A fresh save then loads cleanly again.
             store.save_phase2(&fp, &x1).unwrap();
@@ -466,6 +582,7 @@ mod tests {
 
     #[test]
     fn quarantine_bumps_the_guard_counter() {
+        let _obs = OBS_LOCK.lock().unwrap();
         let store = tmp_store("quarantine_counter");
         let (x1, x2) = tensors();
         let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
@@ -499,10 +616,8 @@ mod tests {
             Some(Json::Int(c)) => *c as u64,
             other => panic!("missing checksum: {other:?}"),
         };
-        let recomputed = CheckpointStore::record_checksum(
-            doc.get("fingerprint").unwrap(),
-            doc.get("payload").unwrap(),
-        );
+        let recomputed =
+            record_checksum(doc.get("fingerprint").unwrap(), doc.get("payload").unwrap());
         assert_eq!(
             stored, recomputed,
             "stale-version must not break the checksum"
@@ -524,6 +639,76 @@ mod tests {
         };
         let back = Fingerprint::from_json(&fp.to_json()).unwrap();
         assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn retention_sweep_keeps_the_newest_quarantines() {
+        let _obs = OBS_LOCK.lock().unwrap();
+        let store = tmp_store("retention");
+        for seq in 1..=7u64 {
+            std::fs::write(
+                store.dir().join(format!("phase1.quarantined.{seq}.json")),
+                "damaged",
+            )
+            .unwrap();
+        }
+        m2td_obs::install();
+        let before = m2td_obs::snapshot()
+            .counter("guard.ckpt_quarantine_swept")
+            .unwrap_or(0);
+        let reopened = CheckpointStore::new(store.dir()).unwrap();
+        let after = m2td_obs::snapshot()
+            .counter("guard.ckpt_quarantine_swept")
+            .unwrap_or(0);
+        m2td_obs::uninstall();
+        // 7 quarantines, keep 4: the three oldest are swept and counted.
+        assert_eq!(after, before + 3);
+        let mut kept: Vec<u64> = reopened
+            .quarantined_files(1)
+            .into_iter()
+            .map(|(seq, _)| seq)
+            .collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn concurrent_stores_do_not_clobber_or_double_quarantine() {
+        let store_a = tmp_store("concurrent");
+        let store_b = CheckpointStore::new(store_a.dir()).unwrap();
+        let (x1, x2) = tensors();
+        let fp = Fingerprint::new(&x1, &x2, 1, &[2, 2, 2], &M2tdOptions::default());
+        let factors = vec![Matrix::identity(3)];
+        // Interleaved atomic saves from two stores (the restarted-job
+        // race) must never tear: every write publishes through its own
+        // uniquely named temp file.
+        let (fp_ref, factors_ref) = (&fp, &factors);
+        std::thread::scope(|s| {
+            for store in [&store_a, &store_b] {
+                s.spawn(move || {
+                    for _ in 0..32 {
+                        store.save_phase1(fp_ref, factors_ref).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store_a.load_phase1(&fp).unwrap().len(), 1);
+        assert_eq!(store_b.load_phase1(&fp).unwrap().len(), 1);
+        // A damaged record seen by both stores at once is quarantined
+        // exactly once — the losing rename must not mint a second copy.
+        store_a.corrupt(1, CorruptionKind::Truncate).unwrap();
+        std::thread::scope(|s| {
+            for store in [&store_a, &store_b] {
+                s.spawn(move || assert!(store.load_phase1(fp_ref).is_none()));
+            }
+        });
+        assert!(!store_a.dir().join("phase1.json").exists());
+        assert_eq!(
+            store_a.quarantined_files(1).len(),
+            1,
+            "double-quarantined: {:?}",
+            store_a.quarantined_files(1)
+        );
     }
 
     #[test]

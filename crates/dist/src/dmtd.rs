@@ -27,9 +27,16 @@
 
 use crate::checkpoint::{CheckpointStore, Fingerprint};
 use crate::cluster::{ClusterModel, PhaseCost};
-use crate::mapreduce::{MapReduce, ShuffleStats};
+use crate::dlq::{DlqEntry, DlqStore};
+use crate::manifest::{JobManifest, ManifestStore};
+use crate::mapreduce::{
+    MapReduce, ShardedOutput, ShardedRun, ShuffleStats, TaskState, WaveRecovery,
+};
+use crate::scheduler::DeadTask;
+use crate::transport::TaskEnvelope;
 use m2td_core::{projection_factors, CoreError, M2tdOptions};
 use m2td_fault::{FaultError, FaultPlan, RetryPolicy, TaskCounters};
+use m2td_json::{FromJson, Json, JsonError, ToJson};
 use m2td_linalg::Matrix;
 use m2td_stitch::StitchKind;
 use m2td_tensor::{
@@ -37,6 +44,8 @@ use m2td_tensor::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Errors produced by D-M2TD.
@@ -50,6 +59,10 @@ pub enum DistError {
     Exhausted(FaultError),
     /// A phase checkpoint could not be written.
     Checkpoint(String),
+    /// A worker-side failure that crossed the transport boundary, or a
+    /// task stranded in the dead-letter queue. Carries the rendered error
+    /// — typed errors do not survive serialization.
+    Worker(String),
 }
 
 impl fmt::Display for DistError {
@@ -59,6 +72,7 @@ impl fmt::Display for DistError {
             DistError::Invalid(s) => write!(f, "invalid D-M2TD input: {s}"),
             DistError::Exhausted(e) => write!(f, "{e}"),
             DistError::Checkpoint(s) => write!(f, "checkpoint error: {s}"),
+            DistError::Worker(s) => write!(f, "worker error: {s}"),
         }
     }
 }
@@ -67,7 +81,7 @@ impl std::error::Error for DistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DistError::Core(e) => Some(e),
-            DistError::Invalid(_) | DistError::Checkpoint(_) => None,
+            DistError::Invalid(_) | DistError::Checkpoint(_) | DistError::Worker(_) => None,
             DistError::Exhausted(e) => Some(e),
         }
     }
@@ -127,6 +141,207 @@ impl Default for FaultConfig {
     fn default() -> Self {
         Self::none()
     }
+}
+
+/// A reduce task's result as it crosses the transport boundary: either
+/// the value or the rendered error (typed errors do not serialize).
+#[derive(Debug, Clone)]
+enum TaskOutcome<T> {
+    Ok(T),
+    Fail(String),
+}
+
+impl<T> TaskOutcome<T> {
+    fn into_result(self) -> Result<T, DistError> {
+        match self {
+            TaskOutcome::Ok(v) => Ok(v),
+            TaskOutcome::Fail(s) => Err(DistError::Worker(s)),
+        }
+    }
+}
+
+impl<T> From<Result<T, DistError>> for TaskOutcome<T> {
+    fn from(r: Result<T, DistError>) -> Self {
+        match r {
+            Ok(v) => TaskOutcome::Ok(v),
+            Err(e) => TaskOutcome::Fail(e.to_string()),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for TaskOutcome<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            TaskOutcome::Ok(v) => Json::Obj(vec![("ok".to_string(), v.to_json())]),
+            TaskOutcome::Fail(s) => Json::Obj(vec![("fail".to_string(), s.to_json())]),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for TaskOutcome<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some(v) = json.get("ok") {
+            return Ok(TaskOutcome::Ok(T::from_json(v)?));
+        }
+        if let Some(s) = json.get("fail") {
+            return Ok(TaskOutcome::Fail(String::from_json(s)?));
+        }
+        Err(JsonError::Invalid(
+            "task outcome needs an ok or fail field".to_string(),
+        ))
+    }
+}
+
+/// Durable stores a resumable run reads and writes: the [`ManifestStore`]
+/// tracking per-phase task completion and the [`DlqStore`] holding parked
+/// tasks, plus the coverage floor below which a degraded phase-3 result
+/// is refused (mirroring the ensemble coverage policy in `m2td-core`).
+#[derive(Debug, Clone, Copy)]
+pub struct JobRecovery<'a> {
+    /// Per-phase task-completion record (format-v2, fingerprint-sealed).
+    pub manifest: &'a ManifestStore,
+    /// Dead-letter queue for tasks whose retry budget is exhausted.
+    pub dlq: &'a DlqStore,
+    /// Minimum fraction of phase-3 partial cores that must survive for a
+    /// degraded completion; below it the run fails cleanly. Phases 1 and
+    /// 2 always require full coverage — their outputs feed every
+    /// downstream task.
+    pub min_coverage: f64,
+}
+
+impl<'a> JobRecovery<'a> {
+    /// Recovery over the given stores with the default 0.5 coverage floor.
+    pub fn new(manifest: &'a ManifestStore, dlq: &'a DlqStore) -> Self {
+        Self {
+            manifest,
+            dlq,
+            min_coverage: 0.5,
+        }
+    }
+
+    /// Adjusts the phase-3 coverage floor (clamped to `[0, 1]`).
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        self.min_coverage = min_coverage.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// What [`d_m2td_resumable`] did beyond the decomposition itself.
+#[derive(Debug)]
+pub struct ResumeReport {
+    /// The (possibly degraded) decomposition.
+    pub dist: DistDecomposition,
+    /// Phase-3 reduce tasks missing from the core — parked in the
+    /// dead-letter queue (this run or a previous one) and not drained.
+    pub dead_tasks: Vec<u64>,
+    /// Reduce tasks replayed from manifest-recorded outputs instead of
+    /// re-running, across all phases.
+    pub resumed_tasks: usize,
+    /// Dead-letter entries drained by this run (requeued tasks that
+    /// completed).
+    pub drained: usize,
+    /// True when the core is missing at least one partial (coverage was
+    /// above the floor but below 1).
+    pub degraded: bool,
+}
+
+/// Shared mutable state of one resumable run.
+struct ResumeState {
+    manifest: Mutex<JobManifest>,
+    drained: AtomicUsize,
+}
+
+/// The [`WaveRecovery`] wiring for one phase: manifest records completion
+/// and death, the DLQ holds corpses and requeue marks. Persistence errors
+/// are counted, not fatal — a lost manifest save only means the next run
+/// re-executes a task it could have resumed.
+struct PhaseRecovery<'a> {
+    job: u64,
+    phase: u8,
+    fingerprint: &'a Fingerprint,
+    store: &'a ManifestStore,
+    dlq: &'a DlqStore,
+    state: &'a ResumeState,
+}
+
+impl PhaseRecovery<'_> {
+    fn save(&self, manifest: &JobManifest) {
+        if self.store.save(self.fingerprint, manifest).is_err() {
+            m2td_obs::counter_add("manifest.save_errors", 1);
+        }
+    }
+}
+
+impl WaveRecovery for PhaseRecovery<'_> {
+    fn begin_phase(&self, total: u64) {
+        let mut m = self.state.manifest.lock().unwrap();
+        m.begin_phase(self.phase, total);
+        self.save(&m);
+    }
+
+    fn task_state(&self, task: u64) -> TaskState {
+        let m = self.state.manifest.lock().unwrap();
+        if let Some(out) = m.completed_output(self.phase, task) {
+            return TaskState::Completed(out.clone());
+        }
+        if m.is_dead(self.phase, task) {
+            return TaskState::Dead {
+                requeued: self.dlq.is_requeued(self.job, self.phase, task),
+            };
+        }
+        TaskState::Fresh
+    }
+
+    fn record_complete(&self, task: u64, output: &Json) {
+        let mut m = self.state.manifest.lock().unwrap();
+        m.record_complete(self.phase, task, output.clone());
+        self.save(&m);
+    }
+
+    fn record_dead(&self, dead: &DeadTask, envelope: &TaskEnvelope) {
+        {
+            let mut m = self.state.manifest.lock().unwrap();
+            m.record_dead(self.phase, dead.task);
+            self.save(&m);
+        }
+        let entry = DlqEntry::from_envelope(
+            envelope,
+            dead.attempts,
+            dead.log.clone(),
+            dead.error.to_string(),
+        );
+        if self.dlq.park(entry).is_err() {
+            m2td_obs::counter_add("dlq.park_errors", 1);
+        }
+    }
+
+    fn record_revived(&self, task: u64) {
+        // The manifest's dead mark was already cleared by the
+        // record_complete that precedes every revival.
+        match self.dlq.drain(self.job, self.phase, task) {
+            Ok(true) => {
+                self.state.drained.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            Err(_) => m2td_obs::counter_add("dlq.drain_errors", 1),
+        }
+    }
+}
+
+/// Fails unless every reduce task of the phase survived: a corpse parked
+/// this run surfaces its terminal fault; one inherited from a previous
+/// run (and not requeued) points the operator at the DLQ workflow.
+fn require_full_coverage<R>(phase: u8, out: &ShardedOutput<R>) -> Result<(), DistError> {
+    if let Some(d) = out.dead.first() {
+        return Err(DistError::Exhausted(d.error.clone()));
+    }
+    if let Some(&t) = out.skipped_dead.first() {
+        return Err(DistError::Worker(format!(
+            "phase-{phase} reduce task {t} is parked in the dead-letter queue \
+             (phases 1-2 cannot complete degraded); requeue it with `m2td-cli dlq requeue`"
+        )));
+    }
+    Ok(())
 }
 
 /// Job ids the three phases run under — a [`FaultPlan`] scoped with
@@ -295,6 +510,93 @@ pub fn d_m2td_fault_tolerant(
     faults: &FaultConfig,
     checkpoint: Option<&CheckpointStore>,
 ) -> Result<DistDecomposition, DistError> {
+    d_m2td_run(
+        x1,
+        x2,
+        k,
+        ranks,
+        opts,
+        engine,
+        phase3_strategy,
+        faults,
+        checkpoint,
+        None,
+    )
+    .map(|(dist, _)| dist)
+}
+
+/// [`d_m2td_fault_tolerant`] with job-level resume and a dead-letter
+/// queue.
+///
+/// Beyond phase-boundary checkpoints, the run records every completed
+/// reduce task (with its serialized output) in a fingerprint-sealed
+/// [`JobManifest`], so a process killed mid-phase and restarted over the
+/// same inputs re-runs only incomplete tasks. A task killed on every
+/// allowed attempt no longer fails the job: it is parked in the
+/// [`DlqStore`] with its envelope and attempt history. Phases 1 and 2
+/// still require full coverage (their outputs feed everything
+/// downstream), but phase 3 under [`Phase3Strategy::ChunkPartition`]
+/// completes **degraded** — summing the surviving partial cores — as
+/// long as coverage stays at or above [`JobRecovery::min_coverage`].
+/// `m2td-cli dlq requeue` marks parked tasks for re-execution; the next
+/// resumable run re-runs them and drains their entries on success,
+/// converging to the bitwise fault-free result.
+#[allow(clippy::too_many_arguments)]
+pub fn d_m2td_resumable(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+    engine: &MapReduce,
+    phase3_strategy: Phase3Strategy,
+    faults: &FaultConfig,
+    checkpoint: Option<&CheckpointStore>,
+    recovery: &JobRecovery<'_>,
+) -> Result<ResumeReport, DistError> {
+    d_m2td_run(
+        x1,
+        x2,
+        k,
+        ranks,
+        opts,
+        engine,
+        phase3_strategy,
+        faults,
+        checkpoint,
+        Some(recovery),
+    )
+    .map(|(dist, info)| ResumeReport {
+        dist,
+        dead_tasks: info.dead_tasks,
+        resumed_tasks: info.resumed_tasks,
+        drained: info.drained,
+        degraded: info.degraded,
+    })
+}
+
+/// Resume bookkeeping accumulated by [`d_m2td_run`].
+#[derive(Debug, Default)]
+struct RunInfo {
+    dead_tasks: Vec<u64>,
+    resumed_tasks: usize,
+    drained: usize,
+    degraded: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn d_m2td_run(
+    x1: &SparseTensor,
+    x2: &SparseTensor,
+    k: usize,
+    ranks: &[usize],
+    opts: M2tdOptions,
+    engine: &MapReduce,
+    phase3_strategy: Phase3Strategy,
+    faults: &FaultConfig,
+    checkpoint: Option<&CheckpointStore>,
+    recovery: Option<&JobRecovery<'_>>,
+) -> Result<(DistDecomposition, RunInfo), DistError> {
     let m1 = x1.order();
     let m2 = x2.order();
     if k == 0 || k >= m1 || k >= m2 {
@@ -316,6 +618,26 @@ pub fn d_m2td_fault_tolerant(
     m2td_guard::check_cells("phase1.x1", x1.iter())?;
     m2td_guard::check_cells("phase1.x2", x2.iter())?;
     let fp = Fingerprint::new(x1, x2, k, ranks, &opts);
+    // Resume state: the previous run's manifest (absent or wrong-
+    // fingerprint records degrade to a fresh one) plus drain tally.
+    let resume_state = recovery.map(|r| ResumeState {
+        manifest: Mutex::new(r.manifest.load(&fp).unwrap_or_default()),
+        drained: AtomicUsize::new(0),
+    });
+    let phase_recovery = |job: u64, phase: u8| -> Option<PhaseRecovery<'_>> {
+        match (recovery, &resume_state) {
+            (Some(r), Some(state)) => Some(PhaseRecovery {
+                job,
+                phase,
+                fingerprint: &fp,
+                store: r.manifest,
+                dlq: r.dlq,
+                state,
+            }),
+            _ => None,
+        }
+    };
+    let mut info = RunInfo::default();
     let ckpt_factors = checkpoint.and_then(|c| c.load_phase1(&fp));
     let ckpt_join = checkpoint.and_then(|c| c.load_phase2(&fp));
     if checkpoint.is_some() && m2td_obs::installed() {
@@ -352,38 +674,49 @@ pub fn d_m2td_fault_tolerant(
                 r.extend_from_slice(&ranks[m1..]);
                 r
             };
-            let (results, stats1, tasks1) = engine.run_with_faults(
-                PHASE1_JOB,
+            let rec1 = phase_recovery(PHASE1_JOB, 1);
+            let sharded1 = engine.run_sharded(
+                &ShardedRun {
+                    job: PHASE1_JOB,
+                    phase: 1,
+                    plan,
+                    policy,
+                    recovery: rec1.as_ref().map(|r| r as &dyn WaveRecovery),
+                },
                 tagged.clone(),
                 |(kappa, lin, v)| vec![(kappa, (lin, v))],
-                |kappa, entries| -> Result<(u8, Vec<Matrix>, Vec<Matrix>), DistError> {
-                    let (dims, rks) = if *kappa == 1 {
-                        (&dims1, &ranks1)
-                    } else {
-                        (&dims2, &ranks2)
+                |kappa, entries| -> TaskOutcome<(u8, Vec<Matrix>, Vec<Matrix>)> {
+                    let compute = || -> Result<(u8, Vec<Matrix>, Vec<Matrix>), DistError> {
+                        let (dims, rks) = if *kappa == 1 {
+                            (&dims1, &ranks1)
+                        } else {
+                            (&dims2, &ranks2)
+                        };
+                        let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
+                        let tensor = SparseTensor::from_sorted_linear(dims, indices, values)?;
+                        let mut grams = Vec::with_capacity(dims.len());
+                        let mut factors = Vec::with_capacity(dims.len());
+                        for (mode, &r) in rks.iter().enumerate() {
+                            let gram = m2td_tensor::phase_gram(&tensor, mode)?;
+                            factors.push(m2td_guard::gram_factor(
+                                "phase1.factor",
+                                Some(mode),
+                                &gram,
+                                r,
+                            )?);
+                            grams.push(gram);
+                        }
+                        Ok((*kappa, grams, factors))
                     };
-                    let (indices, values): (Vec<u64>, Vec<f64>) = entries.into_iter().unzip();
-                    let tensor = SparseTensor::from_sorted_linear(dims, indices, values)?;
-                    let mut grams = Vec::with_capacity(dims.len());
-                    let mut factors = Vec::with_capacity(dims.len());
-                    for (mode, &r) in rks.iter().enumerate() {
-                        let gram = m2td_tensor::phase_gram(&tensor, mode)?;
-                        factors.push(m2td_guard::gram_factor(
-                            "phase1.factor",
-                            Some(mode),
-                            &gram,
-                            r,
-                        )?);
-                        grams.push(gram);
-                    }
-                    Ok((*kappa, grams, factors))
+                    compute().into()
                 },
-                plan,
-                policy,
             )?;
-            let mut factor_sets = Vec::with_capacity(results.len());
-            for r in results {
-                factor_sets.push(r?);
+            require_full_coverage(1, &sharded1)?;
+            info.resumed_tasks += sharded1.resumed;
+            let (stats1, tasks1) = (sharded1.stats, sharded1.counters);
+            let mut factor_sets = Vec::with_capacity(sharded1.outputs.len());
+            for (_, outcome) in sharded1.outputs {
+                factor_sets.push(outcome.into_result()?);
             }
             if factor_sets.len() != 2 {
                 return Err(DistError::Invalid(
@@ -479,8 +812,15 @@ pub fn d_m2td_fault_tolerant(
 
             let shape1 = x1.shape().clone();
             let shape2 = x2.shape().clone();
-            let (joined_groups, stats2, tasks2) = engine.run_with_faults(
-                PHASE2_JOB,
+            let rec2 = phase_recovery(PHASE2_JOB, 2);
+            let sharded2 = engine.run_sharded(
+                &ShardedRun {
+                    job: PHASE2_JOB,
+                    phase: 2,
+                    plan,
+                    policy,
+                    recovery: rec2.as_ref().map(|r| r as &dyn WaveRecovery),
+                },
                 tagged,
                 |(kappa, lin, v)| {
                     // Key by pivot configuration.
@@ -534,15 +874,16 @@ pub fn d_m2td_fault_tolerant(
                     }
                     (*pivot, cells)
                 },
-                plan,
-                policy,
             )?;
+            require_full_coverage(2, &sharded2)?;
+            info.resumed_tasks += sharded2.resumed;
+            let (stats2, tasks2) = (sharded2.stats, sharded2.counters);
 
             // Assemble the join tensor from the per-pivot groups.
             let f1_len = free1_shape.order();
             let mut entries: Vec<(u64, f64)> = Vec::new();
             let mut idx = vec![0usize; join_dims.len()];
-            for (pivot, cells) in joined_groups {
+            for (_, (pivot, cells)) in sharded2.outputs {
                 for (f1, f2, v) in cells {
                     pivot_shape.multi_index_into(pivot as usize, &mut idx[..k]);
                     free1_shape.multi_index_into(f1 as usize, &mut idx[k..k + f1_len]);
@@ -587,30 +928,69 @@ pub fn d_m2td_fault_tolerant(
             let ranks: Vec<usize> = proj_factors.iter().map(|f| f.cols()).collect();
             let chain_plan =
                 TtmPlan::with_ordering(&join_dims, &ranks, CoreOrdering::BestShrinkFirst)?;
-            let (partial_cores, stats3, tasks3) = engine.run_with_faults(
-                PHASE3_JOB,
+            let rec3 = phase_recovery(PHASE3_JOB, 3);
+            let sharded3 = engine.run_sharded(
+                &ShardedRun {
+                    job: PHASE3_JOB,
+                    phase: 3,
+                    plan,
+                    policy,
+                    recovery: rec3.as_ref().map(|r| r as &dyn WaveRecovery),
+                },
                 join_cells,
                 |(lin, v)| vec![(lin % partitions, (lin, v))],
-                |_part, cells| -> Result<DenseTensor, DistError> {
-                    let (mut indices, mut values): (Vec<u64>, Vec<f64>) = (
-                        Vec::with_capacity(cells.len()),
-                        Vec::with_capacity(cells.len()),
-                    );
-                    let mut sorted = cells;
-                    sorted.sort_unstable_by_key(|&(l, _)| l);
-                    for (l, v) in sorted {
-                        indices.push(l);
-                        values.push(v);
-                    }
-                    let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
-                    Ok(chain_plan.execute_sparse(&chunk, &proj_factors, &mut Workspace::new())?)
+                |_part, cells| -> TaskOutcome<DenseTensor> {
+                    let compute = || -> Result<DenseTensor, DistError> {
+                        let (mut indices, mut values): (Vec<u64>, Vec<f64>) = (
+                            Vec::with_capacity(cells.len()),
+                            Vec::with_capacity(cells.len()),
+                        );
+                        let mut sorted = cells.clone();
+                        sorted.sort_unstable_by_key(|&(l, _)| l);
+                        for (l, v) in sorted {
+                            indices.push(l);
+                            values.push(v);
+                        }
+                        let chunk = SparseTensor::from_sorted_linear(&join_dims, indices, values)?;
+                        Ok(chain_plan.execute_sparse(
+                            &chunk,
+                            &proj_factors,
+                            &mut Workspace::new(),
+                        )?)
+                    };
+                    compute().into()
                 },
-                plan,
-                policy,
             )?;
+            info.resumed_tasks += sharded3.resumed;
+            // Degraded completion: partial cores sum, so a missing task
+            // only loses its cells' contribution. Refuse below the
+            // coverage floor (or at all without a recovery layer — the
+            // wave then fails before reaching here).
+            let total = sharded3.reduce_tasks.max(1);
+            let missing = sharded3.dead.len() + sharded3.skipped_dead.len();
+            if missing > 0 {
+                let covered = (total as usize - missing) as f64 / total as f64;
+                let floor = recovery.map(|r| r.min_coverage).unwrap_or(1.0);
+                if covered < floor {
+                    return Err(DistError::Worker(format!(
+                        "phase-3 coverage {covered:.3} is below the {floor:.3} floor: \
+                         {missing} of {total} partial cores are parked in the dead-letter queue"
+                    )));
+                }
+                info.degraded = true;
+                info.dead_tasks = sharded3
+                    .dead
+                    .iter()
+                    .map(|d| d.task)
+                    .chain(sharded3.skipped_dead.iter().copied())
+                    .collect();
+                info.dead_tasks.sort_unstable();
+                m2td_obs::counter_add("dlq.degraded_completions", 1);
+            }
+            let (stats3, tasks3) = (sharded3.stats, sharded3.counters);
             let mut core: Option<DenseTensor> = None;
-            for partial in partial_cores {
-                let partial = partial?;
+            for (_, outcome) in sharded3.outputs {
+                let partial = outcome.into_result()?;
                 core = Some(match core {
                     None => partial,
                     Some(acc) => acc.add(&partial)?,
@@ -629,13 +1009,19 @@ pub fn d_m2td_fault_tolerant(
     // guard layer exists to prevent.
     m2td_guard::check_dense("phase3.core", core.dims(), core.as_slice())?;
 
+    if let Some(state) = &resume_state {
+        info.drained = state.drained.load(Ordering::Relaxed);
+    }
     let tucker = TuckerDecomp::new(core, factors)?;
-    Ok(DistDecomposition {
-        tucker,
-        phase1,
-        phase2,
-        phase3,
-    })
+    Ok((
+        DistDecomposition {
+            tucker,
+            phase1,
+            phase2,
+            phase3,
+        },
+        info,
+    ))
 }
 
 /// Phase 3 via the paper's dataflow: one MapReduce job per mode, cells
@@ -666,8 +1052,16 @@ fn phase3_mode_shuffle(
             .collect();
         let rest_shape = Shape::new(&rest_dims);
 
-        let (groups, stats, job_tasks) = engine.run_with_faults(
-            PHASE3_JOB,
+        let sharded = engine.run_sharded(
+            &ShardedRun {
+                job: PHASE3_JOB,
+                phase: 3,
+                plan: &faults.plan,
+                policy: &faults.policy,
+                // Per-mode jobs reuse task ids, so manifest-based resume
+                // cannot tell them apart — ModeShuffle never parks.
+                recovery: None,
+            },
             cells,
             |(idx, v): (Vec<usize>, f64)| {
                 // Key: the linearized all-but-`mode` index.
@@ -690,13 +1084,12 @@ fn phase3_mode_shuffle(
                 }
                 (*key, out)
             },
-            &faults.plan,
-            &faults.policy,
         )?;
-        total.map_records += stats.map_records;
-        total.shuffled_pairs += stats.shuffled_pairs;
-        total.reduce_groups += stats.reduce_groups;
-        tasks.absorb(&job_tasks);
+        total.map_records += sharded.stats.map_records;
+        total.shuffled_pairs += sharded.stats.shuffled_pairs;
+        total.reduce_groups += sharded.stats.reduce_groups;
+        tasks.absorb(&sharded.counters);
+        let groups = sharded.outputs.into_iter().map(|(_, g)| g);
 
         // Reassemble the (dense-in-`mode`) intermediate as the next input:
         // mode's extent becomes r.
@@ -990,6 +1383,166 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         assert!(faulty.total_tasks().kills() > 0, "no kills injected");
+    }
+
+    #[test]
+    fn channel_transport_matches_direct_bitwise() {
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let direct = d_m2td(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &MapReduce::new(3).with_transport(crate::TransportKind::Direct),
+        )
+        .unwrap();
+        let channel = d_m2td(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &MapReduce::new(3).with_transport(crate::TransportKind::Channel),
+        )
+        .unwrap();
+        assert_eq!(
+            direct.tucker.core.as_slice(),
+            channel.tucker.core.as_slice(),
+            "transport changed the core"
+        );
+        for (a, b) in direct
+            .tucker
+            .factors
+            .iter()
+            .zip(channel.tucker.factors.iter())
+        {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn doomed_phase3_task_completes_degraded_then_converges_after_requeue() {
+        let dir = unique_tmp_dir("m2td_dmtd_resume_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = ManifestStore::open(&dir).unwrap();
+        let (x1, x2) = sub_tensors(6, 5);
+        let ranks = [3, 3, 3];
+        let opts = M2tdOptions::default();
+        let engine = MapReduce::new(2); // 2 phase-3 partitions
+        let clean = d_m2td(&x1, &x2, 1, &ranks, opts, &engine).unwrap();
+
+        // Run 1: partial core 1's every attempt dies — degraded result.
+        let doomed = FaultConfig {
+            plan: FaultPlan::none().in_job(PHASE3_JOB).with_doom_mask(1 << 1),
+            policy: RetryPolicy::default(),
+        };
+        let dlq = DlqStore::open(&dir);
+        let recovery = JobRecovery::new(&manifest, &dlq).with_min_coverage(0.5);
+        let report = d_m2td_resumable(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &doomed,
+            None,
+            &recovery,
+        )
+        .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.dead_tasks, vec![1]);
+        assert_eq!(dlq.depth(), 1);
+        let entry = &dlq.entries()[0];
+        assert_eq!((entry.job, entry.phase, entry.task), (PHASE3_JOB, 3, 1));
+        assert_eq!(entry.attempts, RetryPolicy::default().max_attempts);
+        // The degraded core differs from the clean one (cells missing).
+        assert_ne!(
+            report.dist.tucker.core.as_slice(),
+            clean.tucker.core.as_slice()
+        );
+
+        // A tighter floor refuses the same degradation outright.
+        let strict = JobRecovery::new(&manifest, &dlq).with_min_coverage(0.9);
+        let err = d_m2td_resumable(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &doomed,
+            None,
+            &strict,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistError::Worker(_)), "got {err}");
+
+        // Run 2: requeue, drop the doom — converges to the clean result.
+        assert_eq!(dlq.requeue_all().unwrap(), 1);
+        let report2 = d_m2td_resumable(
+            &x1,
+            &x2,
+            1,
+            &ranks,
+            opts,
+            &engine,
+            Phase3Strategy::ChunkPartition,
+            &FaultConfig::none(),
+            None,
+            &recovery,
+        )
+        .unwrap();
+        assert!(!report2.degraded);
+        assert_eq!(report2.drained, 1);
+        assert!(report2.resumed_tasks > 0, "manifest resumed nothing");
+        assert_eq!(dlq.depth(), 0);
+        assert_eq!(
+            report2.dist.tucker.core.as_slice(),
+            clean.tucker.core.as_slice(),
+            "requeued run is not bitwise identical to the clean run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_phase1_task_is_a_hard_error_but_still_parks() {
+        let dir = unique_tmp_dir("m2td_dmtd_p1dead_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = ManifestStore::open(&dir).unwrap();
+        let dlq = DlqStore::open(&dir);
+        let (x1, x2) = sub_tensors(5, 4);
+        // Phase 1 reduce task 0 (κ=1) is doomed: no degraded completion.
+        let doomed = FaultConfig {
+            plan: FaultPlan::none().in_job(PHASE1_JOB).with_doom_mask(1),
+            policy: RetryPolicy::default(),
+        };
+        let recovery = JobRecovery::new(&manifest, &dlq);
+        let err = d_m2td_resumable(
+            &x1,
+            &x2,
+            1,
+            &[2, 2, 2],
+            M2tdOptions::default(),
+            &MapReduce::new(2),
+            Phase3Strategy::ChunkPartition,
+            &doomed,
+            None,
+            &recovery,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistError::Exhausted(_)), "got {err}");
+        // The corpse is in the queue for forensics and requeue.
+        assert_eq!(dlq.depth(), 1);
+        assert_eq!(dlq.entries()[0].job, PHASE1_JOB);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

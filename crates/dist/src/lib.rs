@@ -22,15 +22,32 @@
 //! to a [`CheckpointStore`] so interrupted runs resume instead of
 //! recomputing.
 
+//!
+//! Sharded execution (DESIGN.md §14): tasks can additionally cross a
+//! [`Transport`] boundary as checksummed [`TaskEnvelope`]s, are scheduled
+//! by a work-stealing wave scheduler, and exhausted tasks park in a
+//! [`DlqStore`] dead-letter queue while a [`JobManifest`] records
+//! per-phase completion for job-level resume.
+
 mod checkpoint;
 mod cluster;
+mod dlq;
 mod dmtd;
+mod manifest;
 mod mapreduce;
+mod scheduler;
+mod transport;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, Fingerprint};
 pub use cluster::{ClusterModel, FailureModel, PhaseCost};
+pub use dlq::{DlqEntry, DlqStore};
 pub use dmtd::{
-    d_m2td, d_m2td_fault_tolerant, d_m2td_with_phase3, DistDecomposition, DistError, FaultConfig,
-    Phase3Strategy, PhaseStats, PHASE1_JOB, PHASE2_JOB, PHASE3_JOB,
+    d_m2td, d_m2td_fault_tolerant, d_m2td_resumable, d_m2td_with_phase3, DistDecomposition,
+    DistError, FaultConfig, JobRecovery, Phase3Strategy, PhaseStats, ResumeReport, PHASE1_JOB,
+    PHASE2_JOB, PHASE3_JOB,
 };
+pub use manifest::{JobManifest, ManifestStore, PhaseManifest};
 pub use mapreduce::{MapReduce, ShuffleStats};
+pub use transport::{
+    ChannelTransport, DirectTransport, TaskEnvelope, Transport, TransportError, TransportKind,
+};

@@ -10,6 +10,13 @@
 //! [`m2td_par::max_threads`], so `M2TD_THREADS` (or `--threads`) is the
 //! one knob that governs all parallelism in the process.
 //!
+//! Tasks are executed by the work-stealing wave scheduler
+//! ([`crate::scheduler`]): map chunks and reduce groups are dealt onto
+//! per-worker deques and idle workers steal from busy ones, so a
+//! straggling worker no longer strands the tail of its share. Outputs and
+//! counters are merged in task-id order, keeping the determinism contract
+//! independent of who ran what.
+//!
 //! ## Fault tolerance
 //!
 //! [`MapReduce::run_with_faults`] executes the same job under a seeded
@@ -22,11 +29,23 @@
 //! bitwise identical to the fault-free run — faults only change the
 //! [`TaskCounters`] and virtual time. A task killed on every allowed
 //! attempt fails the job with [`FaultError::RetryExhausted`].
+//!
+//! ## Sharded execution
+//!
+//! [`MapReduce::run_sharded`] additionally moves every task's inputs and
+//! outputs across the configured [`TransportKind`] as checksummed
+//! [`TaskEnvelope`]s (a dropped or corrupted envelope counts as a failed
+//! attempt and retries), consults a [`WaveRecovery`] hook so completed
+//! reduce tasks resume from recorded outputs, and *parks* exhausted
+//! reduce tasks instead of failing — the caller routes them to the
+//! dead-letter queue and decides whether coverage allows a degraded
+//! result.
 
-use m2td_fault::{FaultDecision, FaultError, FaultPlan, RetryPolicy, TaskCounters, TaskKind};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use crate::scheduler::{run_wave, DeadTask, WaveSpec};
+use crate::transport::{ChannelTransport, TaskEnvelope, Transport, TransportError, TransportKind};
+use m2td_fault::{FaultError, FaultPlan, RetryPolicy, TaskCounters, TaskKind};
+use m2td_json::{FromJson, Json, ToJson};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Statistics of one MapReduce job, consumed by the cluster cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -44,98 +63,161 @@ pub struct ShuffleStats {
 #[derive(Debug, Clone, Copy)]
 pub struct MapReduce {
     workers: usize,
+    transport: TransportKind,
 }
 
-/// Runs one task under the fault plan: retries kills with virtual backoff
-/// until the policy's attempt budget is exhausted, charges (speculation-
-/// capped) straggler delays, and reports what happened via a fresh
-/// [`TaskCounters`]. `exec` must be pure — it is re-invoked on retry and
-/// its output discarded for killed attempts.
-fn attempt_task<T>(
+/// What a previous run already decided about one reduce task.
+pub(crate) enum TaskState {
+    /// Never attempted (or unknown): run it.
+    Fresh,
+    /// Completed earlier; the serialized output to resume from.
+    Completed(Json),
+    /// Retry budget exhausted earlier. `requeued` tasks get a fresh run;
+    /// the rest are skipped and the phase completes without them.
+    Dead { requeued: bool },
+}
+
+/// Resume/dead-letter hooks consulted by [`MapReduce::run_sharded`] for
+/// the reduce wave of one phase. Implementations persist to the job
+/// manifest and dead-letter queue; callbacks may arrive from any worker
+/// thread, but at most once per task and only for accepted results.
+pub(crate) trait WaveRecovery: Sync {
+    /// The phase is about to schedule `total` reduce tasks.
+    fn begin_phase(&self, total: u64);
+    /// What a previous run recorded for this task.
+    fn task_state(&self, task: u64) -> TaskState;
+    /// The task completed; `output` is its serialized result.
+    fn record_complete(&self, task: u64, output: &Json);
+    /// The task exhausted its budget; `envelope` carries its identity and
+    /// serialized input for the dead-letter queue.
+    fn record_dead(&self, dead: &DeadTask, envelope: &TaskEnvelope);
+    /// A previously-dead, requeued task just completed.
+    fn record_revived(&self, task: u64);
+}
+
+/// Parameters of one sharded run.
+pub(crate) struct ShardedRun<'a> {
+    /// Job id (fault-plan scope and envelope identity).
+    pub job: u64,
+    /// D-M2TD phase number stamped into envelopes.
+    pub phase: u8,
+    /// Fault plan injected into every attempt and into the wire.
+    pub plan: &'a FaultPlan,
+    /// Retry/backoff/speculation policy.
+    pub policy: &'a RetryPolicy,
+    /// Resume and dead-letter hooks; `None` restores fail-fast behavior.
+    pub recovery: Option<&'a dyn WaveRecovery>,
+}
+
+/// What a sharded run produced.
+#[derive(Debug)]
+pub(crate) struct ShardedOutput<R> {
+    /// `(task, output)` for every surviving reduce task — freshly run or
+    /// resumed from the manifest — ascending by task id.
+    pub outputs: Vec<(u64, R)>,
+    /// Shuffle statistics (always reflect the full job, resumed or not).
+    pub stats: ShuffleStats,
+    /// Execution counters for the tasks that actually ran.
+    pub counters: TaskCounters,
+    /// Reduce tasks that exhausted their budget in *this* run.
+    pub dead: Vec<DeadTask>,
+    /// Reduce tasks recorded dead by a previous run and not requeued.
+    pub skipped_dead: Vec<u64>,
+    /// Reduce tasks replayed from recorded outputs instead of re-running.
+    pub resumed: usize,
+    /// Total reduce tasks the phase scheduled.
+    pub reduce_tasks: u64,
+}
+
+/// Serializes `value` into an envelope, pushes it across the transport,
+/// and decodes the survivor. The checksum guarantees wire damage surfaces
+/// here as an error (a retryable failed attempt), never as silent data
+/// corruption downstream.
+#[allow(clippy::too_many_arguments)] // the envelope identity header, spelled out
+fn ship<T: ToJson, U: FromJson>(
+    transport: &ChannelTransport,
     job: u64,
+    phase: u8,
     kind: TaskKind,
     task: u64,
-    plan: &FaultPlan,
-    policy: &RetryPolicy,
-    exec: impl Fn() -> T,
-) -> Result<(T, TaskCounters), FaultError> {
-    let mut c = TaskCounters::default();
-    let (attempts, kills) = match kind {
-        TaskKind::Map => (&mut c.map_attempts, &mut c.map_kills),
-        _ => (&mut c.reduce_attempts, &mut c.reduce_kills),
-    };
-    for attempt in 0..policy.max_attempts {
-        match plan.decide(job, kind, task, attempt) {
-            FaultDecision::Kill => {
-                // The attempt ran partway before dying: execute and
-                // discard, then back off in virtual time before retrying.
-                let _ = exec();
-                *attempts += 1;
-                *kills += 1;
-                if attempt + 1 == policy.max_attempts {
-                    return Err(FaultError::RetryExhausted {
-                        job,
-                        kind,
-                        task,
-                        attempts: policy.max_attempts,
-                    });
-                }
-                c.virtual_lost_secs += policy.backoff_secs(attempt + 1);
-            }
-            FaultDecision::Straggle(delay) => {
-                let out = exec();
-                *attempts += 1;
-                c.stragglers += 1;
-                if policy.speculates(delay) {
-                    // The backup copy re-executes the pure task; its
-                    // identical output wins, capping the injected delay.
-                    let _ = exec();
-                    *attempts += 1;
-                    c.speculative_launches += 1;
-                }
-                c.virtual_lost_secs += policy.charged_straggle_secs(delay);
-                return Ok((out, c));
-            }
-            FaultDecision::Ok => {
-                let out = exec();
-                *attempts += 1;
-                return Ok((out, c));
-            }
-        }
-    }
-    unreachable!("attempt loop always returns within the policy budget")
+    attempt: u32,
+    leg: u32,
+    value: &T,
+) -> Result<U, TransportError> {
+    let envelope = TaskEnvelope::new(
+        job,
+        phase,
+        kind,
+        task,
+        attempt,
+        value.to_json().to_compact(),
+    );
+    let delivered = transport.deliver(&envelope, leg)?;
+    let doc = Json::parse(&delivered.payload)
+        .map_err(|e| TransportError::Malformed(format!("payload parse: {e}")))?;
+    U::from_json(&doc).map_err(|e| TransportError::Malformed(format!("payload decode: {e}")))
 }
 
-/// Per-worker fold state shared across the task queue of one phase:
-/// `(task_id, output)` pairs plus counter deltas keyed by task id so the
-/// final merge is independent of scheduling order.
-struct PhaseState<T> {
-    outputs: Vec<(usize, T)>,
-    counters: Vec<(usize, TaskCounters)>,
-    error: Option<FaultError>,
+/// Splits inputs into at most `workers` contiguous chunks in input order.
+fn chunk_inputs<I>(inputs: Vec<I>, workers: usize) -> Vec<Vec<I>> {
+    let chunk_size = inputs.len().div_ceil(workers).max(1);
+    let mut out = Vec::new();
+    let mut it = inputs.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(chunk);
+    }
+    out
 }
 
-impl<T> PhaseState<T> {
-    fn new() -> Self {
-        Self {
-            outputs: Vec::new(),
-            counters: Vec::new(),
-            error: None,
-        }
+/// Mirrors a job's task counters into the telemetry registry so a metrics
+/// snapshot reports the same numbers the caller receives.
+fn mirror_counters(totals: &TaskCounters) {
+    if !m2td_obs::installed() {
+        return;
     }
+    m2td_obs::counter_add("mr.map_attempts", totals.map_attempts as u64);
+    m2td_obs::counter_add("mr.map_kills", totals.map_kills as u64);
+    m2td_obs::counter_add("mr.reduce_attempts", totals.reduce_attempts as u64);
+    m2td_obs::counter_add("mr.reduce_kills", totals.reduce_kills as u64);
+    m2td_obs::counter_add("mr.retries", totals.kills() as u64);
+    m2td_obs::counter_add("mr.stragglers", totals.stragglers as u64);
+    m2td_obs::counter_add(
+        "mr.speculative_launches",
+        totals.speculative_launches as u64,
+    );
+    m2td_obs::counter_add("mr.xport_corruptions", totals.xport_corruptions as u64);
+    m2td_obs::gauge_add("mr.virtual_lost_secs", totals.virtual_lost_secs);
 }
 
 impl MapReduce {
-    /// Creates an engine with `workers` threads (at least 1).
+    /// Creates an engine with `workers` threads (at least 1). The
+    /// transport defaults to the `M2TD_TRANSPORT` environment variable
+    /// (in-process direct calls unless it says `channel`).
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            transport: TransportKind::from_env(),
         }
     }
 
     /// Worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Selects how sharded tasks cross the worker boundary.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The configured transport.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
     }
 
     /// Runs a job: `map` turns each input into key/value pairs; values are
@@ -156,9 +238,9 @@ impl MapReduce {
     /// ```
     pub fn run<I, K, V, R, M, F>(&self, inputs: Vec<I>, map: M, reduce: F) -> (Vec<R>, ShuffleStats)
     where
-        I: Send + Clone,
-        K: Ord + Send,
-        V: Send + Clone,
+        I: Send + Sync + Clone,
+        K: Ord + Send + Sync,
+        V: Send + Sync + Clone,
         R: Send,
         M: Fn(I) -> Vec<(K, V)> + Sync,
         F: Fn(&K, Vec<V>) -> R + Sync,
@@ -197,9 +279,9 @@ impl MapReduce {
         policy: &RetryPolicy,
     ) -> Result<(Vec<R>, ShuffleStats, TaskCounters), FaultError>
     where
-        I: Send + Clone,
-        K: Ord + Send,
-        V: Send + Clone,
+        I: Send + Sync + Clone,
+        K: Ord + Send + Sync,
+        V: Send + Sync + Clone,
         R: Send,
         M: Fn(I) -> Vec<(K, V)> + Sync,
         F: Fn(&K, Vec<V>) -> R + Sync,
@@ -208,73 +290,34 @@ impl MapReduce {
         let map_records = inputs.len();
         let mut totals = TaskCounters::default();
 
-        // ---- Map phase: chunk inputs across workers. ----
-        // Each worker keeps (chunk_id, pairs) so the shuffle can restore
-        // the original input order before grouping (determinism).
-        let chunk_size = map_records.div_ceil(self.workers).max(1);
-        let chunks: Vec<(usize, Vec<I>)> = {
-            let mut out = Vec::new();
-            let mut it = inputs.into_iter();
-            let mut id = 0;
-            loop {
-                let chunk: Vec<I> = it.by_ref().take(chunk_size).collect();
-                if chunk.is_empty() {
-                    break;
+        // ---- Map phase: chunk inputs, one task per chunk. ----
+        let chunks = chunk_inputs(inputs, self.workers);
+        let map_tasks: Vec<u64> = (0..chunks.len() as u64).collect();
+        let map_wave = run_wave(
+            &WaveSpec {
+                job,
+                kind: TaskKind::Map,
+                workers: self.workers,
+                plan,
+                policy,
+                park_exhausted: false,
+            },
+            &map_tasks,
+            |t, _attempt| {
+                let mut pairs = Vec::new();
+                for item in chunks[t as usize].iter().cloned() {
+                    pairs.extend(map(item));
                 }
-                out.push((id, chunk));
-                id += 1;
-            }
-            out
-        };
+                Ok::<_, TransportError>(pairs)
+            },
+            |_, _| {},
+        )?;
+        totals.absorb(&map_wave.counters);
 
-        let state: Mutex<PhaseState<Vec<(K, V)>>> = Mutex::new(PhaseState::new());
-        let failed = AtomicBool::new(false);
-        let queue: Mutex<std::vec::IntoIter<(usize, Vec<I>)>> = Mutex::new(chunks.into_iter());
-        m2td_par::run_workers(self.workers, || loop {
-            if failed.load(Ordering::Relaxed) {
-                break;
-            }
-            let next = queue.lock().unwrap().next();
-            match next {
-                Some((id, chunk)) => {
-                    let result = attempt_task(job, TaskKind::Map, id as u64, plan, policy, || {
-                        let mut pairs = Vec::new();
-                        for item in chunk.iter().cloned() {
-                            pairs.extend(map(item));
-                        }
-                        pairs
-                    });
-                    let mut s = state.lock().unwrap();
-                    match result {
-                        Ok((pairs, c)) => {
-                            s.outputs.push((id, pairs));
-                            s.counters.push((id, c));
-                        }
-                        Err(e) => {
-                            s.error = Some(e);
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                    }
-                }
-                None => break,
-            }
-        });
-        let map_state = state.into_inner().unwrap();
-        if let Some(e) = map_state.error {
-            return Err(e);
-        }
-        let mut deltas = map_state.counters;
-        deltas.sort_by_key(|&(id, _)| id);
-        for (_, c) in &deltas {
-            totals.absorb(c);
-        }
-
-        // ---- Shuffle: restore input order, group by key. ----
-        let mut by_chunk = map_state.outputs;
-        by_chunk.sort_by_key(|&(id, _)| id);
+        // ---- Shuffle: chunk order = input order, group by key. ----
         let mut shuffled_pairs = 0;
         let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for (_, pairs) in by_chunk {
+        for (_, pairs) in map_wave.outputs {
             for (k, v) in pairs {
                 shuffled_pairs += 1;
                 groups.entry(k).or_default().push(v);
@@ -282,71 +325,30 @@ impl MapReduce {
         }
         let reduce_groups = groups.len();
 
-        // ---- Reduce phase: distribute groups across workers. ----
-        let indexed: Vec<(usize, K, Vec<V>)> = groups
-            .into_iter()
-            .enumerate()
-            .map(|(i, (k, v))| (i, k, v))
-            .collect();
-        let state: Mutex<PhaseState<R>> = Mutex::new(PhaseState::new());
-        let failed = AtomicBool::new(false);
-        let rqueue: Mutex<std::vec::IntoIter<(usize, K, Vec<V>)>> = Mutex::new(indexed.into_iter());
-        m2td_par::run_workers(self.workers, || loop {
-            if failed.load(Ordering::Relaxed) {
-                break;
-            }
-            let next = rqueue.lock().unwrap().next();
-            match next {
-                Some((i, k, vs)) => {
-                    let result =
-                        attempt_task(job, TaskKind::Reduce, i as u64, plan, policy, || {
-                            reduce(&k, vs.clone())
-                        });
-                    let mut s = state.lock().unwrap();
-                    match result {
-                        Ok((r, c)) => {
-                            s.outputs.push((i, r));
-                            s.counters.push((i, c));
-                        }
-                        Err(e) => {
-                            s.error = Some(e);
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                    }
-                }
-                None => break,
-            }
-        });
-        let reduce_state = state.into_inner().unwrap();
-        if let Some(e) = reduce_state.error {
-            return Err(e);
-        }
-        let mut deltas = reduce_state.counters;
-        deltas.sort_by_key(|&(id, _)| id);
-        for (_, c) in &deltas {
-            totals.absorb(c);
-        }
+        // ---- Reduce phase: one task per key group, in key order. ----
+        let indexed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+        let reduce_tasks: Vec<u64> = (0..indexed.len() as u64).collect();
+        let reduce_wave = run_wave(
+            &WaveSpec {
+                job,
+                kind: TaskKind::Reduce,
+                workers: self.workers,
+                plan,
+                policy,
+                park_exhausted: false,
+            },
+            &reduce_tasks,
+            |t, _attempt| {
+                let (k, vs) = &indexed[t as usize];
+                Ok::<_, TransportError>(reduce(k, vs.clone()))
+            },
+            |_, _| {},
+        )?;
+        totals.absorb(&reduce_wave.counters);
+        mirror_counters(&totals);
 
-        // Mirror the job's task counters into the telemetry registry so a
-        // metrics snapshot reports the same numbers the caller receives.
-        if m2td_obs::installed() {
-            m2td_obs::counter_add("mr.map_attempts", totals.map_attempts as u64);
-            m2td_obs::counter_add("mr.map_kills", totals.map_kills as u64);
-            m2td_obs::counter_add("mr.reduce_attempts", totals.reduce_attempts as u64);
-            m2td_obs::counter_add("mr.reduce_kills", totals.reduce_kills as u64);
-            m2td_obs::counter_add("mr.retries", totals.kills() as u64);
-            m2td_obs::counter_add("mr.stragglers", totals.stragglers as u64);
-            m2td_obs::counter_add(
-                "mr.speculative_launches",
-                totals.speculative_launches as u64,
-            );
-            m2td_obs::gauge_add("mr.virtual_lost_secs", totals.virtual_lost_secs);
-        }
-
-        let mut results = reduce_state.outputs;
-        results.sort_by_key(|&(i, _)| i);
         Ok((
-            results.into_iter().map(|(_, r)| r).collect(),
+            reduce_wave.outputs.into_iter().map(|(_, r)| r).collect(),
             ShuffleStats {
                 map_records,
                 shuffled_pairs,
@@ -355,11 +357,202 @@ impl MapReduce {
             totals,
         ))
     }
+
+    /// [`MapReduce::run_with_faults`] with the full distribution story:
+    /// task inputs and outputs cross the configured transport as
+    /// checksummed envelopes (both legs of every attempt), completed
+    /// reduce tasks resume from the recovery hook's recorded outputs,
+    /// and exhausted reduce tasks are parked for the dead-letter queue
+    /// instead of failing the job (map exhaustion still fails — without
+    /// its pairs the shuffle groups are wrong for every reducer).
+    pub(crate) fn run_sharded<I, K, V, R, M, F>(
+        &self,
+        run: &ShardedRun<'_>,
+        inputs: Vec<I>,
+        map: M,
+        reduce: F,
+    ) -> Result<ShardedOutput<R>, FaultError>
+    where
+        I: Send + Sync + Clone + ToJson + FromJson,
+        K: Ord + Send + Sync + Clone + ToJson + FromJson,
+        V: Send + Sync + Clone + ToJson + FromJson,
+        R: Send + ToJson + FromJson,
+        M: Fn(I) -> Vec<(K, V)> + Sync,
+        F: Fn(&K, Vec<V>) -> R + Sync,
+    {
+        // Same span label as run_with_faults: telemetry consumers see one
+        // job taxonomy whichever execution path ran.
+        let _span = m2td_obs::span!("mapreduce.job", job = run.job);
+        let map_records = inputs.len();
+        let mut totals = TaskCounters::default();
+        let transport = match self.transport {
+            TransportKind::Channel => Some(ChannelTransport::new(*run.plan)),
+            TransportKind::Direct => None,
+        };
+
+        // ---- Map phase (never parked, never resumed). ----
+        let chunks = chunk_inputs(inputs, self.workers);
+        let map_tasks: Vec<u64> = (0..chunks.len() as u64).collect();
+        let map_wave = run_wave(
+            &WaveSpec {
+                job: run.job,
+                kind: TaskKind::Map,
+                workers: self.workers,
+                plan: run.plan,
+                policy: run.policy,
+                park_exhausted: false,
+            },
+            &map_tasks,
+            |t, attempt| {
+                let chunk = &chunks[t as usize];
+                let input: Vec<I> = match &transport {
+                    Some(ch) => ship(ch, run.job, run.phase, TaskKind::Map, t, attempt, 0, chunk)?,
+                    None => chunk.clone(),
+                };
+                let mut pairs: Vec<(K, V)> = Vec::new();
+                for item in input {
+                    pairs.extend(map(item));
+                }
+                match &transport {
+                    Some(ch) => ship(ch, run.job, run.phase, TaskKind::Map, t, attempt, 1, &pairs),
+                    None => Ok(pairs),
+                }
+            },
+            |_, _| {},
+        )?;
+        totals.absorb(&map_wave.counters);
+
+        // ---- Shuffle. ----
+        let mut shuffled_pairs = 0;
+        let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (_, pairs) in map_wave.outputs {
+            for (k, v) in pairs {
+                shuffled_pairs += 1;
+                groups.entry(k).or_default().push(v);
+            }
+        }
+        let stats = ShuffleStats {
+            map_records,
+            shuffled_pairs,
+            reduce_groups: groups.len(),
+        };
+
+        // ---- Triage reduce tasks against the previous run's record. ----
+        let indexed: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+        let total = indexed.len() as u64;
+        if let Some(rec) = run.recovery {
+            rec.begin_phase(total);
+        }
+        let mut to_run: Vec<u64> = Vec::new();
+        let mut resumed_outputs: Vec<(u64, R)> = Vec::new();
+        let mut skipped_dead: Vec<u64> = Vec::new();
+        let mut revived: BTreeSet<u64> = BTreeSet::new();
+        for t in 0..total {
+            match run.recovery.map(|r| r.task_state(t)) {
+                None | Some(TaskState::Fresh) => to_run.push(t),
+                Some(TaskState::Completed(doc)) => match R::from_json(&doc) {
+                    Ok(r) => resumed_outputs.push((t, r)),
+                    // An undecodable recorded output is recomputed, not
+                    // trusted.
+                    Err(_) => to_run.push(t),
+                },
+                Some(TaskState::Dead { requeued: true }) => {
+                    revived.insert(t);
+                    to_run.push(t);
+                }
+                Some(TaskState::Dead { requeued: false }) => skipped_dead.push(t),
+            }
+        }
+        let resumed = resumed_outputs.len();
+        if resumed > 0 {
+            m2td_obs::counter_add("manifest.tasks_resumed", resumed as u64);
+        }
+
+        // ---- Reduce phase: parked when a recovery layer is attached. ----
+        let revived_ref = &revived;
+        let reduce_wave = run_wave(
+            &WaveSpec {
+                job: run.job,
+                kind: TaskKind::Reduce,
+                workers: self.workers,
+                plan: run.plan,
+                policy: run.policy,
+                park_exhausted: run.recovery.is_some(),
+            },
+            &to_run,
+            |t, attempt| {
+                let (k, vs) = &indexed[t as usize];
+                let (k, vs): (K, Vec<V>) = match &transport {
+                    Some(ch) => {
+                        let input = (k.clone(), vs.clone());
+                        ship(
+                            ch,
+                            run.job,
+                            run.phase,
+                            TaskKind::Reduce,
+                            t,
+                            attempt,
+                            0,
+                            &input,
+                        )?
+                    }
+                    None => (k.clone(), vs.clone()),
+                };
+                let r = reduce(&k, vs);
+                match &transport {
+                    Some(ch) => ship(ch, run.job, run.phase, TaskKind::Reduce, t, attempt, 1, &r),
+                    None => Ok(r),
+                }
+            },
+            |t, out: &R| {
+                if let Some(rec) = run.recovery {
+                    rec.record_complete(t, &out.to_json());
+                    if revived_ref.contains(&t) {
+                        rec.record_revived(t);
+                    }
+                }
+            },
+        )?;
+        totals.absorb(&reduce_wave.counters);
+        mirror_counters(&totals);
+
+        // ---- Park this run's corpses. ----
+        if let Some(rec) = run.recovery {
+            for d in &reduce_wave.dead {
+                let (k, vs) = &indexed[d.task as usize];
+                let payload = (k.clone(), vs.clone()).to_json().to_compact();
+                let envelope = TaskEnvelope::new(
+                    run.job,
+                    run.phase,
+                    TaskKind::Reduce,
+                    d.task,
+                    d.attempts,
+                    payload,
+                );
+                rec.record_dead(d, &envelope);
+            }
+        }
+
+        let mut outputs = reduce_wave.outputs;
+        outputs.extend(resumed_outputs);
+        outputs.sort_by_key(|&(t, _)| t);
+        Ok(ShardedOutput {
+            outputs,
+            stats,
+            counters: totals,
+            dead: reduce_wave.dead,
+            skipped_dead,
+            resumed,
+            reduce_tasks: total,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn word_count_style_job() {
@@ -556,5 +749,174 @@ mod tests {
         // Job 7 is untouched even though the kill rate is 1.
         let (_, _, counters) = summing_job(&engine, &plan, &RetryPolicy::no_retries()).unwrap();
         assert_eq!(counters.kills(), 0);
+    }
+
+    // ---- Sharded path. ----
+
+    fn sharded_summing(
+        engine: &MapReduce,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        recovery: Option<&dyn WaveRecovery>,
+    ) -> Result<ShardedOutput<(u64, u64)>, FaultError> {
+        engine.run_sharded(
+            &ShardedRun {
+                job: 7,
+                phase: 1,
+                plan,
+                policy,
+                recovery,
+            },
+            (0..400u64).collect(),
+            |x: u64| vec![(x % 5, x)],
+            |k, vs| (*k, vs.iter().sum::<u64>()),
+        )
+    }
+
+    #[test]
+    fn channel_transport_matches_direct_bitwise() {
+        let direct = MapReduce::new(3).with_transport(TransportKind::Direct);
+        let channel = MapReduce::new(3).with_transport(TransportKind::Channel);
+        let plan = FaultPlan::new(9, 0.3, 0.2, 20.0);
+        let a = sharded_summing(&direct, &plan, &RetryPolicy::default(), None).unwrap();
+        let b = sharded_summing(&channel, &plan, &RetryPolicy::default(), None).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn wire_corruption_is_retried_without_changing_results() {
+        let channel = MapReduce::new(2).with_transport(TransportKind::Channel);
+        let clean =
+            sharded_summing(&channel, &FaultPlan::none(), &RetryPolicy::default(), None).unwrap();
+        let noisy_plan = FaultPlan::none().with_xport_corrupt_rate(0.4);
+        let noisy = sharded_summing(&channel, &noisy_plan, &RetryPolicy::default(), None).unwrap();
+        assert_eq!(clean.outputs, noisy.outputs);
+        assert!(
+            noisy.counters.xport_corruptions > 0,
+            "plan injected no wire damage"
+        );
+        assert!(noisy.counters.attempts() > clean.counters.attempts());
+    }
+
+    /// In-memory recovery: the manifest/DLQ wiring without the disk.
+    #[derive(Default)]
+    struct MemRecovery {
+        state: Mutex<MemState>,
+    }
+
+    #[derive(Default)]
+    struct MemState {
+        total: u64,
+        completed: BTreeMap<u64, Json>,
+        dead: BTreeMap<u64, bool>, // task -> requeued
+        parked: Vec<u64>,
+        revived: Vec<u64>,
+    }
+
+    impl WaveRecovery for MemRecovery {
+        fn begin_phase(&self, total: u64) {
+            self.state.lock().unwrap().total = total;
+        }
+        fn task_state(&self, task: u64) -> TaskState {
+            let s = self.state.lock().unwrap();
+            if let Some(doc) = s.completed.get(&task) {
+                return TaskState::Completed(doc.clone());
+            }
+            if let Some(&requeued) = s.dead.get(&task) {
+                return TaskState::Dead { requeued };
+            }
+            TaskState::Fresh
+        }
+        fn record_complete(&self, task: u64, output: &Json) {
+            let mut s = self.state.lock().unwrap();
+            s.dead.remove(&task);
+            s.completed.insert(task, output.clone());
+        }
+        fn record_dead(&self, dead: &DeadTask, envelope: &TaskEnvelope) {
+            assert_eq!(dead.task, envelope.task);
+            let mut s = self.state.lock().unwrap();
+            s.completed.remove(&dead.task);
+            s.dead.insert(dead.task, false);
+            s.parked.push(dead.task);
+        }
+        fn record_revived(&self, task: u64) {
+            self.state.lock().unwrap().revived.push(task);
+        }
+    }
+
+    #[test]
+    fn doomed_tasks_park_then_requeue_then_drain() {
+        let engine = MapReduce::new(2);
+        let policy = RetryPolicy::default();
+        let recovery = MemRecovery::default();
+
+        // Run 1: task 2's every attempt is killed — parked, not fatal.
+        let doomed = FaultPlan::none().in_job(7).with_doom_mask(1 << 2);
+        let out = sharded_summing(&engine, &doomed, &policy, Some(&recovery)).unwrap();
+        assert_eq!(out.reduce_tasks, 5);
+        assert_eq!(out.dead.len(), 1);
+        assert_eq!(out.dead[0].task, 2);
+        assert_eq!(out.dead[0].attempts, policy.max_attempts);
+        assert_eq!(
+            out.outputs.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
+        assert_eq!(recovery.state.lock().unwrap().parked, vec![2]);
+
+        // Run 2: task 2 still dead and not requeued — skipped, others
+        // resumed from their recorded outputs without re-running.
+        let reduce_calls = AtomicUsize::new(0);
+        let out2 = engine
+            .run_sharded(
+                &ShardedRun {
+                    job: 7,
+                    phase: 1,
+                    plan: &FaultPlan::none(),
+                    policy: &policy,
+                    recovery: Some(&recovery),
+                },
+                (0..400u64).collect(),
+                |x: u64| vec![(x % 5, x)],
+                |k, vs| {
+                    reduce_calls.fetch_add(1, Ordering::Relaxed);
+                    (*k, vs.iter().sum::<u64>())
+                },
+            )
+            .unwrap();
+        assert_eq!(out2.resumed, 4);
+        assert_eq!(out2.skipped_dead, vec![2]);
+        assert_eq!(reduce_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(out2.outputs, out.outputs);
+
+        // Run 3: requeued and no longer doomed — revived and drained.
+        recovery.state.lock().unwrap().dead.insert(2, true);
+        let out3 = sharded_summing(&engine, &FaultPlan::none(), &policy, Some(&recovery)).unwrap();
+        assert_eq!(out3.resumed, 4);
+        assert!(out3.skipped_dead.is_empty() && out3.dead.is_empty());
+        assert_eq!(out3.outputs.len(), 5);
+        assert_eq!(recovery.state.lock().unwrap().revived, vec![2]);
+
+        // The full set matches a fresh, fault-free run bitwise.
+        let fresh = sharded_summing(&engine, &FaultPlan::none(), &policy, None).unwrap();
+        assert_eq!(out3.outputs, fresh.outputs);
+    }
+
+    #[test]
+    fn map_exhaustion_still_fails_even_with_recovery() {
+        let engine = MapReduce::new(2);
+        let plan = FaultPlan::new(1, 1.0, 0.0, 0.0)
+            .with_kill_cap(u32::MAX)
+            .in_job(7);
+        let recovery = MemRecovery::default();
+        let err = sharded_summing(
+            &engine,
+            &plan,
+            &RetryPolicy::with_max_attempts(2),
+            Some(&recovery),
+        )
+        .unwrap_err();
+        let FaultError::RetryExhausted { kind, .. } = err;
+        assert_eq!(kind, TaskKind::Map);
     }
 }

@@ -135,6 +135,18 @@ pub struct FaultPlan {
     /// decomposition (models a diverged solver writing garbage output that
     /// passes the scheduler but poisons the numerics).
     pub nan_cell_rate: f64,
+    /// Probability that a serialized [`TaskEnvelope`] crossing the
+    /// transport is corrupted in flight (the wire stream; see
+    /// [`FaultPlan::wire_corruption`]). Wire corruption is detected by the
+    /// envelope checksum and retried, so it costs attempts, never numerics.
+    pub xport_corrupt_rate: f64,
+    /// Bitmask of *reduce*-task ids (bit `t` = task `t`, ids ≥ 64 never
+    /// doomed) whose every attempt is killed in scoped jobs, regardless of
+    /// `kill_cap`. Dooming a task forces [`FaultError::RetryExhausted`]
+    /// deterministically — the hook CI uses to drive tasks into the
+    /// dead-letter queue. Map tasks are never doomed: a dead map task has
+    /// no degraded completion (its records feed every reduce group).
+    pub doom_mask: u64,
     /// Which jobs the map/reduce faults apply to.
     pub scope: FaultScope,
 }
@@ -151,6 +163,8 @@ impl FaultPlan {
             kill_cap: 2,
             ckpt_corrupt_rate: 0.0,
             nan_cell_rate: 0.0,
+            xport_corrupt_rate: 0.0,
+            doom_mask: 0,
             scope: FaultScope::AllJobs,
         }
     }
@@ -200,6 +214,24 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the in-flight envelope corruption rate of the wire stream.
+    pub fn with_xport_corrupt_rate(mut self, rate: f64) -> Self {
+        self.xport_corrupt_rate = rate;
+        self
+    }
+
+    /// Dooms the tasks whose bits are set in `mask`: every attempt of a
+    /// doomed task in a scoped job is killed, ignoring `kill_cap`.
+    pub fn with_doom_mask(mut self, mask: u64) -> Self {
+        self.doom_mask = mask;
+        self
+    }
+
+    /// True if task `task` of job `job` is doomed to exhaust its retries.
+    pub fn dooms_task(&self, job: u64, task: u64) -> bool {
+        self.targets_job(job) && task < 64 && (self.doom_mask >> task) & 1 == 1
+    }
+
     /// True if the plan can inject map/reduce faults into `job`.
     pub fn targets_job(&self, job: u64) -> bool {
         match self.scope {
@@ -216,6 +248,10 @@ impl FaultPlan {
     pub fn decide(&self, job: u64, kind: TaskKind, task: u64, attempt: u32) -> FaultDecision {
         if !self.targets_job(job) {
             return FaultDecision::Ok;
+        }
+        if kind == TaskKind::Reduce && self.dooms_task(job, task) {
+            m2td_obs::counter_add("fault.kills_injected", 1);
+            return FaultDecision::Kill;
         }
         if attempt < self.kill_cap
             && uniform(self.seed, job ^ kind.stream(), task, attempt, SALT_KILL) < self.kill_rate
@@ -272,6 +308,43 @@ impl FaultPlan {
         Some(kind)
     }
 
+    /// The corruption (if any) the wire stream injects into a serialized
+    /// task envelope in flight. `leg` distinguishes the two crossings of
+    /// one attempt (0 = task dispatch, 1 = result return) so they draw
+    /// independently. Pure in its arguments; only [`CorruptionKind::BitFlip`]
+    /// and [`CorruptionKind::Truncate`] occur (envelopes carry no format
+    /// version). Injections bump the `fault.xport_corruptions_injected`
+    /// counter when an `m2td-obs` subscriber is installed.
+    pub fn wire_corruption(
+        &self,
+        job: u64,
+        task: u64,
+        attempt: u32,
+        leg: u32,
+    ) -> Option<CorruptionKind> {
+        if !self.targets_job(job) {
+            return None;
+        }
+        let stream = job ^ STREAM_XPORT ^ ((leg as u64) << 32);
+        if uniform(self.seed, stream, task, attempt, SALT_CORRUPT) >= self.xport_corrupt_rate {
+            return None;
+        }
+        let pick = uniform(
+            self.seed,
+            stream,
+            task,
+            attempt.wrapping_add(1 << 16),
+            SALT_CORRUPT,
+        );
+        let kind = if pick < 0.5 {
+            CorruptionKind::BitFlip
+        } else {
+            CorruptionKind::Truncate
+        };
+        m2td_obs::counter_add("fault.xport_corruptions_injected", 1);
+        Some(kind)
+    }
+
     /// Whether the corruption stream replaces simulated cell `cell` of
     /// stream `stream` (e.g. a subsystem index) with NaN. Injections bump
     /// the `fault.nan_cells_injected` counter when an `m2td-obs` subscriber
@@ -306,6 +379,10 @@ const SALT_CORRUPT: u64 = 0x4352_5054;
 const SALT_NANCELL: u64 = 0x4e41_4e43;
 /// Stream id for checkpoint-corruption draws (not tied to any job).
 const STREAM_CKPT: u64 = 0x636b_7074;
+/// Stream id for in-flight envelope corruption draws ("xprt").
+const STREAM_XPORT: u64 = 0x7870_7274;
+/// Salt of the retry-jitter stream ("JTTR").
+const SALT_JITTER: u64 = 0x4a54_5452;
 
 /// Deterministic uniform draw in `[0, 1)` keyed by the full task identity.
 fn uniform(seed: u64, stream: u64, task: u64, attempt: u32, salt: u64) -> f64 {
@@ -338,6 +415,13 @@ pub struct RetryPolicy {
     /// a speculative backup copy; the backup's (identical) result is used
     /// and the straggler's excess delay is not charged.
     pub speculate_after_secs: f64,
+    /// Ceiling on any single backoff delay: the geometric schedule is
+    /// clamped here so deep retries cannot grow without bound.
+    pub max_backoff_secs: f64,
+    /// Fraction of the backoff randomized away by deterministic jitter in
+    /// [`RetryPolicy::backoff_secs_jittered`] (0 disables jitter and keeps
+    /// the plain schedule bitwise).
+    pub jitter_frac: f64,
 }
 
 impl Default for RetryPolicy {
@@ -347,6 +431,8 @@ impl Default for RetryPolicy {
             backoff_base_secs: 0.5,
             backoff_factor: 2.0,
             speculate_after_secs: 5.0,
+            max_backoff_secs: 60.0,
+            jitter_frac: 0.0,
         }
     }
 }
@@ -368,14 +454,42 @@ impl RetryPolicy {
         }
     }
 
+    /// Replaces the backoff ceiling.
+    pub fn with_max_backoff_secs(mut self, secs: f64) -> Self {
+        self.max_backoff_secs = secs;
+        self
+    }
+
+    /// Enables deterministic jitter over `frac` of each backoff delay
+    /// (clamped to `[0, 1]`).
+    pub fn with_jitter_frac(mut self, frac: f64) -> Self {
+        self.jitter_frac = frac.clamp(0.0, 1.0);
+        self
+    }
+
     /// Virtual backoff charged before retry number `retry` (1-based:
     /// `retry = 1` is the first re-execution). Deterministic geometric
-    /// schedule `base · factor^(retry−1)`.
+    /// schedule `base · factor^(retry−1)`, clamped to `max_backoff_secs`.
     pub fn backoff_secs(&self, retry: u32) -> f64 {
         if retry == 0 {
             return 0.0;
         }
-        self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1)
+        (self.backoff_base_secs * self.backoff_factor.powi(retry as i32 - 1))
+            .min(self.max_backoff_secs)
+    }
+
+    /// Like [`RetryPolicy::backoff_secs`] but with deterministic jitter
+    /// seeded from `(job, task, retry)`, so that tasks killed in the same
+    /// wave back off at different times instead of retrying in lockstep.
+    /// The jittered delay lies in `[(1 − jitter_frac)·b, b]` for base
+    /// delay `b`; with `jitter_frac == 0` it equals `backoff_secs` exactly.
+    pub fn backoff_secs_jittered(&self, job: u64, task: u64, retry: u32) -> f64 {
+        let base = self.backoff_secs(retry);
+        if self.jitter_frac <= 0.0 || base == 0.0 {
+            return base;
+        }
+        let draw = uniform(job, STREAM_XPORT ^ SALT_JITTER, task, retry, SALT_JITTER);
+        base * (1.0 - self.jitter_frac.clamp(0.0, 1.0) * draw)
     }
 
     /// The virtual delay actually charged for a straggler of `delay`
@@ -407,6 +521,9 @@ pub struct TaskCounters {
     pub stragglers: usize,
     /// Speculative backup copies launched.
     pub speculative_launches: usize,
+    /// Envelopes dropped by the transport for failing their checksum
+    /// (each one costs a retried attempt, never a wrong result).
+    pub xport_corruptions: usize,
     /// Virtual seconds lost to backoff and (capped) straggler delays.
     pub virtual_lost_secs: f64,
 }
@@ -420,6 +537,7 @@ impl TaskCounters {
         self.reduce_kills += other.reduce_kills;
         self.stragglers += other.stragglers;
         self.speculative_launches += other.speculative_launches;
+        self.xport_corruptions += other.xport_corruptions;
         self.virtual_lost_secs += other.virtual_lost_secs;
     }
 
@@ -540,11 +658,109 @@ mod tests {
             backoff_base_secs: 1.0,
             backoff_factor: 2.0,
             speculate_after_secs: 10.0,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_secs(0), 0.0);
         assert_eq!(p.backoff_secs(1), 1.0);
         assert_eq!(p.backoff_secs(2), 2.0);
         assert_eq!(p.backoff_secs(3), 4.0);
+    }
+
+    #[test]
+    fn backoff_is_clamped_to_the_ceiling() {
+        let p = RetryPolicy {
+            backoff_base_secs: 1.0,
+            backoff_factor: 10.0,
+            max_backoff_secs: 30.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_secs(1), 1.0);
+        assert_eq!(p.backoff_secs(2), 10.0);
+        assert_eq!(p.backoff_secs(3), 30.0);
+        assert_eq!(p.backoff_secs(20), 30.0);
+        // The builder form clamps too.
+        let q = RetryPolicy::default().with_max_backoff_secs(0.25);
+        assert_eq!(q.backoff_secs(3), 0.25);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_desynchronized() {
+        let p = RetryPolicy::default().with_jitter_frac(0.5);
+        let base = p.backoff_secs(2);
+        let mut distinct = std::collections::HashSet::new();
+        for task in 0..32u64 {
+            let j = p.backoff_secs_jittered(7, task, 2);
+            assert_eq!(
+                j,
+                p.backoff_secs_jittered(7, task, 2),
+                "jitter must be pure"
+            );
+            assert!(
+                j <= base && j >= base * 0.5,
+                "jitter {j} outside [{}, {base}]",
+                base * 0.5
+            );
+            distinct.insert(j.to_bits());
+        }
+        assert!(distinct.len() > 16, "tasks retry in lockstep: {distinct:?}");
+        // Zero jitter degenerates to the plain schedule, bitwise.
+        let plain = RetryPolicy::default();
+        assert_eq!(plain.backoff_secs_jittered(7, 3, 2), plain.backoff_secs(2));
+    }
+
+    #[test]
+    fn wire_stream_is_deterministic_scoped_and_honours_rate() {
+        let plan = FaultPlan {
+            seed: 19,
+            ..FaultPlan::none().with_xport_corrupt_rate(0.5)
+        };
+        let mut hits = 0usize;
+        let mut kinds = std::collections::HashSet::new();
+        for task in 0..2_000u64 {
+            let a = plan.wire_corruption(1, task, 0, 0);
+            assert_eq!(
+                a,
+                plan.wire_corruption(1, task, 0, 0),
+                "wire draws must be pure"
+            );
+            if let Some(kind) = a {
+                hits += 1;
+                kinds.insert(kind);
+            }
+        }
+        let frac = hits as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "wire corruption fraction {frac}");
+        assert_eq!(
+            kinds.len(),
+            2,
+            "expected bit-flips and truncations: {kinds:?}"
+        );
+        // The two legs of one attempt draw independently.
+        assert!((0..500u64)
+            .any(|t| plan.wire_corruption(1, t, 0, 0) != plan.wire_corruption(1, t, 0, 1)));
+        // Scope and zero rates are honoured.
+        assert_eq!(plan.in_job(2).wire_corruption(1, 0, 0, 0), None);
+        assert_eq!(FaultPlan::none().wire_corruption(1, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn doomed_tasks_are_killed_on_every_attempt() {
+        let plan = FaultPlan::none().with_doom_mask(0b101).in_job(3);
+        for attempt in 0..64u32 {
+            assert_eq!(
+                plan.decide(3, TaskKind::Reduce, 0, attempt),
+                FaultDecision::Kill
+            );
+            assert_eq!(
+                plan.decide(3, TaskKind::Reduce, 2, attempt),
+                FaultDecision::Kill
+            );
+        }
+        // Undoomed task, map tasks, out-of-scope jobs, and ids ≥ 64 run fine.
+        assert_eq!(plan.decide(3, TaskKind::Reduce, 1, 0), FaultDecision::Ok);
+        assert_eq!(plan.decide(3, TaskKind::Map, 0, 0), FaultDecision::Ok);
+        assert_eq!(plan.decide(1, TaskKind::Reduce, 0, 0), FaultDecision::Ok);
+        assert!(!plan.dooms_task(3, 64));
     }
 
     #[test]

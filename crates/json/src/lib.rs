@@ -592,6 +592,32 @@ impl FromJson for u64 {
     }
 }
 
+impl ToJson for u8 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl FromJson for u8 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let v = json.as_u64()?;
+        u8::try_from(v).map_err(|_| JsonError::Invalid(format!("{v} does not fit in a u8")))
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self as i64)
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let v = json.as_u64()?;
+        u32::try_from(v).map_err(|_| JsonError::Invalid(format!("{v} does not fit in a u32")))
+    }
+}
+
 impl ToJson for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)
@@ -650,6 +676,29 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
             )));
         }
         Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = json.as_array()?;
+        if items.len() != 3 {
+            return Err(JsonError::Invalid(format!(
+                "expected a 3-element array, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
     }
 }
 
@@ -762,5 +811,25 @@ mod tests {
         let json = rows.to_json();
         let back: Vec<(String, f64)> = FromJson::from_json(&json).unwrap();
         assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn triple_conversions_round_trip() {
+        let cells: Vec<(u8, u64, f64)> = vec![(0, 17, 1.25), (1, u64::MAX >> 11, -0.5)];
+        let json = cells.to_json();
+        let back: Vec<(u8, u64, f64)> = FromJson::from_json(&json).unwrap();
+        assert_eq!(back, cells);
+        // Wrong arity is rejected, not silently truncated.
+        let pair = Json::Arr(vec![Json::Int(1), Json::Int(2)]);
+        assert!(<(u8, u8, u8)>::from_json(&pair).is_err());
+    }
+
+    #[test]
+    fn small_ints_are_range_checked() {
+        assert_eq!(u8::from_json(&Json::Int(255)).unwrap(), 255);
+        assert!(u8::from_json(&Json::Int(256)).is_err());
+        assert!(u8::from_json(&Json::Int(-1)).is_err());
+        assert_eq!(u32::from_json(&Json::Int(1 << 30)).unwrap(), 1 << 30);
+        assert!(u32::from_json(&Json::Int(1 << 40)).is_err());
     }
 }

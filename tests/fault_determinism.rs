@@ -11,8 +11,9 @@
 
 use m2td::core::M2tdOptions;
 use m2td::dist::{
-    d_m2td, d_m2td_fault_tolerant, CheckpointStore, DistDecomposition, DistError, FaultConfig,
-    MapReduce, Phase3Strategy, PHASE3_JOB,
+    d_m2td, d_m2td_fault_tolerant, d_m2td_resumable, CheckpointStore, DistDecomposition, DistError,
+    DlqStore, FaultConfig, JobRecovery, ManifestStore, MapReduce, Phase3Strategy, TransportKind,
+    PHASE3_JOB,
 };
 use m2td::fault::{FaultPlan, RetryPolicy};
 use m2td::tensor::{Shape, SparseTensor};
@@ -134,6 +135,52 @@ fn fault_schedules_are_bitwise_deterministic_across_seeds_and_workers() {
                 &run,
                 &again,
                 &format!("seed {seed} rerun, {workers} workers"),
+            );
+        }
+    }
+}
+
+#[test]
+fn channel_transport_is_bitwise_deterministic_under_faults() {
+    let (x1, x2) = sub_tensors();
+    let opts = M2tdOptions::default();
+
+    // The envelope path must be invisible: at every worker count, a
+    // channel-transport run under kills, stragglers AND wire corruption
+    // is bitwise identical to the direct-call fault-free run.
+    for workers in [1, 2, 8] {
+        let direct = MapReduce::new(workers).with_transport(TransportKind::Direct);
+        let reference = d_m2td(&x1, &x2, K, &RANKS, opts, &direct).unwrap();
+        let channel = direct.with_transport(TransportKind::Channel);
+        for seed in seeds_under_test() {
+            // Kills are capped at 2 consecutive per task, but wire
+            // corruption consumes attempts on top of them on every leg
+            // of every retry — give the budget room so no seed exhausts.
+            let faults = FaultConfig {
+                plan: FaultPlan::new(seed, 0.4, 0.2, 20.0).with_xport_corrupt_rate(0.2),
+                policy: RetryPolicy::with_max_attempts(10),
+            };
+            let run = d_m2td_fault_tolerant(
+                &x1,
+                &x2,
+                K,
+                &RANKS,
+                opts,
+                &channel,
+                Phase3Strategy::ChunkPartition,
+                &faults,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("channel seed {seed}, {workers} workers: {e}"));
+            assert_bitwise_equal(
+                &reference,
+                &run,
+                &format!("channel transport, seed {seed}, {workers} workers"),
+            );
+            assert!(
+                run.total_tasks().xport_corruptions > 0,
+                "seed {seed}, {workers} workers: no envelopes were damaged — \
+                 the corruption property is vacuous"
             );
         }
     }
@@ -273,6 +320,101 @@ fn phase3_failure_resumes_from_checkpoints_without_recomputing() {
     )
     .unwrap();
     assert!(!fresh.phase1.resumed && !fresh.phase2.resumed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_phase3_resumes_from_manifest_and_drains_the_dlq() {
+    let dir = unique_tmp_dir("m2td_job_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir).unwrap();
+    let manifest = ManifestStore::open(&dir).unwrap();
+    let dlq = DlqStore::open(&dir);
+    let (x1, x2) = sub_tensors();
+    let opts = M2tdOptions::default();
+    let engine = MapReduce::new(2).with_transport(TransportKind::Channel);
+    let clean = d_m2td(&x1, &x2, K, &RANKS, opts, &engine).unwrap();
+
+    // "Kill mid-phase-3": doom one of the two phase-3 reduce tasks and
+    // demand full coverage, so the run dies after phases 1-2 completed,
+    // the surviving phase-3 task was recorded in the manifest, and the
+    // doomed one was parked in the dead-letter queue.
+    let lethal = FaultConfig {
+        plan: FaultPlan::none().with_doom_mask(1 << 1).in_job(PHASE3_JOB),
+        policy: RetryPolicy::default(),
+    };
+    let strict = JobRecovery::new(&manifest, &dlq).with_min_coverage(1.0);
+    let err = d_m2td_resumable(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &lethal,
+        Some(&store),
+        &strict,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, DistError::Worker(_)),
+        "expected a coverage failure, got {err}"
+    );
+    assert_eq!(dlq.depth(), 1, "the doomed task must be parked");
+
+    // Restart without requeueing: the dead task is still parked, so the
+    // run completes degraded (coverage 1/2 meets the default 0.5 floor)
+    // and differs from the clean result.
+    let recovery = JobRecovery::new(&manifest, &dlq);
+    let degraded = d_m2td_resumable(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &FaultConfig::none(),
+        Some(&store),
+        &recovery,
+    )
+    .unwrap();
+    assert!(degraded.degraded);
+    assert_eq!(degraded.dead_tasks, vec![1]);
+    assert!(
+        degraded.resumed_tasks > 0,
+        "the surviving phase-3 task must replay from the manifest"
+    );
+    assert_ne!(
+        degraded.dist.tucker.core.as_slice(),
+        clean.tucker.core.as_slice(),
+        "a core missing one partial cannot equal the clean core"
+    );
+
+    // Requeue and restart: the parked task re-runs, its entry drains,
+    // and the result is bitwise identical to the uninterrupted run.
+    assert_eq!(dlq.requeue_all().unwrap(), 1);
+    let resumed = d_m2td_resumable(
+        &x1,
+        &x2,
+        K,
+        &RANKS,
+        opts,
+        &engine,
+        Phase3Strategy::ChunkPartition,
+        &FaultConfig::none(),
+        Some(&store),
+        &recovery,
+    )
+    .unwrap();
+    assert!(!resumed.degraded);
+    assert!(resumed.dead_tasks.is_empty());
+    assert_eq!(resumed.drained, 1, "the requeued entry must drain");
+    assert!(resumed.resumed_tasks > 0);
+    assert_eq!(dlq.depth(), 0);
+    assert_bitwise_equal(&clean, &resumed.dist, "after requeue and resume");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
