@@ -407,6 +407,144 @@ fn bench_dist_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serving-path QPS — the `serve` family in `BENCH_kernels.json`.
+///
+/// A resident [`m2td_serve::ServeEngine`] is filled from a deterministic
+/// synthetic ensemble, then queried from 1, 2 and 8 std threads: the
+/// single-cell path (pre-decoded `CellEvaluator` + bounded cache) and the
+/// batched-TTM slice path, each tagged with its thread count, plus the
+/// absorb and refresh latencies. Before timing starts, every thread
+/// count's answers are asserted bitwise-equal to the single-thread
+/// baseline — the serving contract the `tests/serve.rs` property tests
+/// pin.
+fn bench_serve(c: &mut Criterion) {
+    use m2td_serve::{ServeConfig, ServeEngine};
+    use std::sync::Arc;
+
+    let dims = [16usize, 16, 12];
+    let ranks = [4usize, 4, 4];
+    let shape = Shape::new(&dims);
+    let cells: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+        .filter(|l| l % 2 == 0)
+        .map(|l| (shape.multi_index(l), (l as f64 * 0.37).sin() + 1.0))
+        .collect();
+    let build = |staleness: usize| {
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(staleness));
+        engine.register("bench", &dims, &ranks).unwrap();
+        for (idx, v) in &cells {
+            engine.absorb("bench", idx, *v).unwrap();
+        }
+        engine
+    };
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    m2td_par::set_max_threads(1);
+    g.bench_function(format!("absorb_{}_cells", cells.len()), |b| {
+        b.iter_batched(
+            || {
+                let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+                engine.register("bench", &dims, &ranks).unwrap();
+                engine
+            },
+            |engine| {
+                for (idx, v) in &cells {
+                    engine.absorb("bench", idx, *v).unwrap();
+                }
+                engine
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let engine = Arc::new(build(0));
+    engine.refresh("bench").unwrap();
+    g.bench_function("refresh_16x16x12_r4", |b| {
+        b.iter(|| engine.refresh("bench").unwrap())
+    });
+
+    // A deterministic query mix covering the whole reconstruction space.
+    let queries: Vec<Vec<usize>> = (0..shape.num_elements())
+        .step_by(7)
+        .map(|l| shape.multi_index(l))
+        .collect();
+    let baseline: Vec<u64> = queries
+        .iter()
+        .map(|q| engine.query_cell("bench", q).unwrap().to_bits())
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        m2td_par::set_max_threads(threads);
+        // Queries must be bitwise identical at every thread count.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let eng = Arc::clone(&engine);
+                    let qs = &queries;
+                    s.spawn(move || {
+                        qs.iter()
+                            .map(|q| eng.query_cell("bench", q).unwrap().to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(
+                    h.join().unwrap(),
+                    baseline,
+                    "queries diverged at t={threads}"
+                );
+            }
+        });
+        g.bench_function(format!("query_cell_x{}_t{threads}", queries.len()), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let eng = Arc::clone(&engine);
+                            let qs = &queries;
+                            s.spawn(move || {
+                                let mut acc = 0.0;
+                                for q in qs {
+                                    acc += eng.query_cell("bench", q).unwrap();
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<f64>()
+                })
+            })
+        });
+        // Slice path: each thread brings its own workspace so the batched
+        // TTM chains run truly concurrently.
+        let model = engine.model("bench").unwrap();
+        g.bench_function(format!("query_slice_mode0_t{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let m = Arc::clone(&model);
+                            s.spawn(move || {
+                                let mut ws = Workspace::new();
+                                let mut acc = 0.0;
+                                for i in 0..dims[0] {
+                                    let slice = m.slice(0, (i + t) % dims[0], &mut ws).unwrap();
+                                    acc += slice.as_slice()[0];
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<f64>()
+                })
+            })
+        });
+    }
+    g.finish();
+    m2td_par::set_max_threads(0);
+}
+
 criterion_group!(
     kernels,
     bench_svd_routes,
@@ -419,7 +557,8 @@ criterion_group!(
     bench_shape_math,
     bench_incremental_gram,
     bench_dist_overhead,
-    bench_parallel_speedup
+    bench_parallel_speedup,
+    bench_serve
 );
 
 fn main() {

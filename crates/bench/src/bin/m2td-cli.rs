@@ -11,6 +11,8 @@
 //! m2td-cli run --system sir --corrupt-rate 0.01 --guard-policy fail
 //! m2td-cli dist --dir /tmp/job --transport channel --doom-tasks 1
 //! m2td-cli dlq list --dir /tmp/job
+//! m2td-cli serve --dims 16,16,12 --ranks 4,4,4 --threads 8
+//! m2td-cli serve --corrupt-rate 0.05 --guard-policy fail --metrics-out m.json
 //! ```
 
 use m2td_bench::registry::{system_by_name, SystemKind};
@@ -69,6 +71,10 @@ USAGE:
                              deterministic input pair
   m2td-cli dlq <list|requeue|purge> --dir <path>
                              inspect or act on the dead-letter queue
+  m2td-cli serve   [flags]   exercise the resident serving engine on a
+                             deterministic synthetic ensemble: absorb,
+                             refresh, then answer cell and slice queries
+                             from N threads
 
 FLAGS (run/compare):
   --system <name>        double_pendulum | triple_pendulum | lorenz | sir | rossler
@@ -136,9 +142,30 @@ FLAGS (dist):
                                                           [default 0.5]
   --metrics-out <path>   as for run/compare
 
+FLAGS (serve):
+  --dims <csv>           mode extents of the ensemble     [default 12,12,10]
+  --ranks <csv>          target Tucker rank per mode      [default 3,3,3]
+  --fill <f>             fraction of cells absorbed (0,1] [default 0.5]
+  --staleness <n>        absorbed cells per automatic model refresh
+                         (0 = one manual refresh at the end) [default 64]
+  --cache-capacity <n>   cached cell predictions per model
+                         (0 disables the cache)           [default 4096]
+  --queries <n>          cell queries issued per thread   [default 1000]
+  --slices <n>           slice queries issued             [default 8]
+  --threads <n>          concurrent query threads; answers are asserted
+                         bitwise-identical across threads [default 1]
+  --corrupt-rate <f>     chaos stream: fraction of absorbed cells
+                         poisoned with NaN, in [0,1)      [default 0]
+  --fault-seed <n>       seed of the corruption schedule  [default 0]
+  --guard-policy <p>     as for run/compare; with a guard installed the
+                         poisoned cells are rejected at absorb time and
+                         never reach the served model
+  --metrics-out <path>   as for run/compare
+
 EXIT CODES:
   0  success             2  usage or runtime error
-  3  run completed but the guard acceptance check failed
+  3  run completed but the guard acceptance check failed, or a serve
+     run produced a non-finite prediction / could not publish a model
   4  dist completed degraded: tasks are parked in the dead-letter
      queue (requeue with `m2td-cli dlq requeue`, then rerun)
 "
@@ -212,6 +239,20 @@ fn run() -> Result<u8, String> {
             // Snapshot written even on failure, as for run/compare: a
             // degraded or aborted job must still surface dlq.* gauges.
             let outcome = run_dist(&args);
+            if let Some(path) = &metrics_out {
+                write_metrics(path)?;
+            }
+            outcome
+        }
+        "serve" => {
+            let args = Args::parse(&raw[1..])?;
+            let metrics_out = args.get("metrics-out").map(str::to_string);
+            if metrics_out.is_some() {
+                m2td_obs::install();
+            }
+            // Snapshot written even on failure: a chaos serve run that
+            // exits unhealthy must still surface its serve.* counters.
+            let outcome = run_serve(&args);
             if let Some(path) = &metrics_out {
                 write_metrics(path)?;
             }
@@ -625,6 +666,186 @@ fn run_dist(args: &Args) -> Result<u8, String> {
             report.dead_tasks,
         );
         return Ok(4);
+    }
+    Ok(0)
+}
+
+/// Parses a comma-separated list of positive extents (`--dims`, `--ranks`).
+fn parse_extents(args: &Args, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+    let Some(csv) = args.get(key) else {
+        return Ok(default.to_vec());
+    };
+    csv.split(',')
+        .map(|part| {
+            let n: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--{key}: invalid extent '{}'", part.trim()))?;
+            if n == 0 {
+                return Err(format!("--{key}: extents must be at least 1"));
+            }
+            Ok(n)
+        })
+        .collect()
+}
+
+/// `serve`: a resident serving-engine session over a deterministic
+/// synthetic ensemble. Cells are absorbed one at a time (optionally
+/// poisoned by the chaos stream), the model refreshes on the staleness
+/// schedule, then cell and slice queries run from `--threads` threads
+/// and are asserted bitwise-identical across threads.
+fn run_serve(args: &Args) -> Result<u8, String> {
+    use m2td_serve::{ServeConfig, ServeEngine, ServeError};
+    use m2td_tensor::{Shape, TensorError};
+    use std::time::Instant;
+
+    let dims = parse_extents(args, "dims", &[12, 12, 10])?;
+    let ranks = parse_extents(args, "ranks", &[3, 3, 3])?;
+    if dims.len() < 2 {
+        return Err("--dims needs at least two extents".to_string());
+    }
+    let fill: f64 = args.parse_or("fill", 0.5)?;
+    check_frac("fill", fill)?;
+    let staleness: usize = args.parse_or("staleness", 64)?;
+    let cache_capacity: usize = args.parse_or("cache-capacity", 4096)?;
+    let queries: usize = args.parse_or("queries", 1000)?;
+    let slices: usize = args.parse_or("slices", 8)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    if !(1..=64).contains(&threads) {
+        return Err(format!("--threads {threads} must lie in 1..=64"));
+    }
+    let corrupt_rate: f64 = args.parse_or("corrupt-rate", 0.0)?;
+    check_rate("corrupt-rate", corrupt_rate)?;
+    let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
+    if let Some(s) = args.get("guard-policy") {
+        let policy = s
+            .parse::<m2td_guard::GuardPolicy>()
+            .map_err(|e| format!("--guard-policy: {e}"))?;
+        m2td_guard::install(m2td_guard::GuardConfig::with_policy(policy));
+    }
+
+    let engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_staleness(staleness)
+            .with_cache_capacity(cache_capacity),
+    );
+    engine
+        .register("cli", &dims, &ranks)
+        .map_err(|e| e.to_string())?;
+
+    // Deterministic fill: every `stride`-th cell of the analytic field;
+    // the chaos stream poisons a hash-selected subset with NaN.
+    let shape = Shape::new(&dims);
+    let total = shape.num_elements();
+    let stride = ((1.0 / fill).round() as usize).max(1);
+    let (mut absorbed, mut rejected, mut poisoned) = (0usize, 0usize, 0usize);
+    for l in (0..total).step_by(stride) {
+        let mut value = ((l as f64) * 0.37).sin() + 1.0;
+        if corrupt_rate > 0.0 {
+            let h = fnv1a64(&(l as u64 ^ fault_seed.rotate_left(17)).to_le_bytes());
+            if ((h >> 11) as f64 / (1u64 << 53) as f64) < corrupt_rate {
+                value = f64::NAN;
+                poisoned += 1;
+            }
+        }
+        match engine.absorb("cli", &shape.multi_index(l), value) {
+            Ok(_) => absorbed += 1,
+            Err(ServeError::Tensor(TensorError::Guard(_))) => rejected += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    println!(
+        "serve: dims {dims:?} ranks {ranks:?}, absorbed {absorbed} cells \
+         ({poisoned} poisoned, {rejected} rejected by the guard)"
+    );
+
+    // Pick up the tail of the staleness window; a guard-rejected refresh
+    // with no previously published model means nothing can be served.
+    let mut stats = engine.stats("cli").map_err(|e| e.to_string())?;
+    if stats.pending > 0 || stats.model_version == 0 {
+        match engine.refresh("cli") {
+            Ok(r) => println!(
+                "serve: refreshed to model v{}, served ranks {:?} from {} basis cells",
+                r.version,
+                r.ranks(),
+                r.basis_cells,
+            ),
+            Err(e) => {
+                stats = engine.stats("cli").map_err(|e| e.to_string())?;
+                if stats.model_version == 0 {
+                    println!(
+                        "serve: UNHEALTHY — refresh rejected with no model to fall back to: {e}"
+                    );
+                    return Ok(3);
+                }
+                println!(
+                    "serve: refresh rejected ({e}); model v{} keeps serving",
+                    stats.model_version
+                );
+            }
+        }
+    }
+    stats = engine.stats("cli").map_err(|e| e.to_string())?;
+
+    // Cell queries from N threads; every thread must observe bitwise
+    // the same predictions (published-snapshot serving contract).
+    let query_set: Vec<Vec<usize>> = (0..queries)
+        .map(|k| shape.multi_index((k.wrapping_mul(7919)) % total))
+        .collect();
+    let started = Instant::now();
+    let per_thread: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let eng = &engine;
+                let qs = &query_set;
+                s.spawn(move || {
+                    qs.iter()
+                        .map(|q| eng.query_cell("cli", q).map(f64::to_bits))
+                        .collect::<Result<Vec<u64>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })
+    .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed().as_secs_f64();
+    for t in &per_thread[1..] {
+        if *t != per_thread[0] {
+            return Err("serve: queries diverged across threads".to_string());
+        }
+    }
+    let qps = (threads * queries) as f64 / elapsed.max(1e-12);
+    println!(
+        "serve: {} cell queries from {threads} thread(s) in {:.2} ms ({:.0} q/s), thread-invariant",
+        threads * queries,
+        elapsed * 1e3,
+        qps,
+    );
+
+    let mut all_finite = per_thread[0].iter().all(|&b| f64::from_bits(b).is_finite());
+    let mut slice_peak = 0.0f64;
+    for k in 0..slices {
+        let mode = k % dims.len();
+        let index = (k / dims.len()) % dims[mode];
+        let slice = engine
+            .query_slice("cli", mode, index)
+            .map_err(|e| e.to_string())?;
+        for &v in slice.as_slice() {
+            all_finite &= v.is_finite();
+            slice_peak = slice_peak.max(v.abs());
+        }
+    }
+    println!("serve: {slices} slice queries, peak |value| {slice_peak:.3e}");
+    println!(
+        "serve: model v{}, {} cells resident, {} pending",
+        stats.model_version, stats.nnz, stats.pending,
+    );
+    if !all_finite {
+        println!("serve: UNHEALTHY — non-finite predictions were served");
+        return Ok(3);
     }
     Ok(0)
 }

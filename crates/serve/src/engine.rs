@@ -1,0 +1,869 @@
+//! The resident serve engine: named ensembles, staleness-gated refresh,
+//! and the lock-light query path.
+
+use crate::Result;
+use m2td_guard::GuardError;
+use m2td_linalg::Matrix;
+use m2td_tensor::{
+    sparse_core_with, CellEvaluator, CoreOrdering, DenseTensor, IncrementalEnsemble, Shape,
+    TensorError, TuckerDecomp, Workspace,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Engine-level configuration shared by every registered ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Number of absorbed cells after which a refresh is triggered
+    /// automatically. `0` disables auto-refresh (explicit
+    /// [`ServeEngine::refresh`] only).
+    pub staleness_threshold: usize,
+    /// Maximum number of cached cell predictions per published model.
+    /// The cache is insert-until-full (no eviction): deterministic, and a
+    /// refresh publishes a fresh empty cache. `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: refresh every 64 absorbs, 4096 cached cells per model.
+    pub const DEFAULT: ServeConfig = ServeConfig {
+        staleness_threshold: 64,
+        cache_capacity: 4096,
+    };
+
+    /// Replaces the staleness threshold.
+    pub fn with_staleness(mut self, threshold: usize) -> Self {
+        self.staleness_threshold = threshold;
+        self
+    }
+
+    /// Replaces the cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Errors surfaced by the serve engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No ensemble is registered under the requested name.
+    UnknownEnsemble {
+        /// The requested name.
+        name: String,
+    },
+    /// An ensemble with this name already exists.
+    AlreadyRegistered {
+        /// The duplicate name.
+        name: String,
+    },
+    /// The ensemble has never been refreshed, so there is no model to
+    /// query yet.
+    NoModel {
+        /// The ensemble name.
+        name: String,
+    },
+    /// An underlying tensor kernel failed (this also carries guard policy
+    /// rejections, which arrive as [`TensorError::Guard`]).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownEnsemble { name } => {
+                write!(f, "no ensemble registered under '{name}'")
+            }
+            ServeError::AlreadyRegistered { name } => {
+                write!(f, "ensemble '{name}' is already registered")
+            }
+            ServeError::NoModel { name } => write!(
+                f,
+                "ensemble '{name}' has no published model yet (refresh it first)"
+            ),
+            ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+impl From<GuardError> for ServeError {
+    fn from(e: GuardError) -> Self {
+        ServeError::Tensor(TensorError::from(e))
+    }
+}
+
+/// Outcome of one [`ServeEngine::absorb`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsorbReport {
+    /// Stored cells after this absorb.
+    pub nnz: usize,
+    /// Absorbs since the last published model (reset to 0 when this
+    /// absorb triggered a refresh).
+    pub pending: usize,
+    /// Whether this absorb crossed the staleness threshold and triggered
+    /// an automatic refresh.
+    pub refreshed: bool,
+}
+
+/// Outcome of one model refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshReport {
+    /// Version of the newly published model (1 for the first refresh).
+    pub version: u64,
+    /// Stored cells the model was decomposed from.
+    pub basis_cells: usize,
+    /// Per-mode factor widths actually served. Narrower than the
+    /// registered ranks when the guard's clamp policy truncated a
+    /// degenerate spectrum.
+    pub served_ranks: Vec<usize>,
+}
+
+impl RefreshReport {
+    /// The served per-mode factor widths.
+    pub fn ranks(&self) -> &[usize] {
+        &self.served_ranks
+    }
+}
+
+/// Point-in-time statistics for one registered ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStats {
+    /// Ensemble name.
+    pub name: String,
+    /// Mode extents.
+    pub dims: Vec<usize>,
+    /// Registered target ranks.
+    pub ranks: Vec<usize>,
+    /// Stored cells.
+    pub nnz: usize,
+    /// Absorbs since the last refresh.
+    pub pending: usize,
+    /// Published model version (0 = never refreshed).
+    pub model_version: u64,
+}
+
+/// An immutable published decomposition snapshot.
+///
+/// Queries evaluate against the snapshot that was current when they
+/// fetched it; a concurrent refresh publishes a *new* snapshot and never
+/// mutates one already handed out, so a query's result depends only on
+/// the snapshot version it saw — never on thread interleaving.
+#[derive(Debug)]
+pub struct Model {
+    evaluator: CellEvaluator,
+    /// Output-space shape used to key the cell cache; `None` when the
+    /// reconstruction space is too large to linearize (cache disabled —
+    /// see [`Shape::checked_num_elements`]).
+    cache_shape: Option<Shape>,
+    cache: Mutex<HashMap<u64, f64>>,
+    cache_capacity: usize,
+    version: u64,
+    basis_cells: usize,
+}
+
+impl Model {
+    fn new(decomp: TuckerDecomp, cache_capacity: usize, version: u64, basis_cells: usize) -> Self {
+        let evaluator = CellEvaluator::new(decomp);
+        let shape = Shape::new(evaluator.output_dims());
+        let cache_shape =
+            (cache_capacity > 0 && shape.checked_num_elements().is_some()).then_some(shape);
+        Self {
+            evaluator,
+            cache_shape,
+            cache: Mutex::new(HashMap::new()),
+            cache_capacity,
+            version,
+            basis_cells,
+        }
+    }
+
+    /// The wrapped decomposition.
+    pub fn decomp(&self) -> &TuckerDecomp {
+        self.evaluator.decomp()
+    }
+
+    /// Refresh generation of this snapshot (1 = first refresh).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stored cells the decomposition was computed from.
+    pub fn basis_cells(&self) -> usize {
+        self.basis_cells
+    }
+
+    /// Predicts one cell of the reconstruction, consulting the bounded
+    /// per-model cache. Cached and uncached paths return bitwise-identical
+    /// values (the cache stores exactly what the evaluator computed), so
+    /// caching never changes a prediction — only its latency.
+    pub fn cell(&self, index: &[usize]) -> Result<f64> {
+        let Some(shape) = &self.cache_shape else {
+            m2td_obs::counter_add("serve.cache_misses", 1);
+            return Ok(self.evaluator.cell(index)?);
+        };
+        // Mirror the evaluator's validation so the cached path reports the
+        // same error variants as the uncached one.
+        let dims = shape.dims();
+        if index.len() != dims.len() {
+            return Err(ServeError::Tensor(TensorError::WrongNumberOfRanks {
+                supplied: index.len(),
+                order: dims.len(),
+            }));
+        }
+        if index.iter().zip(dims.iter()).any(|(&i, &d)| i >= d) {
+            return Err(ServeError::Tensor(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: dims.to_vec(),
+            }));
+        }
+        let key = shape.linear_index(index) as u64;
+        if let Some(&hit) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            m2td_obs::counter_add("serve.cache_hits", 1);
+            return Ok(hit);
+        }
+        m2td_obs::counter_add("serve.cache_misses", 1);
+        let value = self.evaluator.cell(index)?;
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() < self.cache_capacity {
+            cache.insert(key, value);
+        }
+        Ok(value)
+    }
+
+    /// Predicts a whole mode-`mode` slice (`index` fixed in that mode) as
+    /// a dense tensor with extent 1 in `mode`, via a batched TTM chain:
+    /// the core is first contracted with the single factor row, then
+    /// expanded along the remaining modes — the chain never materializes
+    /// anything larger than the slice itself.
+    pub fn slice(&self, mode: usize, index: usize, ws: &mut Workspace) -> Result<DenseTensor> {
+        let decomp = self.decomp();
+        let dims = self.evaluator.output_dims();
+        if mode >= dims.len() {
+            return Err(ServeError::Tensor(TensorError::InvalidMode {
+                mode,
+                order: dims.len(),
+            }));
+        }
+        if index >= dims[mode] {
+            let mut idx = vec![0; dims.len()];
+            idx[mode] = index;
+            return Err(ServeError::Tensor(TensorError::IndexOutOfBounds {
+                index: idx,
+                shape: dims.to_vec(),
+            }));
+        }
+        let row = {
+            let f = &decomp.factors[mode];
+            Matrix::from_fn(1, f.cols(), |_, j| f.get(index, j))
+        };
+        let mut acc = m2td_tensor::ttm_dense(&decomp.core, mode, &row)?;
+        for (n, f) in decomp.factors.iter().enumerate() {
+            if n == mode {
+                continue;
+            }
+            let next = m2td_tensor::ttm_dense(&acc, n, f)?;
+            ws.recycle_tensor(acc);
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+/// Per-ensemble mutable state, guarded by one `RwLock`.
+struct EnsembleState {
+    inc: IncrementalEnsemble,
+    ranks: Vec<usize>,
+    pending: usize,
+    version: u64,
+    model: Option<Arc<Model>>,
+    /// Buffer pool reused across this ensemble's refreshes (the TTM chain
+    /// recovering the core cycles through the same intermediates).
+    ws: Workspace,
+}
+
+/// A resident engine holding decomposed ensembles keyed by name.
+///
+/// All methods take `&self`; the engine is `Sync` and intended to be
+/// shared across query threads (e.g. behind an `Arc`).
+pub struct ServeEngine {
+    config: ServeConfig,
+    ensembles: RwLock<BTreeMap<String, Arc<RwLock<EnsembleState>>>>,
+    /// Buffer pool for slice queries; separate from the per-ensemble pool
+    /// so a slice query never contends with absorbs for the write lock.
+    slice_ws: Mutex<Workspace>,
+}
+
+impl Default for ServeEngine {
+    fn default() -> Self {
+        Self::new(ServeConfig::default())
+    }
+}
+
+impl ServeEngine {
+    /// Creates an empty engine.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            ensembles: RwLock::new(BTreeMap::new()),
+            slice_ws: Mutex::new(Workspace::new()),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Registers an empty ensemble under `name` with the given mode
+    /// extents and per-mode target ranks.
+    pub fn register(&self, name: &str, dims: &[usize], ranks: &[usize]) -> Result<()> {
+        if ranks.len() != dims.len() {
+            return Err(ServeError::Tensor(TensorError::WrongNumberOfRanks {
+                supplied: ranks.len(),
+                order: dims.len(),
+            }));
+        }
+        for (mode, (&r, &d)) in ranks.iter().zip(dims.iter()).enumerate() {
+            if r == 0 || r > d {
+                return Err(ServeError::Tensor(TensorError::RankTooLarge {
+                    mode,
+                    requested: r,
+                    available: d,
+                }));
+            }
+        }
+        let mut map = self.ensembles.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(name) {
+            return Err(ServeError::AlreadyRegistered {
+                name: name.to_string(),
+            });
+        }
+        map.insert(
+            name.to_string(),
+            Arc::new(RwLock::new(EnsembleState {
+                inc: IncrementalEnsemble::new(dims),
+                ranks: ranks.to_vec(),
+                pending: 0,
+                version: 0,
+                model: None,
+                ws: Workspace::new(),
+            })),
+        );
+        m2td_obs::gauge_set("serve.ensembles", map.len() as f64);
+        Ok(())
+    }
+
+    /// Removes an ensemble. In-flight queries holding its model snapshot
+    /// finish against that snapshot.
+    pub fn deregister(&self, name: &str) -> Result<()> {
+        let mut map = self.ensembles.write().unwrap_or_else(|e| e.into_inner());
+        if map.remove(name).is_none() {
+            return Err(ServeError::UnknownEnsemble {
+                name: name.to_string(),
+            });
+        }
+        m2td_obs::gauge_set("serve.ensembles", map.len() as f64);
+        Ok(())
+    }
+
+    /// Names of all registered ensembles, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.ensembles
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn state(&self, name: &str) -> Result<Arc<RwLock<EnsembleState>>> {
+        self.ensembles
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownEnsemble {
+                name: name.to_string(),
+            })
+    }
+
+    /// Absorbs one simulation result into the named ensemble, updating
+    /// its running Grams in `O(column occupancy)`. With the guard layer
+    /// installed, a non-finite value is rejected *before* it can poison
+    /// the Grams (counted in `serve.rejected_cells`). Crossing the
+    /// staleness threshold triggers an automatic refresh; if the guard
+    /// rejects that refresh (e.g. the spectrum is still rank-deficient),
+    /// the write still succeeds — the cell is durably absorbed, the
+    /// previous model keeps serving, and the refresh is retried on the
+    /// next absorb (counted in `serve.deferred_refreshes`). Only a
+    /// manual [`ServeEngine::refresh`] surfaces the rejection.
+    pub fn absorb(&self, name: &str, index: &[usize], value: f64) -> Result<AbsorbReport> {
+        let _span = m2td_obs::span!("serve.absorb");
+        m2td_guard::check_cells("serve.absorb", std::iter::once((index.to_vec(), value))).map_err(
+            |e| {
+                m2td_obs::counter_add("serve.rejected_cells", 1);
+                ServeError::from(e)
+            },
+        )?;
+        let state = self.state(name)?;
+        let mut st = state.write().unwrap_or_else(|e| e.into_inner());
+        st.inc.add(index, value)?;
+        st.pending += 1;
+        m2td_obs::counter_add("serve.absorbed_cells", 1);
+        let threshold = self.config.staleness_threshold;
+        let mut refreshed = false;
+        if threshold > 0 && st.pending >= threshold {
+            match self.refresh_locked(&mut st) {
+                Ok(_) => refreshed = true,
+                Err(ServeError::Tensor(TensorError::Guard(_))) => {
+                    m2td_obs::counter_add("serve.deferred_refreshes", 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(AbsorbReport {
+            nnz: st.inc.nnz(),
+            pending: st.pending,
+            refreshed,
+        })
+    }
+
+    /// Recomputes factors from the running Grams and the core from the
+    /// stored cells, publishing a fresh [`Model`] snapshot. A guard
+    /// rejection (e.g. `Fail` policy on a rank-deficient spectrum) leaves
+    /// the previously published model serving.
+    pub fn refresh(&self, name: &str) -> Result<RefreshReport> {
+        let state = self.state(name)?;
+        let mut st = state.write().unwrap_or_else(|e| e.into_inner());
+        self.refresh_locked(&mut st)
+    }
+
+    fn refresh_locked(&self, st: &mut EnsembleState) -> Result<RefreshReport> {
+        let _span = m2td_obs::span!("serve.refresh");
+        // Factors come from the *running* Grams — no unfold/Gram
+        // recomputation — through the guard layer: a degenerate spectrum
+        // is clamped (narrower factors) or rejected per the installed
+        // policy, and a rejection propagates before the served model is
+        // touched.
+        let order = st.inc.dims().len();
+        let mut factors = Vec::with_capacity(order);
+        for mode in 0..order {
+            let gram = st.inc.gram(mode)?;
+            let r = st.ranks[mode];
+            factors.push(m2td_guard::gram_factor(
+                "serve.refresh",
+                Some(mode),
+                gram,
+                r,
+            )?);
+        }
+        let sparse = st.inc.to_sparse();
+        let core = sparse_core_with(&sparse, &factors, CoreOrdering::BestShrinkFirst, &mut st.ws)?;
+        m2td_guard::check_dense("serve.core", core.dims(), core.as_slice())?;
+        let decomp = TuckerDecomp::new(core, factors)?;
+        let served_ranks: Vec<usize> = decomp.factors.iter().map(|f| f.cols()).collect();
+        st.version += 1;
+        let report = RefreshReport {
+            version: st.version,
+            basis_cells: sparse.nnz(),
+            served_ranks,
+        };
+        st.model = Some(Arc::new(Model::new(
+            decomp,
+            self.config.cache_capacity,
+            st.version,
+            sparse.nnz(),
+        )));
+        st.pending = 0;
+        m2td_obs::counter_add("serve.refreshes", 1);
+        m2td_obs::gauge_set("serve.model_version", st.version as f64);
+        Ok(report)
+    }
+
+    /// The currently published model snapshot for `name`.
+    pub fn model(&self, name: &str) -> Result<Arc<Model>> {
+        let state = self.state(name)?;
+        let st = state.read().unwrap_or_else(|e| e.into_inner());
+        st.model.clone().ok_or_else(|| ServeError::NoModel {
+            name: name.to_string(),
+        })
+    }
+
+    /// Predicts one cell ("how would this unsimulated configuration
+    /// behave?") against the published snapshot.
+    pub fn query_cell(&self, name: &str, index: &[usize]) -> Result<f64> {
+        let _span = m2td_obs::span!("serve.query");
+        m2td_obs::counter_add("serve.cell_queries", 1);
+        self.model(name)?.cell(index)
+    }
+
+    /// Predicts a batch of cells against one snapshot fetch. All values
+    /// come from the same model version even if a refresh lands mid-batch.
+    pub fn query_cells(&self, name: &str, indices: &[Vec<usize>]) -> Result<Vec<f64>> {
+        let _span = m2td_obs::span!("serve.query");
+        m2td_obs::counter_add("serve.cell_queries", indices.len() as u64);
+        let model = self.model(name)?;
+        indices.iter().map(|idx| model.cell(idx)).collect()
+    }
+
+    /// Predicts a whole mode-`mode` slice of the reconstruction (extent 1
+    /// in `mode`) through the batched TTM path.
+    pub fn query_slice(&self, name: &str, mode: usize, index: usize) -> Result<DenseTensor> {
+        let _span = m2td_obs::span!("serve.query");
+        m2td_obs::counter_add("serve.slice_queries", 1);
+        let model = self.model(name)?;
+        let mut ws = self.slice_ws.lock().unwrap_or_else(|e| e.into_inner());
+        model.slice(mode, index, &mut ws)
+    }
+
+    /// Statistics for one ensemble.
+    pub fn stats(&self, name: &str) -> Result<EnsembleStats> {
+        let state = self.state(name)?;
+        let st = state.read().unwrap_or_else(|e| e.into_inner());
+        Ok(EnsembleStats {
+            name: name.to_string(),
+            dims: st.inc.dims().to_vec(),
+            ranks: st.ranks.clone(),
+            nnz: st.inc.nnz(),
+            pending: st.pending,
+            model_version: st.version,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2td_tensor::hosvd_sparse_exact;
+    use std::sync::Mutex as TestMutex;
+
+    /// Guard state is process-global; tests that install serialize here.
+    static GUARD_LOCK: TestMutex<()> = TestMutex::new(());
+
+    /// Deterministic synthetic cell values.
+    fn cell_value(l: usize) -> f64 {
+        (l as f64 * 0.37).sin() + 1.0
+    }
+
+    /// Fills every other cell of a `dims` ensemble.
+    fn fill(engine: &ServeEngine, name: &str, dims: &[usize]) -> usize {
+        let shape = Shape::new(dims);
+        let mut n = 0;
+        for l in 0..shape.num_elements() {
+            if l % 2 == 0 {
+                engine
+                    .absorb(name, &shape.multi_index(l), cell_value(l))
+                    .unwrap();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn register_absorb_refresh_query_happy_path() {
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &[4, 4, 3], &[2, 2, 2]).unwrap();
+        let n = fill(&engine, "e", &[4, 4, 3]);
+        let stats = engine.stats("e").unwrap();
+        assert_eq!(stats.nnz, n);
+        assert_eq!(stats.pending, n);
+        assert_eq!(stats.model_version, 0);
+        assert!(matches!(
+            engine.query_cell("e", &[0, 0, 0]),
+            Err(ServeError::NoModel { .. })
+        ));
+        let r = engine.refresh("e").unwrap();
+        assert_eq!(r.version, 1);
+        assert_eq!(r.basis_cells, n);
+        assert_eq!(r.ranks(), &[2, 2, 2]);
+        let y = engine.query_cell("e", &[1, 2, 1]).unwrap();
+        assert!(y.is_finite());
+        assert_eq!(engine.stats("e").unwrap().pending, 0);
+        assert_eq!(engine.names(), vec!["e".to_string()]);
+    }
+
+    #[test]
+    fn refreshed_model_matches_batch_decomposition() {
+        let dims = [4usize, 4, 3];
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &dims, &[2, 2, 2]).unwrap();
+        fill(&engine, "e", &dims);
+        engine.refresh("e").unwrap();
+
+        // Batch route over the same cells.
+        let shape = Shape::new(&dims);
+        let entries: Vec<(Vec<usize>, f64)> = (0..shape.num_elements())
+            .filter(|l| l % 2 == 0)
+            .map(|l| (shape.multi_index(l), cell_value(l)))
+            .collect();
+        let sparse = m2td_tensor::SparseTensor::from_entries(&dims, &entries).unwrap();
+        let batch = hosvd_sparse_exact(&sparse, &[2, 2, 2]).unwrap();
+
+        for idx in shape.iter_indices() {
+            let served = engine.query_cell("e", &idx).unwrap();
+            let direct = batch.cell(&idx).unwrap();
+            assert!(
+                (served - direct).abs() <= 1e-9 * (1.0 + direct.abs()),
+                "cell {idx:?}: served {served} vs batch {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_threshold_triggers_auto_refresh() {
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(5));
+        engine.register("e", &[4, 4], &[2, 2]).unwrap();
+        let shape = Shape::new(&[4, 4]);
+        let mut refreshes = 0;
+        for l in 0..12usize {
+            let rep = engine
+                .absorb("e", &shape.multi_index(l), cell_value(l))
+                .unwrap();
+            if rep.refreshed {
+                refreshes += 1;
+                assert_eq!(rep.pending, 0, "refresh resets the staleness counter");
+            }
+        }
+        assert_eq!(refreshes, 2, "12 absorbs at threshold 5 → 2 refreshes");
+        assert_eq!(engine.stats("e").unwrap().model_version, 2);
+        // The auto-published model serves queries immediately.
+        assert!(engine.query_cell("e", &[3, 3]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn slice_query_matches_cellwise_evaluation() {
+        let dims = [4usize, 5, 3];
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &dims, &[2, 2, 2]).unwrap();
+        fill(&engine, "e", &dims);
+        engine.refresh("e").unwrap();
+        for mode in 0..3 {
+            let slice = engine.query_slice("e", mode, 1).unwrap();
+            assert_eq!(slice.dims()[mode], 1);
+            for idx in Shape::new(slice.dims()).iter_indices() {
+                let mut full = idx.clone();
+                full[mode] = 1;
+                let direct = engine.query_cell("e", &full).unwrap();
+                let from_slice = slice.get(&idx);
+                assert!(
+                    (direct - from_slice).abs() < 1e-10,
+                    "mode {mode} idx {idx:?}: {direct} vs {from_slice}"
+                );
+            }
+        }
+        assert!(engine.query_slice("e", 7, 0).is_err());
+        assert!(engine.query_slice("e", 0, 99).is_err());
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let dims = [4usize, 4];
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &dims, &[2, 2]).unwrap();
+        fill(&engine, "e", &dims);
+        engine.refresh("e").unwrap();
+        let indices: Vec<Vec<usize>> = Shape::new(&dims).iter_indices().collect();
+        let batch = engine.query_cells("e", &indices).unwrap();
+        for (idx, &b) in indices.iter().zip(batch.iter()) {
+            let single = engine.query_cell("e", idx).unwrap();
+            assert_eq!(single.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicate_absorb_and_unknown_names_error() {
+        let engine = ServeEngine::default();
+        engine.register("e", &[2, 2], &[1, 1]).unwrap();
+        assert!(matches!(
+            engine.register("e", &[2, 2], &[1, 1]),
+            Err(ServeError::AlreadyRegistered { .. })
+        ));
+        assert!(matches!(
+            engine.register("bad", &[2, 2], &[3, 1]),
+            Err(ServeError::Tensor(TensorError::RankTooLarge { .. }))
+        ));
+        assert!(matches!(
+            engine.register("bad", &[2, 2], &[1]),
+            Err(ServeError::Tensor(TensorError::WrongNumberOfRanks { .. }))
+        ));
+        engine.absorb("e", &[0, 1], 1.0).unwrap();
+        assert!(matches!(
+            engine.absorb("e", &[0, 1], 2.0),
+            Err(ServeError::Tensor(TensorError::DuplicateEntry { .. }))
+        ));
+        assert!(matches!(
+            engine.absorb("ghost", &[0, 0], 1.0),
+            Err(ServeError::UnknownEnsemble { .. })
+        ));
+        assert!(engine.deregister("e").is_ok());
+        assert!(matches!(
+            engine.deregister("e"),
+            Err(ServeError::UnknownEnsemble { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_serves_repeat_queries_identically() {
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &[4, 4], &[2, 2]).unwrap();
+        fill(&engine, "e", &[4, 4]);
+        engine.refresh("e").unwrap();
+        let cold = engine.query_cell("e", &[1, 3]).unwrap();
+        let warm = engine.query_cell("e", &[1, 3]).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        // Capacity 0 disables the cache without changing results.
+        let uncached = ServeEngine::new(
+            ServeConfig::default()
+                .with_staleness(0)
+                .with_cache_capacity(0),
+        );
+        uncached.register("e", &[4, 4], &[2, 2]).unwrap();
+        fill(&uncached, "e", &[4, 4]);
+        uncached.refresh("e").unwrap();
+        let plain = uncached.query_cell("e", &[1, 3]).unwrap();
+        assert_eq!(plain.to_bits(), cold.to_bits());
+        // Both paths reject malformed indices identically.
+        for eng in [&engine, &uncached] {
+            assert!(matches!(
+                eng.query_cell("e", &[1]),
+                Err(ServeError::Tensor(TensorError::WrongNumberOfRanks { .. }))
+            ));
+            assert!(matches!(
+                eng.query_cell("e", &[9, 0]),
+                Err(ServeError::Tensor(TensorError::IndexOutOfBounds { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn guard_fail_policy_keeps_previous_model_serving() {
+        use m2td_guard::{GuardConfig, GuardPolicy};
+        let _lock = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &[3, 3], &[3, 3]).unwrap();
+        // A rank-1 fill: mode Grams support only one direction, far short
+        // of the requested rank 3.
+        for j in 0..3usize {
+            engine.absorb("e", &[0, j], (j + 1) as f64).unwrap();
+        }
+        // Unguarded: the deficient refresh goes through (plain eig).
+        engine.refresh("e").unwrap();
+        let v1 = engine.query_cell("e", &[0, 1]).unwrap();
+        engine.absorb("e", &[1, 0], 2.0).unwrap();
+
+        m2td_guard::install(GuardConfig::with_policy(GuardPolicy::Fail));
+        // Still rank-deficient at rank 3 → refresh rejected...
+        let err = engine.refresh("e");
+        m2td_guard::uninstall();
+        assert!(matches!(
+            err,
+            Err(ServeError::Tensor(TensorError::Guard(
+                GuardError::RankDeficient { .. }
+            )))
+        ));
+        // ...and the version-1 model keeps serving, bit for bit.
+        assert_eq!(engine.stats("e").unwrap().model_version, 1);
+        let still = engine.query_cell("e", &[0, 1]).unwrap();
+        assert_eq!(still.to_bits(), v1.to_bits());
+    }
+
+    #[test]
+    fn guarded_auto_refresh_defers_instead_of_failing_the_write() {
+        use m2td_guard::{GuardConfig, GuardPolicy};
+        let _lock = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(1));
+        engine.register("e", &[3, 3], &[2, 2]).unwrap();
+        m2td_guard::install(GuardConfig::with_policy(GuardPolicy::Fail));
+        // One cell supports only rank 1, so the automatic refresh the
+        // absorb triggers is guard-rejected — but the write itself must
+        // succeed and the cell must stay durable.
+        let a1 = engine.absorb("e", &[0, 0], 1.0).unwrap();
+        assert!(!a1.refreshed);
+        assert_eq!((a1.nnz, a1.pending), (1, 1));
+        assert_eq!(engine.stats("e").unwrap().model_version, 0);
+        // The deferred refresh retries on the next absorb and succeeds
+        // once the spectrum reaches the requested rank.
+        let a2 = engine.absorb("e", &[1, 1], 2.0).unwrap();
+        m2td_guard::uninstall();
+        assert!(a2.refreshed);
+        assert_eq!((a2.nnz, a2.pending), (2, 0));
+        assert_eq!(engine.stats("e").unwrap().model_version, 1);
+    }
+
+    #[test]
+    fn guard_clamp_policy_serves_narrower_factors() {
+        use m2td_guard::{GuardConfig, GuardPolicy};
+        let _lock = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &[3, 3], &[2, 2]).unwrap();
+        for j in 0..3usize {
+            engine.absorb("e", &[0, j], (j + 1) as f64).unwrap();
+        }
+        m2td_guard::install(GuardConfig::with_policy(GuardPolicy::ClampRank));
+        let report = engine.refresh("e");
+        m2td_guard::uninstall();
+        let report = report.unwrap();
+        assert_eq!(report.ranks(), &[1, 1], "deficient spectrum clamps to 1");
+        assert!(engine.query_cell("e", &[1, 1]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn guarded_absorb_rejects_nonfinite_cells() {
+        use m2td_guard::{GuardConfig, GuardPolicy};
+        let _lock = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("e", &[2, 2], &[1, 1]).unwrap();
+        m2td_guard::install(GuardConfig::with_policy(GuardPolicy::Fail));
+        let res = engine.absorb("e", &[0, 0], f64::NAN);
+        m2td_guard::uninstall();
+        assert!(matches!(
+            res,
+            Err(ServeError::Tensor(TensorError::Guard(
+                GuardError::NonFinite { .. }
+            )))
+        ));
+        // The poisoned cell never reached the Grams.
+        assert_eq!(engine.stats("e").unwrap().nnz, 0);
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = ServeError::UnknownEnsemble {
+            name: "lorenz".into(),
+        };
+        assert!(e.to_string().contains("lorenz"));
+        let e = ServeError::NoModel { name: "sir".into() };
+        assert!(e.to_string().contains("refresh"));
+        use std::error::Error;
+        let e = ServeError::Tensor(TensorError::EmptyTensor);
+        assert!(e.source().is_some());
+    }
+}

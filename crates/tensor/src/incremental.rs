@@ -67,13 +67,14 @@ impl IncrementalEnsemble {
     ///
     /// # Errors
     ///
-    /// * [`TensorError::IndexOutOfBounds`] for invalid coordinates or a
-    ///   duplicate cell.
+    /// * [`TensorError::IndexOutOfBounds`] for invalid coordinates.
+    /// * [`TensorError::DuplicateEntry`] when the cell already holds a
+    ///   result (matching [`SparseTensor::from_entries`]).
     pub fn add(&mut self, index: &[usize], value: f64) -> Result<()> {
         self.shape.check_index(index)?;
         let lin = self.shape.linear_index(index) as u64;
         if self.entries.contains_key(&lin) {
-            return Err(TensorError::IndexOutOfBounds {
+            return Err(TensorError::DuplicateEntry {
                 index: index.to_vec(),
                 shape: self.dims().to_vec(),
             });
@@ -213,6 +214,26 @@ mod tests {
         assert!(inc.add(&[2, 0], 1.0).is_err());
         assert!(inc.add(&[0], 1.0).is_err());
         assert_eq!(inc.nnz(), 1);
+    }
+
+    #[test]
+    fn duplicate_cell_reports_duplicate_entry_variant() {
+        // Regression: a duplicate used to masquerade as IndexOutOfBounds,
+        // hiding the actual failure mode from serve-layer callers.
+        let mut inc = IncrementalEnsemble::new(&[2, 3]);
+        inc.add(&[1, 2], 4.0).unwrap();
+        match inc.add(&[1, 2], 5.0) {
+            Err(TensorError::DuplicateEntry { index, shape }) => {
+                assert_eq!(index, vec![1, 2]);
+                assert_eq!(shape, vec![2, 3]);
+            }
+            other => panic!("expected DuplicateEntry, got {other:?}"),
+        }
+        // Genuinely invalid coordinates still report IndexOutOfBounds.
+        assert!(matches!(
+            inc.add(&[2, 0], 1.0),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

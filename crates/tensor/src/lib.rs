@@ -59,7 +59,7 @@ pub use ttm::{
     ttm_dense, ttm_dense_transposed, ttm_dense_transposed_ws, ttm_sparse, ttm_sparse_transposed,
 };
 pub use ttv::{ttv_dense, ttv_sparse};
-pub use tucker::TuckerDecomp;
+pub use tucker::{CellEvaluator, TuckerDecomp};
 pub use workspace::Workspace;
 
 /// Result alias used across the crate.

@@ -48,12 +48,27 @@ impl Shape {
         self.dims[mode]
     }
 
-    /// Total number of elements (`Π dims`).
-    pub fn num_elements(&self) -> usize {
+    /// Total number of elements (`Π dims`), or `None` when the product
+    /// overflows `usize`. Serve-scale shapes (e.g. `[1<<22; 3]`) exceed
+    /// 2⁶⁴ cells; callers that need the exact count must handle that.
+    pub fn checked_num_elements(&self) -> Option<usize> {
         if self.dims.is_empty() {
-            return 0;
+            return Some(0);
         }
-        self.dims.iter().product()
+        self.dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+    }
+
+    /// Total number of elements (`Π dims`), saturating at `usize::MAX` on
+    /// overflow. The unchecked `iter().product()` used to panic in debug
+    /// and silently wrap in release, corrupting `density()` and the
+    /// densify-threshold decisions in `TtmPlan`; saturation keeps those
+    /// ratios directionally correct (a >2⁶⁴-cell tensor is treated as
+    /// having vanishing density). Use [`Self::checked_num_elements`] when
+    /// the exact count matters.
+    pub fn num_elements(&self) -> usize {
+        self.checked_num_elements().unwrap_or(usize::MAX)
     }
 
     /// Validates a mode id.
@@ -256,6 +271,23 @@ mod tests {
         assert_eq!(Shape::new(&[]).num_elements(), 0);
         assert_eq!(Shape::new(&[3, 0, 2]).num_elements(), 0);
         assert_eq!(Shape::new(&[5]).num_elements(), 5);
+        assert_eq!(Shape::new(&[]).checked_num_elements(), Some(0));
+        assert_eq!(Shape::new(&[3, 0, 2]).checked_num_elements(), Some(0));
+    }
+
+    #[test]
+    fn num_elements_saturates_instead_of_wrapping() {
+        // A serve-scale shape whose product (2^66) exceeds usize: the
+        // unchecked product used to panic in debug / wrap in release.
+        let huge = Shape::new(&[1 << 22, 1 << 22, 1 << 22]);
+        assert_eq!(huge.checked_num_elements(), None);
+        assert_eq!(huge.num_elements(), usize::MAX);
+        // A wrap to a small number would make this fail loudly.
+        assert!(huge.num_elements() > (1usize << 62));
+        // Just-under-the-limit products still compute exactly.
+        let fits = Shape::new(&[1 << 31, 1 << 31]);
+        assert_eq!(fits.checked_num_elements(), Some(1usize << 62));
+        assert_eq!(fits.num_elements(), 1usize << 62);
     }
 
     #[test]

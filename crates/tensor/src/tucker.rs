@@ -67,52 +67,57 @@ impl TuckerDecomp {
     /// ("how would this unsimulated configuration behave?") against a
     /// decomposition of a large ensemble.
     pub fn cell(&self, index: &[usize]) -> Result<f64> {
-        if index.len() != self.factors.len() {
-            return Err(TensorError::WrongNumberOfRanks {
-                supplied: index.len(),
-                order: self.factors.len(),
-            });
-        }
-        for (n, (&i, f)) in index.iter().zip(self.factors.iter()).enumerate() {
-            if i >= f.rows() {
-                return Err(TensorError::IndexOutOfBounds {
-                    index: index.to_vec(),
-                    shape: self.output_dims(),
-                });
-            }
-            let _ = n;
-        }
-        let mut acc = 0.0;
-        let core_shape = self.core.shape().clone();
+        self.check_cell_index(index)?;
+        let core_shape = self.core.shape();
         let mut g_idx = vec![0usize; core_shape.order()];
+        let mut acc = 0.0;
         for (lin, &g) in self.core.as_slice().iter().enumerate() {
             if g == 0.0 {
                 continue;
             }
             core_shape.multi_index_into(lin, &mut g_idx);
             let mut term = g;
-            for (n, (&i, f)) in index.iter().zip(self.factors.iter()).enumerate() {
-                term *= f.get(i, g_idx[n]);
+            for ((&i, f), &gn) in index.iter().zip(self.factors.iter()).zip(g_idx.iter()) {
+                term *= f.get(i, gn);
             }
             acc += term;
         }
         Ok(acc)
     }
 
+    /// Validates a reconstruction-space multi-index: every mode is checked
+    /// before any allocation, so the error path costs nothing until an
+    /// actual error is built.
+    fn check_cell_index(&self, index: &[usize]) -> Result<()> {
+        if index.len() != self.factors.len() {
+            return Err(TensorError::WrongNumberOfRanks {
+                supplied: index.len(),
+                order: self.factors.len(),
+            });
+        }
+        if index
+            .iter()
+            .zip(self.factors.iter())
+            .any(|(&i, f)| i >= f.rows())
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.output_dims(),
+            });
+        }
+        Ok(())
+    }
+
     /// Relative Frobenius reconstruction error
     /// `‖X̃ − Y‖_F / ‖Y‖_F` against a reference tensor `Y`.
     pub fn relative_error(&self, reference: &DenseTensor) -> Result<f64> {
         let recon = self.reconstruct()?;
-        let diff = recon.sub(reference)?;
+        let diff_norm = recon.sub(reference)?.frobenius_norm();
         let denom = reference.frobenius_norm();
         if denom == 0.0 {
-            return Ok(if diff.frobenius_norm() == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
-            });
+            return Ok(if diff_norm == 0.0 { 0.0 } else { f64::INFINITY });
         }
-        Ok(diff.frobenius_norm() / denom)
+        Ok(diff_norm / denom)
     }
 
     /// The paper's accuracy metric (Section VII-D):
@@ -130,6 +135,92 @@ impl TuckerDecomp {
                 .iter()
                 .map(|f| f.rows() * f.cols())
                 .sum::<usize>()
+    }
+}
+
+/// Amortized single-cell evaluation over a [`TuckerDecomp`].
+///
+/// [`TuckerDecomp::cell`] decodes every nonzero core entry's multi-index
+/// on each call and allocates a scratch index buffer per query — fine for
+/// one-shot in-fill, wasteful on a serving hot path issuing thousands of
+/// queries against the same decomposition. `CellEvaluator` hoists that
+/// work out of the per-call path: it scans the core once, keeping only the
+/// nonzero entries with their multi-indices pre-decoded, so each query is
+/// a pure read-only walk (`Π r_n` multiplies worst case, fewer on sparse
+/// cores) with no allocation. Evaluation accumulates terms in the same
+/// linear-core order as `cell`, so results are bitwise identical to it —
+/// and, because queries take `&self`, identical across any number of
+/// concurrent query threads.
+#[derive(Debug, Clone)]
+pub struct CellEvaluator {
+    decomp: TuckerDecomp,
+    /// Values of the nonzero core entries, in linear-core order.
+    values: Vec<f64>,
+    /// Pre-decoded core multi-indices, flattened `order` per value.
+    g_idx: Vec<usize>,
+    /// Cached `decomp.output_dims()`.
+    output_dims: Vec<usize>,
+}
+
+impl CellEvaluator {
+    /// Builds the evaluator, pre-decoding every nonzero core entry.
+    pub fn new(decomp: TuckerDecomp) -> Self {
+        let core_shape = decomp.core.shape();
+        let order = core_shape.order();
+        let mut values = Vec::new();
+        let mut g_idx = Vec::new();
+        let mut scratch = vec![0usize; order];
+        for (lin, &g) in decomp.core.as_slice().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            core_shape.multi_index_into(lin, &mut scratch);
+            values.push(g);
+            g_idx.extend_from_slice(&scratch);
+        }
+        let output_dims = decomp.output_dims();
+        Self {
+            decomp,
+            values,
+            g_idx,
+            output_dims,
+        }
+    }
+
+    /// The wrapped decomposition.
+    pub fn decomp(&self) -> &TuckerDecomp {
+        &self.decomp
+    }
+
+    /// The reconstructed tensor's mode extents.
+    pub fn output_dims(&self) -> &[usize] {
+        &self.output_dims
+    }
+
+    /// Number of nonzero core entries each query walks.
+    pub fn num_terms(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Evaluates one reconstructed cell; bitwise identical to
+    /// [`TuckerDecomp::cell`] on the wrapped decomposition.
+    pub fn cell(&self, index: &[usize]) -> Result<f64> {
+        self.decomp.check_cell_index(index)?;
+        let order = self.decomp.factors.len();
+        let mut acc = 0.0;
+        for (t, &g) in self.values.iter().enumerate() {
+            let g_idx = &self.g_idx[t * order..(t + 1) * order];
+            let mut term = g;
+            for ((&i, f), &gn) in index
+                .iter()
+                .zip(self.decomp.factors.iter())
+                .zip(g_idx.iter())
+            {
+                term *= f.get(i, gn);
+            }
+            acc += term;
+        }
+        Ok(acc)
     }
 }
 
@@ -206,6 +297,40 @@ mod tests {
         assert!(t.cell(&[0]).is_err());
         assert!(t.cell(&[2, 0]).is_err());
         assert_eq!(t.cell(&[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cell_evaluator_matches_cell_bitwise() {
+        // A core with an exact zero exercises the nonzero-term filter.
+        let core = DenseTensor::from_fn(&[2, 2], |i| {
+            if i == [1, 0] {
+                0.0
+            } else {
+                (i[0] * 2 + i[1] + 1) as f64
+            }
+        });
+        let a = Matrix::from_fn(4, 2, |i, j| ((i + j) as f64 * 0.7).sin());
+        let b = Matrix::from_fn(3, 2, |i, j| ((i * 2 + j) as f64 * 0.3).cos());
+        let t = TuckerDecomp::new(core, vec![a, b]).unwrap();
+        let eval = CellEvaluator::new(t.clone());
+        assert_eq!(eval.num_terms(), 3);
+        assert_eq!(eval.output_dims(), &[4, 3]);
+        for i in 0..4 {
+            for j in 0..3 {
+                let direct = t.cell(&[i, j]).unwrap();
+                let fast = eval.cell(&[i, j]).unwrap();
+                assert_eq!(direct.to_bits(), fast.to_bits(), "cell ({i},{j})");
+            }
+        }
+        // Validation carries over unchanged.
+        assert!(matches!(
+            eval.cell(&[0]),
+            Err(TensorError::WrongNumberOfRanks { .. })
+        ));
+        assert!(matches!(
+            eval.cell(&[4, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

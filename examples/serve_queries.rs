@@ -1,0 +1,100 @@
+//! A resident serving session over a simulated ensemble.
+//!
+//! The main pipeline decomposes once and reconstructs once. This example
+//! runs the serving regime instead: a [`m2td::serve::ServeEngine`] stays
+//! resident while simulation results stream in one cell at a time, its
+//! model refreshes every `staleness` absorbed cells (from running Gram
+//! matrices — no re-decomposition from scratch), and in-fill queries are
+//! answered for cells that were never simulated, including whole-slice
+//! queries through the batched TTM path.
+//!
+//! ```text
+//! cargo run --release --example serve_queries
+//! ```
+
+use m2td::core::{Workbench, WorkbenchConfig};
+use m2td::prelude::*;
+use m2td::sim::systems::DoublePendulum;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = DoublePendulum::default();
+    let cfg = WorkbenchConfig {
+        resolution: 8,
+        time_steps: 10,
+        t_end: 2.0,
+        substeps: 16,
+        rank: 4,
+        seed: 77,
+        noise_sigma: 0.0,
+    };
+    let bench = Workbench::new(&system, cfg)?;
+    let pivot = bench.n_modes() - 1;
+    let (x1_full, _, _) = bench.subsystems(pivot, 1.0, 1.0, 1.0)?;
+    let dims = x1_full.dims().to_vec();
+    let ranks: Vec<usize> = dims.iter().map(|&d| 4usize.min(d)).collect();
+
+    // Stream 60% of the simulated cells into the engine in random order;
+    // hold the rest out as query targets with known ground truth.
+    let mut pool: Vec<(Vec<usize>, f64)> = x1_full.iter().collect();
+    pool.shuffle(&mut rand::rngs::StdRng::seed_from_u64(cfg.seed));
+    let absorbed_count = pool.len() * 6 / 10;
+    let (stream, held_out) = pool.split_at(absorbed_count);
+
+    let engine = ServeEngine::new(ServeConfig::default().with_staleness(200));
+    engine.register("pendulum", &dims, &ranks)?;
+    let t0 = Instant::now();
+    let mut refreshes = 0;
+    for (idx, v) in stream {
+        if engine.absorb("pendulum", idx, *v)?.refreshed {
+            refreshes += 1;
+        }
+    }
+    let report = engine.refresh("pendulum")?;
+    println!(
+        "absorbed {} cells in {:.1} ms ({} automatic refreshes); model v{} serves ranks {:?}",
+        stream.len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        refreshes,
+        report.version,
+        report.ranks(),
+    );
+
+    // In-fill the held-out cells and score against the simulation truth.
+    let t1 = Instant::now();
+    let mut err_sq = 0.0;
+    let mut truth_sq = 0.0;
+    for (idx, truth) in held_out {
+        let predicted = engine.query_cell("pendulum", idx)?;
+        err_sq += (predicted - truth).powi(2);
+        truth_sq += truth * truth;
+    }
+    let elapsed = t1.elapsed().as_secs_f64();
+    println!(
+        "in-filled {} held-out cells in {:.1} ms ({:.0} queries/sec), \
+         relative error {:.3e}",
+        held_out.len(),
+        elapsed * 1e3,
+        held_out.len() as f64 / elapsed.max(1e-12),
+        (err_sq / truth_sq.max(f64::MIN_POSITIVE)).sqrt(),
+    );
+
+    // A slice query answers a whole hyperplane in one batched TTM chain.
+    let slice = engine.query_slice("pendulum", 0, dims[0] / 2)?;
+    let peak = slice.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    println!(
+        "slice query (mode 0, index {}): {} predicted cells, peak |value| {:.3e}",
+        dims[0] / 2,
+        slice.as_slice().len(),
+        peak,
+    );
+
+    let stats = engine.stats("pendulum")?;
+    println!(
+        "resident: {} cells, model v{}, {} pending until the next refresh window",
+        stats.nnz, stats.model_version, stats.pending,
+    );
+    Ok(())
+}

@@ -37,6 +37,7 @@ pub use m2td_linalg as linalg;
 pub use m2td_obs as obs;
 pub use m2td_par as par;
 pub use m2td_sampling as sampling;
+pub use m2td_serve as serve;
 pub use m2td_sim as sim;
 pub use m2td_sketch as sketch;
 pub use m2td_stitch as stitch;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use m2td_fault::{FaultPlan, RetryPolicy};
     pub use m2td_linalg::Matrix;
     pub use m2td_sampling::{PfPartition, SamplingScheme};
+    pub use m2td_serve::{ServeConfig, ServeEngine};
     pub use m2td_sim::{EnsembleBuilder, EnsembleSystem, ParameterSpace, TimeGrid};
     pub use m2td_sketch::{SketchConfig, SketchPolicy};
     pub use m2td_stitch::{stitch, StitchKind};

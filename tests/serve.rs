@@ -1,0 +1,260 @@
+//! Serving-path properties spanning the workspace crates.
+//!
+//! A resident [`ServeEngine`] fed one cell at a time must agree with a
+//! batch decomposition of the same cells, and its published-snapshot
+//! serving contract must make query answers bitwise invariant under
+//! concurrency and refresh cadence.
+
+use m2td::prelude::*;
+use m2td::tensor::{hosvd_sparse_exact, Shape, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
+
+/// A random small shape (2–4 modes, extents 2–5) with per-mode ranks
+/// drawn in `1..=extent`.
+fn rand_case(rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
+    let order = rng.gen_range(2usize..5);
+    let dims: Vec<usize> = (0..order).map(|_| rng.gen_range(2usize..6)).collect();
+    let ranks: Vec<usize> = dims.iter().map(|&d| rng.gen_range(1usize..d + 1)).collect();
+    (dims, ranks)
+}
+
+/// A random dense-ish cell set (~70% occupancy) over `dims`, in a
+/// shuffled absorption order.
+fn rand_cells(rng: &mut StdRng, dims: &[usize]) -> Vec<(Vec<usize>, f64)> {
+    let shape = Shape::new(dims);
+    let mut cells: Vec<(Vec<usize>, f64)> = Vec::new();
+    for l in 0..shape.num_elements() {
+        if rng.gen_range(0.0..1.0) < 0.7 {
+            cells.push((shape.multi_index(l), rng.gen_range(-10.0..10.0)));
+        }
+    }
+    if cells.is_empty() {
+        cells.push((shape.multi_index(0), 1.0));
+    }
+    // Fisher–Yates shuffle: absorption order must not matter.
+    for i in (1..cells.len()).rev() {
+        cells.swap(i, rng.gen_range(0usize..i + 1));
+    }
+    cells
+}
+
+/// Absorb-one-by-one then refresh must reproduce the batch
+/// decomposition of the same cells: every in-fill prediction matches to
+/// ≤ 1e-9 relative error (the PR's acceptance bound).
+#[test]
+fn resident_engine_matches_batch_decomposition() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E27E + seed);
+        let (dims, ranks) = rand_case(&mut rng);
+        let cells = rand_cells(&mut rng, &dims);
+
+        let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        engine.register("p", &dims, &ranks).unwrap();
+        for (idx, v) in &cells {
+            engine.absorb("p", idx, *v).unwrap();
+        }
+        engine.refresh("p").unwrap();
+
+        let sparse = SparseTensor::from_entries(&dims, &cells).unwrap();
+        let batch = hosvd_sparse_exact(&sparse, &ranks).unwrap();
+
+        let shape = Shape::new(&dims);
+        for l in 0..shape.num_elements() {
+            let idx = shape.multi_index(l);
+            let served = engine.query_cell("p", &idx).unwrap();
+            let direct = batch.cell(&idx).unwrap();
+            let tol = 1e-9 * (1.0 + direct.abs());
+            assert!(
+                (served - direct).abs() <= tol,
+                "seed {seed} dims {dims:?} ranks {ranks:?} cell {idx:?}: \
+                 served {served} vs batch {direct}"
+            );
+        }
+    }
+}
+
+/// Refresh cadence must not change the final model: absorbing through a
+/// small staleness window (with automatic intermediate refreshes) and
+/// absorbing with refreshes disabled land on bitwise-identical
+/// predictions once both have refreshed over the full cell set.
+#[test]
+fn refresh_cadence_does_not_change_the_final_model() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0xCADE + seed);
+        let (dims, ranks) = rand_case(&mut rng);
+        let cells = rand_cells(&mut rng, &dims);
+
+        let auto = ServeEngine::new(ServeConfig::default().with_staleness(3));
+        let manual = ServeEngine::new(ServeConfig::default().with_staleness(0));
+        for e in [&auto, &manual] {
+            e.register("p", &dims, &ranks).unwrap();
+            for (idx, v) in &cells {
+                e.absorb("p", idx, *v).unwrap();
+            }
+            e.refresh("p").unwrap();
+        }
+
+        let shape = Shape::new(&dims);
+        for l in 0..shape.num_elements() {
+            let idx = shape.multi_index(l);
+            let a = auto.query_cell("p", &idx).unwrap();
+            let m = manual.query_cell("p", &idx).unwrap();
+            assert_eq!(
+                a.to_bits(),
+                m.to_bits(),
+                "seed {seed} cell {idx:?}: auto-refresh {a} vs manual {m}"
+            );
+        }
+    }
+}
+
+/// The published-snapshot contract: queries issued from 8 concurrent
+/// threads return bitwise the same predictions as a single thread, cache
+/// warm or cold.
+#[test]
+fn concurrent_queries_are_bitwise_identical() {
+    let dims = [6usize, 5, 4];
+    let ranks = [3usize, 2, 2];
+    let shape = Shape::new(&dims);
+    let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+    engine.register("p", &dims, &ranks).unwrap();
+    for l in 0..shape.num_elements() {
+        if l % 3 != 1 {
+            engine
+                .absorb("p", &shape.multi_index(l), ((l as f64) * 0.61).cos() + 0.5)
+                .unwrap();
+        }
+    }
+    engine.refresh("p").unwrap();
+
+    let queries: Vec<Vec<usize>> = (0..shape.num_elements())
+        .map(|l| shape.multi_index(l))
+        .collect();
+    let baseline: Vec<u64> = queries
+        .iter()
+        .map(|q| engine.query_cell("p", q).unwrap().to_bits())
+        .collect();
+
+    let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let eng = &engine;
+                let qs = &queries;
+                s.spawn(move || {
+                    // Each thread starts at a different offset so cache
+                    // hits and misses interleave across threads.
+                    (0..qs.len())
+                        .map(|k| {
+                            let q = &qs[(k + t * 7) % qs.len()];
+                            (
+                                eng.query_cell("p", q).unwrap().to_bits(),
+                                (k + t * 7) % qs.len(),
+                            )
+                        })
+                        .collect::<Vec<(u64, usize)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap()
+                    .into_iter()
+                    .map(|(bits, at)| {
+                        assert_eq!(bits, baseline[at], "thread answer diverged at {at}");
+                        bits
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    assert_eq!(results.len(), 8);
+
+    // Batched queries agree with the same single-cell answers.
+    let batched = engine.query_cells("p", &queries).unwrap();
+    for (b, base) in batched.iter().zip(&baseline) {
+        assert_eq!(b.to_bits(), *base);
+    }
+}
+
+/// Slice queries answer whole hyperplanes through the batched TTM path
+/// and must agree with cell-by-cell evaluation.
+#[test]
+fn slice_queries_agree_with_cellwise_evaluation() {
+    let dims = [5usize, 4, 3];
+    let shape = Shape::new(&dims);
+    let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+    engine.register("p", &dims, &[2, 2, 2]).unwrap();
+    for l in 0..shape.num_elements() {
+        if l % 2 == 0 {
+            engine
+                .absorb("p", &shape.multi_index(l), ((l as f64) * 0.37).sin() + 1.0)
+                .unwrap();
+        }
+    }
+    engine.refresh("p").unwrap();
+
+    for mode in 0..dims.len() {
+        for fixed in 0..dims[mode] {
+            // The slice keeps its order: extent 1 in the fixed mode.
+            let slice = engine.query_slice("p", mode, fixed).unwrap();
+            assert_eq!(slice.dims()[mode], 1);
+            let slice_shape = Shape::new(slice.dims());
+            for sl in 0..slice_shape.num_elements() {
+                let sub = slice_shape.multi_index(sl);
+                let mut idx = sub.clone();
+                idx[mode] = fixed;
+                let direct = engine.query_cell("p", &idx).unwrap();
+                let via_slice = slice.as_slice()[sl];
+                assert!(
+                    (via_slice - direct).abs() <= 1e-10 * (1.0 + direct.abs()),
+                    "mode {mode} fixed {fixed} sub {sub:?}: {via_slice} vs {direct}"
+                );
+            }
+        }
+    }
+}
+
+/// The serving path reports itself: spans and counters for absorb,
+/// refresh and query all land in the telemetry snapshot.
+#[test]
+fn serving_spans_and_counters_reach_the_snapshot() {
+    m2td::obs::install();
+    let dims = [4usize, 3, 3];
+    let shape = Shape::new(&dims);
+    let engine = ServeEngine::new(ServeConfig::default().with_staleness(0));
+    engine.register("obs", &dims, &[2, 2, 2]).unwrap();
+    for l in 0..shape.num_elements() {
+        engine
+            .absorb("obs", &shape.multi_index(l), (l as f64).sqrt())
+            .unwrap();
+    }
+    engine.refresh("obs").unwrap();
+    for l in 0..shape.num_elements() {
+        engine.query_cell("obs", &shape.multi_index(l)).unwrap();
+    }
+    engine.query_slice("obs", 0, 1).unwrap();
+
+    let snap = m2td::obs::snapshot();
+    for span in ["serve.absorb", "serve.refresh", "serve.query"] {
+        assert!(
+            snap.spans.iter().any(|s| s.label == span && s.count > 0),
+            "span {span} missing from the snapshot"
+        );
+    }
+    for counter in [
+        "serve.absorbed_cells",
+        "serve.refreshes",
+        "serve.cell_queries",
+        "serve.slice_queries",
+    ] {
+        assert!(
+            snap.counters.iter().any(|(n, v)| n == counter && *v > 0),
+            "counter {counter} missing from the snapshot"
+        );
+    }
+}
