@@ -62,6 +62,73 @@ fn bench_eig_and_qr(c: &mut Criterion) {
     g.finish();
 }
 
+/// Blocked vs row-streaming GEMM on the shapes the pipeline actually
+/// produces: a ≥256-dim square product, the tall-skinny `I×R` Phase-1
+/// factor product, and the `R×I·I×R` Gram. Before timing starts the
+/// blocked results are asserted tolerance-equal to the streaming kernel
+/// and bitwise identical across every benched thread count.
+fn bench_gemm(c: &mut Criterion) {
+    let counts = bench_thread_counts();
+
+    let sq_a = Matrix::from_fn(256, 256, |i, j| ((i * 13 + j * 7) as f64 * 0.003).sin());
+    let sq_b = Matrix::from_fn(256, 256, |i, j| ((i * 5 + j * 11) as f64 * 0.007).cos());
+    let tall = Matrix::from_fn(4096, 32, |i, j| ((i * 3 + j) as f64 * 0.011).sin());
+    let small = Matrix::from_fn(32, 32, |i, j| ((i + 2 * j) as f64 * 0.019).cos());
+    let gram_a = Matrix::from_fn(64, 4096, |i, j| ((i * 17 + j) as f64 * 0.002).sin());
+
+    let mut blocked = Matrix::zeros(0, 0);
+    let mut rows = Matrix::zeros(0, 0);
+    m2td_par::set_max_threads(1);
+    sq_a.matmul_into(&sq_b, &mut blocked).unwrap();
+    sq_a.matmul_rowstream_into(&sq_b, &mut rows).unwrap();
+    let scale = rows.max_abs().max(1.0);
+    for (x, y) in blocked.as_slice().iter().zip(rows.as_slice()) {
+        assert!(
+            (x - y).abs() <= 1e-12 * scale,
+            "blocked vs streaming drifted past 1e-12"
+        );
+    }
+    let serial = blocked.clone();
+    for &t in &counts {
+        m2td_par::set_max_threads(t);
+        sq_a.matmul_into(&sq_b, &mut blocked).unwrap();
+        assert_eq!(blocked, serial, "blocked gemm diverged at t={t}");
+    }
+
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    let mut out = Matrix::zeros(0, 0);
+    for &threads in &counts {
+        m2td_par::set_max_threads(threads);
+        g.bench_function(format!("square256_blocked_t{threads}"), |b| {
+            b.iter(|| sq_a.matmul_into(black_box(&sq_b), &mut out).unwrap())
+        });
+        g.bench_function(format!("square256_rows_t{threads}"), |b| {
+            b.iter(|| {
+                sq_a.matmul_rowstream_into(black_box(&sq_b), &mut out)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("tall4096x32_blocked_t{threads}"), |b| {
+            b.iter(|| tall.matmul_into(black_box(&small), &mut out).unwrap())
+        });
+        g.bench_function(format!("tall4096x32_rows_t{threads}"), |b| {
+            b.iter(|| {
+                tall.matmul_rowstream_into(black_box(&small), &mut out)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("gram64x4096_blocked_t{threads}"), |b| {
+            b.iter(|| black_box(&gram_a).gram_rows())
+        });
+        g.bench_function(format!("gram64x4096_rows_t{threads}"), |b| {
+            b.iter(|| black_box(&gram_a).gram_rows_rowstream())
+        });
+    }
+    g.finish();
+    m2td_par::set_max_threads(0);
+}
+
 fn bench_ttm(c: &mut Criterion) {
     let mut g = c.benchmark_group("ttm");
     g.sample_size(20);
@@ -549,6 +616,7 @@ criterion_group!(
     kernels,
     bench_svd_routes,
     bench_eig_and_qr,
+    bench_gemm,
     bench_ttm,
     bench_ttm_chain,
     bench_sketch,

@@ -13,6 +13,7 @@
 //! m2td-cli dlq list --dir /tmp/job
 //! m2td-cli serve --dims 16,16,12 --ranks 4,4,4 --threads 8
 //! m2td-cli serve --corrupt-rate 0.05 --guard-policy fail --metrics-out m.json
+//! m2td-cli bench-diff --baseline BENCH_kernels.json --current /tmp/BENCH_new.json
 //! ```
 
 use m2td_bench::registry::{system_by_name, SystemKind};
@@ -75,6 +76,11 @@ USAGE:
                              deterministic synthetic ensemble: absorb,
                              refresh, then answer cell and slice queries
                              from N threads
+  m2td-cli bench-diff [flags]
+                             compare two kernel-benchmark record files
+                             (BENCH_kernels.json) per (group, name,
+                             threads) and fail on wall-time regressions
+                             in the gated families
 
 FLAGS (run/compare):
   --system <name>        double_pendulum | triple_pendulum | lorenz | sir | rossler
@@ -162,10 +168,21 @@ FLAGS (serve):
                          never reach the served model
   --metrics-out <path>   as for run/compare
 
+FLAGS (bench-diff):
+  --baseline <path>      committed record file  [default BENCH_kernels.json]
+  --current <path>       freshly generated record file (required)
+  --max-regress <f>      mean-wall-time regression tolerance as a
+                         fraction of the baseline; a gated record slower
+                         than baseline * (1 + f) fails   [default 0.25]
+  --families <csv>       benchmark groups gated by --max-regress; other
+                         groups are reported but never fail
+                                                  [default gemm,ttm_chain]
+
 EXIT CODES:
   0  success             2  usage or runtime error
-  3  run completed but the guard acceptance check failed, or a serve
-     run produced a non-finite prediction / could not publish a model
+  3  run completed but the guard acceptance check failed, a serve
+     run produced a non-finite prediction / could not publish a model,
+     or bench-diff found a gated regression beyond --max-regress
   4  dist completed degraded: tasks are parked in the dead-letter
      queue (requeue with `m2td-cli dlq requeue`, then rerun)
 "
@@ -258,6 +275,7 @@ fn run() -> Result<u8, String> {
             }
             outcome
         }
+        "bench-diff" => run_bench_diff(&Args::parse(&raw[1..])?),
         "dlq" => {
             let Some(action) = raw.get(1).map(|s| s.as_str()) else {
                 return Err(format!("dlq needs an action\n\n{}", usage()));
@@ -847,6 +865,115 @@ fn run_serve(args: &Args) -> Result<u8, String> {
         println!("serve: UNHEALTHY — non-finite predictions were served");
         return Ok(3);
     }
+    Ok(0)
+}
+
+/// Loads a kernel-benchmark record file written by the `kernels` bench
+/// (`cargo bench -p m2td-bench --bench kernels`).
+fn load_kernel_records(path: &str) -> Result<Vec<m2td_bench::report::KernelRecord>, String> {
+    use m2td_json::{FromJson, Json};
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read records at {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    FromJson::from_json(&json).map_err(|e| format!("{path} is not a kernel record array: {e}"))
+}
+
+/// `bench-diff`: the CI perf-regression gate. Joins two kernel-record
+/// files per `(group, name, threads)`, prints every record's wall-time
+/// delta, and exits 3 when a record in a gated family regressed beyond
+/// `--max-regress`. Records present on only one side are reported but
+/// never fail the gate (new benches appear, old ones retire); the gate
+/// only fires on a kernel that is measurably slower than its committed
+/// baseline.
+fn run_bench_diff(args: &Args) -> Result<u8, String> {
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_kernels.json");
+    let current_path = args
+        .get("current")
+        .ok_or("bench-diff needs --current <path>")?;
+    let max_regress: f64 = args.parse_or("max-regress", 0.25)?;
+    if !(max_regress.is_finite() && max_regress > 0.0) {
+        return Err(format!(
+            "--max-regress {max_regress} must be a positive finite fraction"
+        ));
+    }
+    let families: Vec<String> = args
+        .get("families")
+        .unwrap_or("gemm,ttm_chain")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let baseline = load_kernel_records(baseline_path)?;
+    let current = load_kernel_records(current_path)?;
+    let base_map: HashMap<(&str, &str, usize), f64> = baseline
+        .iter()
+        .map(|r| ((r.group.as_str(), r.name.as_str(), r.threads), r.mean_ns))
+        .collect();
+    let cur_keys: std::collections::HashSet<(&str, &str, usize)> = current
+        .iter()
+        .map(|r| (r.group.as_str(), r.name.as_str(), r.threads))
+        .collect();
+
+    println!(
+        "bench-diff: {} baseline vs {} current records, gating {:?} at +{:.0}%",
+        baseline.len(),
+        current.len(),
+        families,
+        max_regress * 100.0,
+    );
+    let mut regressions = 0usize;
+    for r in &current {
+        let gated = families.contains(&r.group);
+        let line = format!(
+            "{:<14} {:<28} t={:<2} {:>10.3} ms",
+            r.group,
+            r.name,
+            r.threads,
+            r.mean_ns / 1e6,
+        );
+        match base_map.get(&(r.group.as_str(), r.name.as_str(), r.threads)) {
+            None => println!("{line}  (new, no baseline)"),
+            Some(&base_ns) if base_ns <= 0.0 => println!("{line}  (baseline empty)"),
+            Some(&base_ns) => {
+                let delta = r.mean_ns / base_ns - 1.0;
+                let verdict = if gated && delta > max_regress {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else if gated {
+                    "  ok"
+                } else {
+                    "  (ungated)"
+                };
+                println!(
+                    "{line}  vs {:>10.3} ms  {:>+7.1}%{verdict}",
+                    base_ns / 1e6,
+                    delta * 100.0
+                );
+            }
+        }
+    }
+    for r in &baseline {
+        if !cur_keys.contains(&(r.group.as_str(), r.name.as_str(), r.threads)) {
+            println!(
+                "{:<14} {:<28} t={:<2} missing from current (retired?)",
+                r.group, r.name, r.threads
+            );
+        }
+    }
+    if regressions > 0 {
+        println!(
+            "bench-diff: FAIL — {regressions} gated record(s) regressed beyond +{:.0}%; \
+             if the slowdown is intended, refresh the committed baseline \
+             (see .github/workflows/ci.yml bench-gate)",
+            max_regress * 100.0,
+        );
+        return Ok(3);
+    }
+    println!(
+        "bench-diff: ok — no gated regression beyond +{:.0}%",
+        max_regress * 100.0
+    );
     Ok(0)
 }
 

@@ -24,6 +24,7 @@
 mod cholesky;
 mod eig;
 mod error;
+pub mod kernel;
 mod kron;
 mod lu;
 mod matrix;

@@ -1,6 +1,7 @@
 //! Dense row-major matrix type.
 
 use crate::error::LinalgError;
+use crate::kernel;
 use crate::vecops::{dot, norm2};
 use crate::Result;
 use m2td_json::{FromJson, Json, JsonError, ToJson};
@@ -10,8 +11,10 @@ use std::fmt;
 /// below this the scoped-thread setup costs more than the arithmetic.
 const PAR_MIN_FLOPS: usize = 64 * 1024;
 
-/// Column-tile width for the blocked matmul kernels: one output tile plus
-/// one B-row tile stay resident in L1 while a full A-row streams through.
+/// Column-tile width for the row-streaming fallback kernels: one output
+/// tile plus one B-row tile stay resident in L1 while a full A-row
+/// streams through. Products at or above [`kernel::BLOCKED_MIN_FLOPS`]
+/// madds go through the packed blocked backend instead (DESIGN.md §16).
 const COL_BLOCK: usize = 256;
 
 /// Runs `f(i, row)` over each `row_len` chunk of `out`, in parallel when
@@ -205,12 +208,29 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copies column `j` into a freshly allocated vector.
+    /// Copies column `j` into a freshly allocated vector. Hot column
+    /// sweeps should prefer [`Self::col_into`] with a reused buffer.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Copies column `j` into `out`, clearing it first and reusing its
+    /// allocation — the buffer-reuse variant of [`Self::col`] for column
+    /// sweeps (Jacobi SVD norms, CP column extraction) that would
+    /// otherwise allocate once per column per iteration.
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
         debug_assert!(j < self.cols);
-        (0..self.rows)
-            .map(|i| self.data[i * self.cols + j])
-            .collect()
+        out.clear();
+        out.reserve(self.rows);
+        out.extend((0..self.rows).map(|i| self.data[i * self.cols + j]));
+    }
+
+    /// Iterator over column `j` without materializing it.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        debug_assert!(j < self.cols);
+        self.data.iter().skip(j).step_by(self.cols.max(1)).copied()
     }
 
     /// Overwrites column `j` with `v`.
@@ -240,10 +260,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Row-partitioned over the `m2td-par` pool and column-blocked so a
-    /// B-row tile stays in cache; the per-element `k`-ascending
-    /// accumulation order matches the serial `i-k-j` loop exactly, so
-    /// results are bitwise identical at every thread count.
+    /// Large products go through the packed blocked backend
+    /// ([`crate::kernel`]), parallelized over NC×MC macro-tiles; small
+    /// ones keep the row-streaming kernel. Both paths fix the
+    /// accumulation order per output element independently of the
+    /// schedule, so results are bitwise identical at every thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         let mut out = Matrix::zeros(0, 0);
         self.matmul_into(other, &mut out)?;
@@ -263,6 +284,27 @@ impl Matrix {
             });
         }
         out.reset(self.rows, other.cols);
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        if m * k * n >= kernel::BLOCKED_MIN_FLOPS {
+            kernel::gemm(
+                (m, k, n),
+                &self.data,
+                false,
+                &other.data,
+                false,
+                &mut out.data,
+                false,
+            );
+            return Ok(());
+        }
+        self.matmul_rowstream(other, out);
+        Ok(())
+    }
+
+    /// The row-streaming matmul kernel: reference path for small products
+    /// and the baseline the `gemm` bench family compares the blocked
+    /// backend against. `out` must already be reset to `rows × other.cols`.
+    fn matmul_rowstream(&self, other: &Matrix, out: &mut Matrix) {
         let (a, b, m, p) = (&self.data, &other.data, self.cols, other.cols);
         let flops = self.rows * m * p;
         par_rows(&mut out.data, p, flops, |i, out_row| {
@@ -282,6 +324,21 @@ impl Matrix {
                 j0 = j1;
             }
         });
+    }
+
+    /// [`Self::matmul_into`] forced onto the row-streaming path regardless
+    /// of size. Bench/test hook for blocked-vs-streaming comparisons.
+    #[doc(hidden)]
+    pub fn matmul_rowstream_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "matmul",
+            });
+        }
+        out.reset(self.rows, other.cols);
+        self.matmul_rowstream(other, out);
         Ok(())
     }
 
@@ -311,6 +368,12 @@ impl Matrix {
         out.reset(self.cols, other.cols);
         let (a, b, n, m, p) = (&self.data, &other.data, self.rows, self.cols, other.cols);
         let flops = n * m * p;
+        if flops >= kernel::BLOCKED_MIN_FLOPS {
+            // Logical A is selfᵀ (m × n stored row-major = transposed
+            // storage of the p-row operand).
+            kernel::gemm((m, n, p), a, true, b, false, &mut out.data, false);
+            return Ok(());
+        }
         par_rows(&mut out.data, p, flops, |i, out_row| {
             for k in 0..n {
                 let aki = a[k * m + i];
@@ -341,6 +404,11 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.rows);
         let (a, b, m, p) = (&self.data, &other.data, self.cols, other.rows);
         let flops = self.rows * m * p;
+        if flops >= kernel::BLOCKED_MIN_FLOPS {
+            // Logical B is otherᵀ (stored p × m row-major).
+            kernel::gemm((self.rows, m, p), a, false, b, true, &mut out.data, false);
+            return Ok(out);
+        }
         par_rows(&mut out.data, p, flops, |i, out_row| {
             let a_row = &a[i * m..(i + 1) * m];
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -352,22 +420,56 @@ impl Matrix {
 
     /// Gram matrix `self * selfᵀ` (size `rows x rows`), exploiting symmetry.
     ///
-    /// Two passes: the upper triangle is computed with rows partitioned
-    /// over the pool (row `i` owns entries `j >= i`, so writers never
-    /// overlap), then the strictly-lower triangle is mirrored serially.
-    /// Every entry is the same dot product the serial kernel computed.
+    /// Large Grams run the blocked backend in upper-only mode (macro-tiles
+    /// strictly below the diagonal are skipped); small ones compute the
+    /// upper triangle row-streamed. Either way the strictly-lower triangle
+    /// is mirrored serially afterwards — `C(i,j)` and `C(j,i)` share the
+    /// same k-ascending accumulation, so the mirror is a bitwise copy.
     pub fn gram_rows(&self) -> Matrix {
         let n = self.rows;
+        let m = self.cols;
         let mut out = Matrix::zeros(n, n);
-        let (a, m) = (&self.data, self.cols);
+        if n * n * m >= kernel::BLOCKED_MIN_FLOPS {
+            kernel::gemm(
+                (n, m, n),
+                &self.data,
+                false,
+                &self.data,
+                true,
+                &mut out.data,
+                true,
+            );
+        } else {
+            Self::gram_upper_rowstream(&self.data, n, m, &mut out.data);
+        }
+        for i in 1..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
+            }
+        }
+        out
+    }
+
+    /// Row-streamed upper-triangle Gram: row `i` owns entries `j >= i`, so
+    /// parallel writers never overlap.
+    fn gram_upper_rowstream(a: &[f64], n: usize, m: usize, out: &mut [f64]) {
         // Triangular work: roughly half the full n*n*m product.
         let flops = n * n * m / 2;
-        par_rows(&mut out.data, n, flops, |i, out_row| {
+        par_rows(out, n, flops, |i, out_row| {
             let ri = &a[i * m..(i + 1) * m];
             for (j, o) in out_row.iter_mut().enumerate().skip(i) {
                 *o = dot(ri, &a[j * m..(j + 1) * m]);
             }
         });
+    }
+
+    /// [`Self::gram_rows`] forced onto the row-streaming path regardless
+    /// of size. Bench/test hook for blocked-vs-streaming comparisons.
+    #[doc(hidden)]
+    pub fn gram_rows_rowstream(&self) -> Matrix {
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        Self::gram_upper_rowstream(&self.data, n, self.cols, &mut out.data);
         for i in 1..n {
             for j in 0..i {
                 out.data[i * n + j] = out.data[j * n + i];
@@ -377,6 +479,10 @@ impl Matrix {
     }
 
     /// Matrix-vector product `self * x`.
+    ///
+    /// Row-partitioned over the pool above the parallel threshold; every
+    /// output element is the same k-ascending dot product the serial loop
+    /// computes, so results are bitwise identical at every thread count.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -385,7 +491,12 @@ impl Matrix {
                 op: "matvec",
             });
         }
-        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+        let mut out = vec![0.0; self.rows];
+        let (a, m) = (&self.data, self.cols);
+        par_rows(&mut out, 1, self.rows * m, |i, o| {
+            o[0] = dot(&a[i * m..(i + 1) * m], x);
+        });
+        Ok(out)
     }
 
     /// Elementwise sum.

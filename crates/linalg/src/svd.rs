@@ -161,7 +161,14 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
     }
 
     // Column norms of W are the singular values; normalized columns are U.
-    let norms: Vec<f64> = (0..n).map(|j| norm2(&w.col(j))).collect();
+    // One buffer serves the whole sweep (col_into reuses its allocation).
+    let mut colbuf = Vec::new();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| {
+            w.col_into(j, &mut colbuf);
+            norm2(&colbuf)
+        })
+        .collect();
     let order = column_order_by_norm_desc(&norms);
 
     let k = n; // thin: k = min(m, n) = n here since m >= n

@@ -1,0 +1,171 @@
+//! Parity and determinism suite for the blocked GEMM backend
+//! (DESIGN.md §16).
+//!
+//! Two properties, checked over seeded random shapes:
+//!
+//! 1. **Parity** — every blocked entry point agrees with a naive
+//!    triple-loop reference to ≤ 1e-12 relative error, including
+//!    degenerate 0/1-sized dimensions and shapes that straddle the
+//!    MR/NR/MC/KC/NC blocking boundaries.
+//! 2. **Thread invariance** — blocked results are *bitwise* identical at
+//!    1/2/8 threads across 3 seeds. (Blocked vs. row-streaming is only
+//!    tolerance-equal: the summation orders differ by design.)
+//!
+//! Shapes are drawn large enough to clear `BLOCKED_MIN_FLOPS`, so these
+//! runs genuinely exercise the packed path, plus a degenerate set that
+//! exercises the early-outs. Tests that flip the process-global thread
+//! override are serialized behind one `#[test]` body.
+
+use m2td_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const REL_TOL: f64 = 1e-12;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Naive i-j-k reference product, independent of every library kernel.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows());
+    Matrix::from_fn(m, n, |i, j| (0..k).map(|l| a.get(i, l) * b.get(l, j)).sum())
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    let scale = want.max_abs().max(1.0);
+    for (g, w) in got.as_slice().iter().zip(want.as_slice().iter()) {
+        assert!(
+            (g - w).abs() <= REL_TOL * scale,
+            "{what}: |{g} - {w}| > {REL_TOL} * {scale}"
+        );
+    }
+}
+
+/// Shapes chosen to cross the blocking boundaries: m over MC=64, k over
+/// KC=256, n over NC=512, plus non-multiples of MR=4/NR=8 everywhere.
+const BLOCKED_SHAPES: &[(usize, usize, usize)] = &[
+    (64, 48, 52),   // the legacy thread-invariance shape
+    (70, 300, 9),   // k crosses KC, ragged m/n
+    (130, 33, 530), // m crosses 2·MC, n crosses NC
+    (512, 32, 24),  // tall-skinny I×R, the Phase-1 shape
+    (65, 257, 65),  // every dimension one past a boundary
+];
+
+/// Degenerate shapes that must stay on the early-out/simple paths.
+const DEGENERATE_SHAPES: &[(usize, usize, usize)] = &[
+    (0, 5, 4),
+    (5, 0, 4),
+    (5, 4, 0),
+    (1, 1, 1),
+    (1, 300, 1),
+    (3, 1, 700),
+];
+
+#[test]
+fn blocked_kernels_match_naive_reference() {
+    let mut rng = StdRng::seed_from_u64(0x9e3779b97f4a7c15);
+    for &(m, k, n) in BLOCKED_SHAPES.iter().chain(DEGENERATE_SHAPES) {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let what = format!("{m}x{k}x{n}");
+
+        let want = naive_matmul(&a, &b);
+        assert_close(&a.matmul(&b).unwrap(), &want, &format!("matmul {what}"));
+
+        // A stored transposed: (k×m)ᵀ · (k×n).
+        let at = random_matrix(&mut rng, k, m);
+        let want_t = naive_matmul(&at.transpose(), &b);
+        assert_close(
+            &at.transpose_matmul(&b).unwrap(),
+            &want_t,
+            &format!("transpose_matmul {what}"),
+        );
+
+        // B stored transposed: (m×k) · (n×k)ᵀ.
+        let bt = random_matrix(&mut rng, n, k);
+        let want_bt = naive_matmul(&a, &bt.transpose());
+        assert_close(
+            &a.matmul_transpose(&bt).unwrap(),
+            &want_bt,
+            &format!("matmul_transpose {what}"),
+        );
+
+        // Gram: (m×k) · (m×k)ᵀ.
+        let want_g = naive_matmul(&a, &a.transpose());
+        assert_close(&a.gram_rows(), &want_g, &format!("gram_rows {what}"));
+        assert_close(
+            &a.gram_rows_rowstream(),
+            &want_g,
+            &format!("gram_rows_rowstream {what}"),
+        );
+
+        // matvec against a naive dot.
+        let x: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = a.matvec(&x).unwrap();
+        let scale = y.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for (i, &yi) in y.iter().enumerate().take(m) {
+            let want: f64 = (0..k).map(|l| a.get(i, l) * x[l]).sum();
+            assert!((yi - want).abs() <= REL_TOL * scale, "matvec {what}");
+        }
+    }
+}
+
+#[test]
+fn blocked_results_are_bitwise_thread_invariant() {
+    // One test body flips the global override so nothing races it.
+    for seed in [1u64, 7, 42] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &(m, k, n) in BLOCKED_SHAPES {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let at = random_matrix(&mut rng, k, m);
+            let bt = random_matrix(&mut rng, n, k);
+            let x: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+            m2td_par::set_max_threads(1);
+            let base = (
+                a.matmul(&b).unwrap(),
+                at.transpose_matmul(&b).unwrap(),
+                a.matmul_transpose(&bt).unwrap(),
+                a.gram_rows(),
+                a.matvec(&x).unwrap(),
+            );
+            for t in [2usize, 8] {
+                m2td_par::set_max_threads(t);
+                assert_eq!(a.matmul(&b).unwrap(), base.0, "matmul t={t} seed={seed}");
+                assert_eq!(
+                    at.transpose_matmul(&b).unwrap(),
+                    base.1,
+                    "transpose_matmul t={t} seed={seed}"
+                );
+                assert_eq!(
+                    a.matmul_transpose(&bt).unwrap(),
+                    base.2,
+                    "matmul_transpose t={t} seed={seed}"
+                );
+                assert_eq!(a.gram_rows(), base.3, "gram_rows t={t} seed={seed}");
+                assert_eq!(a.matvec(&x).unwrap(), base.4, "matvec t={t} seed={seed}");
+            }
+            m2td_par::set_max_threads(0);
+        }
+    }
+}
+
+#[test]
+fn col_into_matches_col_and_reuses_buffer() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = random_matrix(&mut rng, 37, 11);
+    let mut buf = Vec::new();
+    for j in 0..a.cols() {
+        a.col_into(j, &mut buf);
+        assert_eq!(buf, a.col(j));
+        assert_eq!(a.col_iter(j).collect::<Vec<_>>(), buf);
+    }
+    // The buffer's capacity is reused across the sweep.
+    let cap = buf.capacity();
+    a.col_into(0, &mut buf);
+    assert_eq!(buf.capacity(), cap);
+}

@@ -221,6 +221,50 @@ where
     });
 }
 
+/// Runs `f(&mut state, tile)` for every `tile in 0..tiles`, giving each
+/// worker its own scratch state built by `init` (packing buffers, pooled
+/// panels, …). Tiles are scheduled dynamically off an atomic counter, so
+/// the mapping of tiles to workers is *not* deterministic — callers must
+/// make each tile's writes disjoint and its arithmetic independent of
+/// which worker runs it. With one thread the tiles run in ascending order
+/// on the calling thread with a single state.
+///
+/// This is the primitive the blocked GEMM backend in `m2td-linalg`
+/// schedules its NC×MC macro-tiles with.
+pub fn par_tiles<S, I, F>(tiles: usize, init: I, f: F)
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    if tiles == 0 {
+        return;
+    }
+    let threads = max_threads().min(tiles);
+    if threads <= 1 {
+        let mut state = init();
+        for t in 0..tiles {
+            f(&mut state, t);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tiles {
+                        break;
+                    }
+                    f(&mut state, t);
+                }
+            });
+        }
+    });
+}
+
 /// Shared mutable view of a slice for scatter-style kernels where the
 /// *caller* guarantees that concurrent writers touch disjoint indices.
 pub struct UnsafeSlice<'a, T> {
@@ -367,6 +411,38 @@ mod tests {
             par_for_each_index(100, |i| unsafe { view.add_assign(i, 1) });
             assert!(flags.iter().all(|&f| f == 1));
         }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn par_tiles_visits_every_tile_once_with_worker_state() {
+        let _g = LOCK.lock().unwrap();
+        for t in [1usize, 2, 8] {
+            set_max_threads(t);
+            let mut hits = vec![0u8; 300];
+            let states = Mutex::new(Vec::new());
+            {
+                let view = UnsafeSlice::new(&mut hits);
+                par_tiles(
+                    300,
+                    || 0usize,
+                    |state, tile| {
+                        *state += 1;
+                        unsafe { view.add_assign(tile, 1) };
+                        if *state == 1 {
+                            states.lock().unwrap().push(tile);
+                        }
+                    },
+                );
+            }
+            assert!(hits.iter().all(|&h| h == 1));
+            // One fresh state per worker: the number of "first tile seen"
+            // records is bounded by the worker count.
+            assert!(states.lock().unwrap().len() <= t.min(300));
+            states.lock().unwrap().clear();
+        }
+        set_max_threads(4);
+        par_tiles(0, || (), |_, _| panic!("no tiles"));
         set_max_threads(0);
     }
 

@@ -1,14 +1,15 @@
 //! The resident serve engine: named ensembles, staleness-gated refresh,
 //! and the lock-light query path.
 
+use crate::lru::LruCache;
 use crate::Result;
 use m2td_guard::GuardError;
 use m2td_linalg::Matrix;
 use m2td_tensor::{
-    sparse_core_with, CellEvaluator, CoreOrdering, DenseTensor, IncrementalEnsemble, Shape,
-    TensorError, TuckerDecomp, Workspace,
+    sparse_core_with, ttm_dense_ws, CellEvaluator, CoreOrdering, DenseTensor, IncrementalEnsemble,
+    Shape, TensorError, TuckerDecomp, Workspace,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -20,8 +21,10 @@ pub struct ServeConfig {
     /// [`ServeEngine::refresh`] only).
     pub staleness_threshold: usize,
     /// Maximum number of cached cell predictions per published model.
-    /// The cache is insert-until-full (no eviction): deterministic, and a
-    /// refresh publishes a fresh empty cache. `0` disables caching.
+    /// The cache evicts least-recently-used entries once full (see
+    /// `serve.cache_evictions`), so a shifting query working set keeps
+    /// its hot cells resident; a refresh publishes a fresh empty cache.
+    /// `0` disables caching.
     pub cache_capacity: usize,
 }
 
@@ -177,8 +180,7 @@ pub struct Model {
     /// reconstruction space is too large to linearize (cache disabled —
     /// see [`Shape::checked_num_elements`]).
     cache_shape: Option<Shape>,
-    cache: Mutex<HashMap<u64, f64>>,
-    cache_capacity: usize,
+    cache: Mutex<LruCache>,
     version: u64,
     basis_cells: usize,
 }
@@ -192,8 +194,7 @@ impl Model {
         Self {
             evaluator,
             cache_shape,
-            cache: Mutex::new(HashMap::new()),
-            cache_capacity,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
             version,
             basis_cells,
         }
@@ -215,9 +216,12 @@ impl Model {
     }
 
     /// Predicts one cell of the reconstruction, consulting the bounded
-    /// per-model cache. Cached and uncached paths return bitwise-identical
-    /// values (the cache stores exactly what the evaluator computed), so
-    /// caching never changes a prediction — only its latency.
+    /// per-model LRU cache (least-recently-used entries are evicted once
+    /// it fills — `serve.cache_evictions`). Cached and uncached paths
+    /// return bitwise-identical values (the cache stores exactly what the
+    /// evaluator computed, and a post-eviction re-miss recomputes the
+    /// identical value), so caching never changes a prediction — only its
+    /// latency.
     pub fn cell(&self, index: &[usize]) -> Result<f64> {
         let Some(shape) = &self.cache_shape else {
             m2td_obs::counter_add("serve.cache_misses", 1);
@@ -239,20 +243,24 @@ impl Model {
             }));
         }
         let key = shape.linear_index(index) as u64;
-        if let Some(&hit) = self
+        if let Some(hit) = self
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
+            .get(key)
         {
             m2td_obs::counter_add("serve.cache_hits", 1);
             return Ok(hit);
         }
         m2td_obs::counter_add("serve.cache_misses", 1);
         let value = self.evaluator.cell(index)?;
-        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        if cache.len() < self.cache_capacity {
-            cache.insert(key, value);
+        let evicted = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, value);
+        if evicted {
+            m2td_obs::counter_add("serve.cache_evictions", 1);
         }
         Ok(value)
     }
@@ -283,12 +291,12 @@ impl Model {
             let f = &decomp.factors[mode];
             Matrix::from_fn(1, f.cols(), |_, j| f.get(index, j))
         };
-        let mut acc = m2td_tensor::ttm_dense(&decomp.core, mode, &row)?;
+        let mut acc = ttm_dense_ws(&decomp.core, mode, &row, ws)?;
         for (n, f) in decomp.factors.iter().enumerate() {
             if n == mode {
                 continue;
             }
-            let next = m2td_tensor::ttm_dense(&acc, n, f)?;
+            let next = ttm_dense_ws(&acc, n, f, ws)?;
             ws.recycle_tensor(acc);
             acc = next;
         }
@@ -761,6 +769,49 @@ mod tests {
                 Err(ServeError::Tensor(TensorError::IndexOutOfBounds { .. }))
             ));
         }
+    }
+
+    #[test]
+    fn full_cache_evicts_lru_and_keeps_serving_identical_values() {
+        let _lock = GUARD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dims = [4usize, 4];
+        let engine = ServeEngine::new(
+            ServeConfig::default()
+                .with_staleness(0)
+                .with_cache_capacity(3),
+        );
+        engine.register("e", &dims, &[2, 2]).unwrap();
+        fill(&engine, "e", &dims);
+        engine.refresh("e").unwrap();
+
+        // Baseline predictions, pre-cache-pressure.
+        let indices: Vec<Vec<usize>> = Shape::new(&dims).iter_indices().collect();
+        let baseline: Vec<f64> = indices
+            .iter()
+            .map(|i| engine.query_cell("e", i).unwrap())
+            .collect();
+
+        // Sweep all 16 cells through a 3-entry cache, twice: the cache
+        // churns constantly and must evict.
+        m2td_obs::install();
+        m2td_obs::reset();
+        for _ in 0..2 {
+            for (i, idx) in indices.iter().enumerate() {
+                let y = engine.query_cell("e", idx).unwrap();
+                assert_eq!(
+                    y.to_bits(),
+                    baseline[i].to_bits(),
+                    "eviction churn must never change a prediction"
+                );
+            }
+        }
+        let snap = m2td_obs::snapshot();
+        m2td_obs::uninstall();
+        let evictions = snap.counter("serve.cache_evictions").unwrap_or(0);
+        assert!(
+            evictions >= 16,
+            "two 16-cell sweeps through a 3-entry cache must evict (got {evictions})"
+        );
     }
 
     #[test]

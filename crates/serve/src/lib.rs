@@ -26,13 +26,14 @@
 //!   [`query_slice`](ServeEngine::query_slice) evaluate against the
 //!   published snapshot through a pre-decoded
 //!   [`m2td_tensor::CellEvaluator`] (no per-call allocation) plus a
-//!   bounded per-model result cache. Queries take `&self` and never block
-//!   behind each other; concurrent queries at any thread count return
-//!   bitwise-identical predictions.
+//!   bounded per-model LRU result cache. Queries take `&self` and never
+//!   block behind each other; concurrent queries at any thread count
+//!   return bitwise-identical predictions.
 //!
 //! Every request is instrumented through `m2td-obs`: `serve.query`,
 //! `serve.absorb` and `serve.refresh` spans carry per-request latency,
-//! and `serve.cache_hits` / `serve.cache_misses` count the query cache.
+//! and `serve.cache_hits` / `serve.cache_misses` /
+//! `serve.cache_evictions` count the query cache.
 //!
 //! ```
 //! use m2td_serve::{ServeConfig, ServeEngine};
@@ -52,6 +53,7 @@
 //! ```
 
 mod engine;
+mod lru;
 
 pub use engine::{
     AbsorbReport, EnsembleStats, Model, RefreshReport, ServeConfig, ServeEngine, ServeError,

@@ -1,0 +1,211 @@
+//! A bounded least-recently-used cell cache.
+//!
+//! Replaces the original insert-until-full map in [`crate::Model`]: once
+//! the capacity is reached the least-recently-*used* entry is evicted
+//! instead of new entries being dropped, so a shifting query working set
+//! keeps its hot cells resident. Implemented as a `HashMap` into a slab
+//! of intrusively doubly-linked nodes — `get`, `insert` and eviction are
+//! all O(1) with no per-operation allocation once the slab is full.
+//!
+//! Eviction *order* depends on query arrival order (and is therefore not
+//! deterministic under concurrent queries), but eviction can never change
+//! a served value: the cache stores exactly what the evaluator computed,
+//! and a re-miss recomputes the identical value. The serve engine's
+//! bitwise thread-invariance contract is unaffected.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU map from linear cell index to cached prediction.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    /// Most recently used node, `NIL` when empty.
+    head: usize,
+    /// Least recently used node, `NIL` when empty.
+    tail: usize,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident entries.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let Node { prev, next, .. } = self.nodes[i];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links node `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most recently used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<f64> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.nodes[i].value)
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entry if the cache is full. Returns `true` iff an eviction
+    /// happened.
+    pub fn insert(&mut self, key: u64, value: f64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        if self.map.len() < self.capacity {
+            let i = self.nodes.len();
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            return false;
+        }
+        // Full: reuse the LRU node in place.
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL);
+        self.map.remove(&self.nodes[victim].key);
+        self.unlink(victim);
+        self.nodes[victim].key = key;
+        self.nodes[victim].value = value;
+        self.map.insert(key, victim);
+        self.push_front(victim);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_until_capacity_then_evicts_lru() {
+        let mut c = LruCache::new(3);
+        assert!(!c.insert(1, 1.0));
+        assert!(!c.insert(2, 2.0));
+        assert!(!c.insert(3, 3.0));
+        assert_eq!(c.len(), 3);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(c.get(1), Some(1.0));
+        assert!(c.insert(4, 4.0), "full cache must evict");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), None, "LRU entry 2 was evicted");
+        assert_eq!(c.get(1), Some(1.0));
+        assert_eq!(c.get(3), Some(3.0));
+        assert_eq!(c.get(4), Some(4.0));
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_promotes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 1.0);
+        c.insert(2, 2.0);
+        assert!(!c.insert(1, 1.5), "update is not an eviction");
+        assert_eq!(c.get(1), Some(1.5));
+        // 2 is now LRU.
+        assert!(c.insert(3, 3.0));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(1.5));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        assert!(!c.insert(1, 1.0));
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn single_entry_cache_cycles() {
+        let mut c = LruCache::new(1);
+        assert!(!c.insert(1, 1.0));
+        assert!(c.insert(2, 2.0));
+        assert!(c.insert(3, 3.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(3), Some(3.0));
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn long_mixed_workload_stays_bounded_and_correct() {
+        let mut c = LruCache::new(8);
+        for k in 0..1000u64 {
+            c.insert(k % 32, k as f64);
+            assert!(c.len() <= 8);
+            // The just-inserted key is always resident.
+            assert_eq!(c.get(k % 32), Some(k as f64));
+        }
+    }
+}

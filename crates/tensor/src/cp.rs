@@ -190,14 +190,18 @@ fn normalize_into_decomp(factors: &[Matrix], sweeps: usize) -> CpDecomp {
     let rank = factors[0].cols();
     let mut weights = vec![1.0; rank];
     let mut out_factors: Vec<Matrix> = factors.to_vec();
+    // One column buffer serves every factor sweep below.
+    let mut col = Vec::new();
     for f in &mut out_factors {
         for (r, w) in weights.iter_mut().enumerate() {
-            let col = f.col(r);
+            f.col_into(r, &mut col);
             let n = m2td_linalg::norm2(&col);
             if n > 0.0 {
                 *w *= n;
-                let scaled: Vec<f64> = col.iter().map(|&x| x / n).collect();
-                f.set_col(r, &scaled);
+                for x in col.iter_mut() {
+                    *x /= n;
+                }
+                f.set_col(r, &col);
             }
         }
     }
@@ -209,16 +213,15 @@ fn normalize_into_decomp(factors: &[Matrix], sweeps: usize) -> CpDecomp {
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let sorted_weights: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
-    let sorted_factors: Vec<Matrix> = out_factors
-        .iter()
-        .map(|f| {
-            let mut nf = Matrix::zeros(f.rows(), rank);
-            for (new_c, &old_c) in order.iter().enumerate() {
-                nf.set_col(new_c, &f.col(old_c));
-            }
-            nf
-        })
-        .collect();
+    let mut sorted_factors: Vec<Matrix> = Vec::with_capacity(out_factors.len());
+    for f in &out_factors {
+        let mut nf = Matrix::zeros(f.rows(), rank);
+        for (new_c, &old_c) in order.iter().enumerate() {
+            f.col_into(old_c, &mut col);
+            nf.set_col(new_c, &col);
+        }
+        sorted_factors.push(nf);
+    }
     CpDecomp {
         weights: sorted_weights,
         factors: sorted_factors,

@@ -56,7 +56,8 @@ pub use shape::Shape;
 pub use sketch::{hooi_sparse_sketched, hosvd_sparse_sketched, mach_sample, phase_gram};
 pub use sparse::SparseTensor;
 pub use ttm::{
-    ttm_dense, ttm_dense_transposed, ttm_dense_transposed_ws, ttm_sparse, ttm_sparse_transposed,
+    ttm_dense, ttm_dense_transposed, ttm_dense_transposed_ws, ttm_dense_ws, ttm_sparse,
+    ttm_sparse_transposed,
 };
 pub use ttv::{ttv_dense, ttv_sparse};
 pub use tucker::{CellEvaluator, TuckerDecomp};

@@ -36,6 +36,42 @@ pub fn ttm_dense(x: &DenseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor
     DenseTensor::fold(&product, mode, &out_dims)
 }
 
+/// [`ttm_dense`] drawing its unfold/product/fold buffers from a
+/// [`Workspace`] — the reconstruction-side twin of
+/// [`ttm_dense_transposed_ws`], used by Tucker recomposition and the
+/// serve-engine slice path. Numerically identical to the allocating
+/// variant: the kernels and accumulation orders are the same.
+pub fn ttm_dense_ws(
+    x: &DenseTensor,
+    mode: usize,
+    u: &Matrix,
+    ws: &mut Workspace,
+) -> Result<DenseTensor> {
+    x.shape().check_mode(mode)?;
+    if u.cols() != x.shape().dim(mode) {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![u.rows(), x.shape().dim(mode)],
+            actual: vec![u.rows(), u.cols()],
+            op: "ttm_dense",
+        });
+    }
+    let mut unfolded = ws.take_matrix(0, 0);
+    x.unfold_into(mode, &mut unfolded)?;
+    let mut product = ws.take_matrix(0, 0);
+    u.matmul_into(&unfolded, &mut product)?;
+    ws.recycle_matrix(unfolded);
+    let out_dims: Vec<usize> = x
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| if m == mode { u.rows() } else { d })
+        .collect();
+    // take(0): fold_into sizes the buffer itself, only capacity matters.
+    let out = DenseTensor::fold_into(&product, mode, &out_dims, ws.take(0))?;
+    ws.recycle_matrix(product);
+    Ok(out)
+}
+
 /// Dense mode-`n` product with the transpose, `X ×_n Uᵀ`, where `U` is
 /// `I_n × J`. Avoids materializing `Uᵀ`.
 pub fn ttm_dense_transposed(x: &DenseTensor, mode: usize, u: &Matrix) -> Result<DenseTensor> {

@@ -2,7 +2,8 @@
 
 use crate::dense::DenseTensor;
 use crate::error::TensorError;
-use crate::ttm::ttm_dense;
+use crate::ttm::ttm_dense_ws;
+use crate::workspace::Workspace;
 use crate::Result;
 use m2td_linalg::Matrix;
 
@@ -53,9 +54,18 @@ impl TuckerDecomp {
 
     /// Recomposes the full tensor `X̃ = G ×₁ U⁽¹⁾ ⋯ ×_N U⁽ᴺ⁾`.
     pub fn reconstruct(&self) -> Result<DenseTensor> {
+        self.reconstruct_ws(&mut Workspace::new())
+    }
+
+    /// [`Self::reconstruct`] drawing every intermediate's buffers from a
+    /// caller-owned [`Workspace`], so repeated recompositions (serve
+    /// refreshes, error sweeps) reuse the same few allocations.
+    pub fn reconstruct_ws(&self, ws: &mut Workspace) -> Result<DenseTensor> {
         let mut acc = self.core.clone();
         for (mode, u) in self.factors.iter().enumerate() {
-            acc = ttm_dense(&acc, mode, u)?;
+            let next = ttm_dense_ws(&acc, mode, u, ws)?;
+            ws.recycle_tensor(acc);
+            acc = next;
         }
         Ok(acc)
     }
