@@ -166,6 +166,16 @@ FLAGS (serve):
   --guard-policy <p>     as for run/compare; with a guard installed the
                          poisoned cells are rejected at absorb time and
                          never reach the served model
+  --state-dir <path>     durable mode: write-ahead log + checksummed
+                         snapshots live here; a restart recovers the
+                         exact pre-crash state and resumes the fill
+  --wal-sync-every <n>   fsync the WAL every n appends (0 = every
+                         append)                          [default 8]
+  --snapshot-every <n>   seal a snapshot every n WAL records
+                         (0 = only the exit snapshot)     [default 64]
+  --crash-at <op>:<n>    inject a crash (exit 6) at the n-th occurrence
+                         of op: absorb | refresh | wal-append |
+                         snapshot-write; needs --state-dir
   --metrics-out <path>   as for run/compare
 
 FLAGS (bench-diff):
@@ -175,16 +185,23 @@ FLAGS (bench-diff):
                          fraction of the baseline; a gated record slower
                          than baseline * (1 + f) fails   [default 0.25]
   --families <csv>       benchmark groups gated by --max-regress; other
-                         groups are reported but never fail
-                                                  [default gemm,ttm_chain]
+                         groups are reported but never fail — except
+                         that a gated baseline record missing from
+                         --current also fails   [default gemm,ttm_chain]
 
 EXIT CODES:
-  0  success             2  usage or runtime error
+  0  success
+  2  usage or runtime error
   3  run completed but the guard acceptance check failed, a serve
      run produced a non-finite prediction / could not publish a model,
-     or bench-diff found a gated regression beyond --max-regress
+     or bench-diff found a gated regression or a gated baseline
+     record missing from the current run
   4  dist completed degraded: tasks are parked in the dead-letter
      queue (requeue with `m2td-cli dlq requeue`, then rerun)
+  5  serve recovered a corrupted state dir into read-only degraded
+     mode: the intact prefix serves, writes are refused
+  6  serve died at an injected --crash-at kill point; rerun with the
+     same --state-dir (without --crash-at) to recover
 "
 }
 
@@ -204,9 +221,9 @@ fn check_frac(name: &str, v: f64) -> Result<(), String> {
     Ok(())
 }
 
-/// Returns the process exit code: 0 on success, 3 when a printed run
-/// failed its guard acceptance check, 4 when a dist run completed
-/// degraded with tasks parked in the dead-letter queue.
+/// Returns the process exit code — see the EXIT CODES table in
+/// [`usage`]. (Exit 6, an injected crash, never returns: the serve
+/// error funnel dies in place to emulate a real kill.)
 fn run() -> Result<u8, String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().map(|s| s.as_str()) else {
@@ -713,9 +730,21 @@ fn parse_extents(args: &Args, key: &str, default: &[usize]) -> Result<Vec<usize>
 /// schedule, then cell and slice queries run from `--threads` threads
 /// and are asserted bitwise-identical across threads.
 fn run_serve(args: &Args) -> Result<u8, String> {
-    use m2td_serve::{ServeConfig, ServeEngine, ServeError};
+    use m2td_serve::{DurabilityConfig, ServeConfig, ServeEngine, ServeError};
     use m2td_tensor::{Shape, TensorError};
     use std::time::Instant;
+
+    /// Error funnel for engine calls: an injected crash emulates a
+    /// process kill — print where it hit and die immediately (exit 6),
+    /// skipping all cleanup. The on-disk WAL/snapshot state is what the
+    /// next `--state-dir` run recovers from.
+    fn serve_err(e: m2td_serve::ServeError) -> String {
+        if let m2td_serve::ServeError::CrashInjected { op, sequence } = &e {
+            println!("serve: CRASH — injected kill point {op}#{sequence}; restart to recover");
+            std::process::exit(6);
+        }
+        e.to_string()
+    }
 
     let dims = parse_extents(args, "dims", &[12, 12, 10])?;
     let ranks = parse_extents(args, "ranks", &[3, 3, 3])?;
@@ -735,6 +764,27 @@ fn run_serve(args: &Args) -> Result<u8, String> {
     let corrupt_rate: f64 = args.parse_or("corrupt-rate", 0.0)?;
     check_rate("corrupt-rate", corrupt_rate)?;
     let fault_seed: u64 = args.parse_or("fault-seed", 0)?;
+    let state_dir = args.get("state-dir").map(str::to_string);
+    let wal_sync_every: usize = args.parse_or("wal-sync-every", 8)?;
+    let snapshot_every: usize = args.parse_or("snapshot-every", 64)?;
+    let crash_at = match args.get("crash-at") {
+        None => None,
+        Some(s) => {
+            let (op, seq) = s
+                .split_once(':')
+                .ok_or("--crash-at wants <op>:<sequence>")?;
+            let op: m2td_fault::CrashOp =
+                op.trim().parse().map_err(|e| format!("--crash-at: {e}"))?;
+            let seq: u64 = seq
+                .trim()
+                .parse()
+                .map_err(|_| format!("--crash-at: invalid sequence '{seq}'"))?;
+            Some((op, seq))
+        }
+    };
+    if crash_at.is_some() && state_dir.is_none() {
+        return Err("--crash-at needs --state-dir (nothing survives a crash otherwise)".into());
+    }
     if let Some(s) = args.get("guard-policy") {
         let policy = s
             .parse::<m2td_guard::GuardPolicy>()
@@ -742,21 +792,51 @@ fn run_serve(args: &Args) -> Result<u8, String> {
         m2td_guard::install(m2td_guard::GuardConfig::with_policy(policy));
     }
 
-    let engine = ServeEngine::new(
-        ServeConfig::default()
-            .with_staleness(staleness)
-            .with_cache_capacity(cache_capacity),
-    );
-    engine
-        .register("cli", &dims, &ranks)
-        .map_err(|e| e.to_string())?;
+    let config = ServeConfig::default()
+        .with_staleness(staleness)
+        .with_cache_capacity(cache_capacity);
+    let engine = match &state_dir {
+        None => ServeEngine::new(config),
+        Some(dir) => {
+            let mut dur = DurabilityConfig::new(dir)
+                .with_wal_sync_every(wal_sync_every)
+                .with_snapshot_every(snapshot_every);
+            if let Some((op, seq)) = crash_at {
+                dur = dur.with_crash_point(op, seq);
+            }
+            let (engine, rep) = ServeEngine::recover(config, dur).map_err(serve_err)?;
+            println!(
+                "serve: state dir {dir}: recovered from snapshot {}, replayed {} WAL record(s)",
+                rep.snapshot_seq
+                    .map_or("<none>".to_string(), |s| format!("seq {s}")),
+                rep.replayed,
+            );
+            if rep.degraded {
+                println!(
+                    "serve: UNHEALTHY — unrecoverable store corruption in {dir}; the \
+                     recovered prefix serves read-only, writes are refused"
+                );
+                return Ok(5);
+            }
+            engine
+        }
+    };
+    match engine.register("cli", &dims, &ranks) {
+        Ok(()) => {}
+        // Resuming a state dir: the ensemble is already registered.
+        Err(ServeError::AlreadyRegistered { .. }) if state_dir.is_some() => {}
+        Err(e) => return Err(serve_err(e)),
+    }
 
     // Deterministic fill: every `stride`-th cell of the analytic field;
-    // the chaos stream poisons a hash-selected subset with NaN.
+    // the chaos stream poisons a hash-selected subset with NaN. On a
+    // resumed state dir, cells the previous run durably absorbed come
+    // back as duplicates and are skipped — the fill converges to the
+    // same final state an uninterrupted run reaches.
     let shape = Shape::new(&dims);
     let total = shape.num_elements();
     let stride = ((1.0 / fill).round() as usize).max(1);
-    let (mut absorbed, mut rejected, mut poisoned) = (0usize, 0usize, 0usize);
+    let (mut absorbed, mut rejected, mut poisoned, mut resumed) = (0usize, 0usize, 0usize, 0usize);
     for l in (0..total).step_by(stride) {
         let mut value = ((l as f64) * 0.37).sin() + 1.0;
         if corrupt_rate > 0.0 {
@@ -769,12 +849,15 @@ fn run_serve(args: &Args) -> Result<u8, String> {
         match engine.absorb("cli", &shape.multi_index(l), value) {
             Ok(_) => absorbed += 1,
             Err(ServeError::Tensor(TensorError::Guard(_))) => rejected += 1,
-            Err(e) => return Err(e.to_string()),
+            Err(ServeError::Tensor(TensorError::DuplicateEntry { .. })) if state_dir.is_some() => {
+                resumed += 1;
+            }
+            Err(e) => return Err(serve_err(e)),
         }
     }
     println!(
         "serve: dims {dims:?} ranks {ranks:?}, absorbed {absorbed} cells \
-         ({poisoned} poisoned, {rejected} rejected by the guard)"
+         ({poisoned} poisoned, {rejected} rejected by the guard, {resumed} already durable)"
     );
 
     // Pick up the tail of the staleness window; a guard-rejected refresh
@@ -789,6 +872,7 @@ fn run_serve(args: &Args) -> Result<u8, String> {
                 r.basis_cells,
             ),
             Err(e) => {
+                let e = serve_err(e);
                 stats = engine.stats("cli").map_err(|e| e.to_string())?;
                 if stats.model_version == 0 {
                     println!(
@@ -861,6 +945,27 @@ fn run_serve(args: &Args) -> Result<u8, String> {
         "serve: model v{}, {} cells resident, {} pending",
         stats.model_version, stats.nnz, stats.pending,
     );
+
+    // Bit-exact fingerprint of the served model: the crash-matrix CI job
+    // compares this line between a crashed-and-recovered run and an
+    // uninterrupted one.
+    let model = engine.model("cli").map_err(|e| e.to_string())?;
+    let mut core_bytes = Vec::with_capacity(model.decomp().core.as_slice().len() * 8);
+    for &v in model.decomp().core.as_slice() {
+        core_bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for f in &model.decomp().factors {
+        for &v in f.as_slice() {
+            core_bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    println!("serve: core fnv64:{:016x}", fnv1a64(&core_bytes));
+
+    if state_dir.is_some() {
+        if let Some(seq) = engine.snapshot().map_err(serve_err)? {
+            println!("serve: sealed exit snapshot at seq {seq}");
+        }
+    }
     if !all_finite {
         println!("serve: UNHEALTHY — non-finite predictions were served");
         return Ok(3);
@@ -881,10 +986,10 @@ fn load_kernel_records(path: &str) -> Result<Vec<m2td_bench::report::KernelRecor
 /// `bench-diff`: the CI perf-regression gate. Joins two kernel-record
 /// files per `(group, name, threads)`, prints every record's wall-time
 /// delta, and exits 3 when a record in a gated family regressed beyond
-/// `--max-regress`. Records present on only one side are reported but
-/// never fail the gate (new benches appear, old ones retire); the gate
-/// only fires on a kernel that is measurably slower than its committed
-/// baseline.
+/// `--max-regress` — or when a gated baseline record is missing from
+/// the current run (a silently dropped benchmark would otherwise retire
+/// its own gate). New records with no baseline and ungated retirements
+/// are reported but never fail the gate.
 fn run_bench_diff(args: &Args) -> Result<u8, String> {
     let baseline_path = args.get("baseline").unwrap_or("BENCH_kernels.json");
     let current_path = args
@@ -953,18 +1058,28 @@ fn run_bench_diff(args: &Args) -> Result<u8, String> {
             }
         }
     }
+    let mut missing = 0usize;
     for r in &baseline {
         if !cur_keys.contains(&(r.group.as_str(), r.name.as_str(), r.threads)) {
-            println!(
-                "{:<14} {:<28} t={:<2} missing from current (retired?)",
-                r.group, r.name, r.threads
-            );
+            if families.contains(&r.group) {
+                missing += 1;
+                println!(
+                    "{:<14} {:<28} t={:<2} MISSING from current (gated)",
+                    r.group, r.name, r.threads
+                );
+            } else {
+                println!(
+                    "{:<14} {:<28} t={:<2} missing from current (retired?)",
+                    r.group, r.name, r.threads
+                );
+            }
         }
     }
-    if regressions > 0 {
+    if regressions > 0 || missing > 0 {
         println!(
-            "bench-diff: FAIL — {regressions} gated record(s) regressed beyond +{:.0}%; \
-             if the slowdown is intended, refresh the committed baseline \
+            "bench-diff: FAIL — {regressions} gated record(s) regressed beyond +{:.0}%, \
+             {missing} gated baseline record(s) missing from current; if the slowdown \
+             or retirement is intended, refresh the committed baseline \
              (see .github/workflows/ci.yml bench-gate)",
             max_regress * 100.0,
         );

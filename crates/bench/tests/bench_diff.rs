@@ -100,11 +100,12 @@ fn ungated_families_and_unmatched_records_never_fail() {
         &base,
         &[
             record("eig", "eig64", 1, 1.0e6),
-            record("gemm", "retired", 1, 1.0e6),
+            record("eig", "retired", 1, 1.0e6),
         ],
     );
     // eig regresses 10x but is not a gated family; `fresh` has no
-    // baseline; `retired` vanished from current. None of these fail.
+    // baseline; the ungated `retired` vanished from current. None of
+    // these fail.
     write_records(
         &cur,
         &[
@@ -121,7 +122,49 @@ fn ungated_families_and_unmatched_records_never_fail() {
     assert_eq!(code, 0, "{text}");
     assert!(text.contains("(ungated)"), "{text}");
     assert!(text.contains("new, no baseline"), "{text}");
-    assert!(text.contains("missing from current"), "{text}");
+    assert!(text.contains("missing from current (retired?)"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gated_baseline_record_missing_from_current_fails_the_gate() {
+    let dir = std::env::temp_dir().join("m2td_bench_diff_missing_gated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    write_records(
+        &base,
+        &[
+            record("gemm", "square256_blocked", 1, 1.0e6),
+            record("ttm_chain", "chain3", 1, 2.0e6),
+        ],
+    );
+    // chain3 silently disappeared from the current run: the gate must
+    // notice instead of letting a dropped benchmark retire itself.
+    write_records(&cur, &[record("gemm", "square256_blocked", 1, 1.0e6)]);
+    let (code, text) = bench_diff(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 3, "gated missing record must fail:\n{text}");
+    assert!(text.contains("MISSING from current (gated)"), "{text}");
+    assert!(
+        text.contains("1 gated baseline record(s) missing"),
+        "{text}"
+    );
+
+    // Narrowing --families to exclude the family un-gates the absence.
+    let (code, text) = bench_diff(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--families",
+        "gemm",
+    ]);
+    assert_eq!(code, 0, "un-gated family may retire freely:\n{text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -34,8 +34,11 @@
 //! `guard.ckpt_quarantine_swept`.
 //!
 //! The record helpers ([`seal_record`]/[`open_record`]/[`write_atomic`])
-//! are shared crate-wide: the job manifest and the dead-letter queue
-//! persist in the same format-v2 envelope.
+//! live in `m2td_guard::integrity` and are shared workspace-wide: the job
+//! manifest, the dead-letter queue, and the serve layer's snapshot store
+//! and write-ahead log all persist in the same format-v2 envelope, and
+//! the keep-newest-N quarantine retention sweep is the same
+//! [`m2td_guard::integrity::sweep_retention`] helper everywhere.
 
 use m2td_core::M2tdOptions;
 use m2td_fault::CorruptionKind;
@@ -43,90 +46,15 @@ use m2td_json::{FromJson, Json, ToJson};
 use m2td_linalg::Matrix;
 use m2td_tensor::SparseTensor;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Current checkpoint record format version. Records claiming any other
-/// version are quarantined on load.
-const FORMAT_VERSION: i64 = 2;
+// Crate-wide aliases: manifest.rs, dlq.rs and transport.rs seal their
+// records through the same shared helpers.
+pub(crate) use m2td_guard::integrity::{
+    fnv1a64, open_record, record_checksum, seal_record, write_atomic, FORMAT_VERSION,
+};
 
 /// Quarantined records kept per phase by the retention sweep.
 const QUARANTINE_KEEP: usize = 4;
-
-/// FNV-1a 64-bit hash over a byte stream. Shared with the transport layer,
-/// which uses it as the task-envelope payload checksum.
-pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for chunk in chunks {
-        for &b in *chunk {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-/// Monotonic discriminator making temp-file names unique within this
-/// process; combined with the pid it keeps concurrent writers (two stores
-/// on one directory, or a restarted job racing its predecessor) from ever
-/// clobbering each other's in-flight temp files.
-static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-/// Checksum binding a record's fingerprint and payload together: a
-/// mutation of either (or of the stored checksum itself) fails
-/// verification on load.
-pub(crate) fn record_checksum(fingerprint: &Json, payload: &Json) -> u64 {
-    fnv1a64(&[
-        fingerprint.to_compact().as_bytes(),
-        payload.to_compact().as_bytes(),
-    ])
-}
-
-/// Wraps `payload` in a format-v2 record: `{version, fingerprint,
-/// checksum, payload}` with the checksum covering both fingerprint and
-/// payload.
-pub(crate) fn seal_record(fingerprint: &Json, payload: Json) -> Json {
-    let checksum = record_checksum(fingerprint, &payload);
-    Json::Obj(vec![
-        ("version".to_string(), Json::Int(FORMAT_VERSION)),
-        ("fingerprint".to_string(), fingerprint.clone()),
-        // Bit-cast through i64: the hash uses all 64 bits, and
-        // `Json::Int` is an i64.
-        ("checksum".to_string(), Json::Int(checksum as i64)),
-        ("payload".to_string(), payload),
-    ])
-}
-
-/// Verifies a format-v2 record (version and checksum) and returns its
-/// fingerprint and payload; `None` means damaged or wrong version.
-pub(crate) fn open_record(doc: &Json) -> Option<(&Json, &Json)> {
-    match doc.get("version") {
-        Some(Json::Int(v)) if *v == FORMAT_VERSION => {}
-        _ => return None,
-    }
-    let stored = match doc.get("checksum") {
-        Some(Json::Int(c)) => *c as u64,
-        _ => return None,
-    };
-    let (fingerprint, payload) = match (doc.get("fingerprint"), doc.get("payload")) {
-        (Some(f), Some(p)) => (f, p),
-        _ => return None,
-    };
-    (record_checksum(fingerprint, payload) == stored).then_some((fingerprint, payload))
-}
-
-/// Atomically publishes `text` at `path`: write a uniquely named temp file
-/// in the same directory, then rename into place. A crash mid-write leaves
-/// only a `*.tmp.*` orphan, never a torn record at `path`.
-pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
-    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let name = path
-        .file_name()
-        .and_then(|s| s.to_str())
-        .unwrap_or("record");
-    let tmp = path.with_file_name(format!("{name}.tmp.{}.{n}", std::process::id()));
-    std::fs::write(&tmp, text).map_err(|e| format!("write temp {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("publish {}: {e}", path.display()))
-}
 
 /// Identity of one D-M2TD invocation: checkpoints are only resumable when
 /// every field matches, including a content hash of both entry streams.
@@ -263,25 +191,7 @@ impl CheckpointStore {
     /// The quarantined records of `phase`, as `(sequence, path)` pairs in
     /// arbitrary order. Higher sequence = newer quarantine.
     fn quarantined_files(&self, phase: u8) -> Vec<(u64, PathBuf)> {
-        let prefix = format!("phase{phase}.quarantined.");
-        let mut out = Vec::new();
-        if let Ok(entries) = std::fs::read_dir(&self.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let Some(name) = name.to_str() else { continue };
-                let Some(rest) = name.strip_prefix(&prefix) else {
-                    continue;
-                };
-                let Some(seq) = rest
-                    .strip_suffix(".json")
-                    .and_then(|s| s.parse::<u64>().ok())
-                else {
-                    continue;
-                };
-                out.push((seq, entry.path()));
-            }
-        }
-        out
+        m2td_guard::integrity::sequenced_files(&self.dir, &format!("phase{phase}.quarantined."))
     }
 
     /// Retention sweep: keeps the newest [`QUARANTINE_KEEP`] quarantined
@@ -289,17 +199,12 @@ impl CheckpointStore {
     /// `guard.ckpt_quarantine_swept`.
     fn sweep_quarantine(&self) {
         for phase in [1u8, 2] {
-            let mut files = self.quarantined_files(phase);
-            if files.len() <= QUARANTINE_KEEP {
-                continue;
-            }
-            files.sort_by_key(|(seq, _)| *seq);
-            let excess = files.len() - QUARANTINE_KEEP;
-            for (_, path) in files.into_iter().take(excess) {
-                if std::fs::remove_file(&path).is_ok() {
-                    m2td_obs::counter_add("guard.ckpt_quarantine_swept", 1);
-                }
-            }
+            m2td_guard::integrity::sweep_retention(
+                &self.dir,
+                &format!("phase{phase}.quarantined."),
+                QUARANTINE_KEEP,
+                "guard.ckpt_quarantine_swept",
+            );
         }
     }
 

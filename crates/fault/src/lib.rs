@@ -92,6 +92,72 @@ impl fmt::Display for CorruptionKind {
     }
 }
 
+/// A serve-engine operation the crash stream can kill the process at.
+/// Kill points are keyed by `(op, sequence)`: the `sequence` is the
+/// engine's running count of that operation, so "crash at the 3rd WAL
+/// append" is a deterministic, replayable event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashOp {
+    /// Entry into an absorb, before its WAL record is written (the write
+    /// is lost entirely — durability is never promised for it).
+    Absorb,
+    /// Entry into a model refresh (absorbed state is durable; the refresh
+    /// must be re-derived on recovery).
+    Refresh,
+    /// Immediately after a WAL record reaches the log but before it is
+    /// applied in memory (durable-but-unapplied; replay must apply it).
+    WalAppend,
+    /// Between a snapshot's temp-file write and its rename into place
+    /// (the snapshot must never be observed half-published).
+    SnapshotWrite,
+}
+
+impl CrashOp {
+    /// Every kill point, in the order the crash-matrix sweeps them.
+    pub const ALL: [CrashOp; 4] = [
+        CrashOp::Absorb,
+        CrashOp::Refresh,
+        CrashOp::WalAppend,
+        CrashOp::SnapshotWrite,
+    ];
+
+    fn stream(self) -> u64 {
+        match self {
+            CrashOp::Absorb => 0x6162_7300,
+            CrashOp::Refresh => 0x7266_7300,
+            CrashOp::WalAppend => 0x7761_6c00,
+            CrashOp::SnapshotWrite => 0x736e_7000,
+        }
+    }
+}
+
+impl fmt::Display for CrashOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashOp::Absorb => write!(f, "absorb"),
+            CrashOp::Refresh => write!(f, "refresh"),
+            CrashOp::WalAppend => write!(f, "wal-append"),
+            CrashOp::SnapshotWrite => write!(f, "snapshot-write"),
+        }
+    }
+}
+
+impl std::str::FromStr for CrashOp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "absorb" => Ok(CrashOp::Absorb),
+            "refresh" => Ok(CrashOp::Refresh),
+            "wal-append" => Ok(CrashOp::WalAppend),
+            "snapshot-write" => Ok(CrashOp::SnapshotWrite),
+            other => Err(format!(
+                "unknown crash op '{other}' (expected absorb|refresh|wal-append|snapshot-write)"
+            )),
+        }
+    }
+}
+
 /// The outcome a [`FaultPlan`] injects for one task attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultDecision {
@@ -140,6 +206,11 @@ pub struct FaultPlan {
     /// [`FaultPlan::wire_corruption`]). Wire corruption is detected by the
     /// envelope checksum and retried, so it costs attempts, never numerics.
     pub xport_corrupt_rate: f64,
+    /// Probability that the crash stream kills the process at one serve
+    /// kill point (see [`FaultPlan::crash_at`]). Draws are keyed by
+    /// `(op, sequence)`, so the same plan crashes the same run at the
+    /// same operation count every time.
+    pub crash_rate: f64,
     /// Bitmask of *reduce*-task ids (bit `t` = task `t`, ids ≥ 64 never
     /// doomed) whose every attempt is killed in scoped jobs, regardless of
     /// `kill_cap`. Dooming a task forces [`FaultError::RetryExhausted`]
@@ -164,6 +235,7 @@ impl FaultPlan {
             ckpt_corrupt_rate: 0.0,
             nan_cell_rate: 0.0,
             xport_corrupt_rate: 0.0,
+            crash_rate: 0.0,
             doom_mask: 0,
             scope: FaultScope::AllJobs,
         }
@@ -217,6 +289,12 @@ impl FaultPlan {
     /// Sets the in-flight envelope corruption rate of the wire stream.
     pub fn with_xport_corrupt_rate(mut self, rate: f64) -> Self {
         self.xport_corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the kill-point probability of the crash stream.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        self.crash_rate = rate;
         self
     }
 
@@ -345,6 +423,20 @@ impl FaultPlan {
         Some(kind)
     }
 
+    /// Whether the crash stream kills the process at occurrence number
+    /// `sequence` of kill point `op`. Pure in its arguments — a restarted
+    /// run that replays fewer operations (because some are already
+    /// durable) naturally stops drawing the already-consumed sequences.
+    /// Injections bump the `fault.crashes_injected` counter when an
+    /// `m2td-obs` subscriber is installed.
+    pub fn crash_at(&self, op: CrashOp, sequence: u64) -> bool {
+        let hit = uniform(self.seed, op.stream(), sequence, 0, SALT_CRASH) < self.crash_rate;
+        if hit {
+            m2td_obs::counter_add("fault.crashes_injected", 1);
+        }
+        hit
+    }
+
     /// Whether the corruption stream replaces simulated cell `cell` of
     /// stream `stream` (e.g. a subsystem index) with NaN. Injections bump
     /// the `fault.nan_cells_injected` counter when an `m2td-obs` subscriber
@@ -383,6 +475,8 @@ const STREAM_CKPT: u64 = 0x636b_7074;
 const STREAM_XPORT: u64 = 0x7870_7274;
 /// Salt of the retry-jitter stream ("JTTR").
 const SALT_JITTER: u64 = 0x4a54_5452;
+/// Salt of the serve crash stream ("CRSH").
+const SALT_CRASH: u64 = 0x4352_5348;
 
 /// Deterministic uniform draw in `[0, 1)` keyed by the full task identity.
 fn uniform(seed: u64, stream: u64, task: u64, attempt: u32, salt: u64) -> f64 {
@@ -869,6 +963,38 @@ mod tests {
         // Streams are independent: same cells, different subsystem stream.
         assert!((0..5_000u64).any(|c| plan.cell_goes_nan(3, c) != plan.cell_goes_nan(4, c)));
         assert!(!FaultPlan::none().cell_goes_nan(0, 0));
+    }
+
+    #[test]
+    fn crash_stream_is_deterministic_keyed_by_op_and_sequence() {
+        let plan = FaultPlan {
+            seed: 17,
+            ..FaultPlan::none().with_crash_rate(0.5)
+        };
+        let mut hits = 0usize;
+        for seq in 0..2_000u64 {
+            let a = plan.crash_at(CrashOp::WalAppend, seq);
+            assert_eq!(
+                a,
+                plan.crash_at(CrashOp::WalAppend, seq),
+                "draws must be pure"
+            );
+            if a {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "crash fraction {frac}");
+        // Ops draw on independent streams: same sequences, different fates.
+        assert!((0..200u64)
+            .any(|s| plan.crash_at(CrashOp::Absorb, s) != plan.crash_at(CrashOp::Refresh, s)));
+        // Zero-rate plans never crash.
+        assert!(!FaultPlan::none().crash_at(CrashOp::SnapshotWrite, 0));
+        // Op names round-trip through FromStr for the CLI's --crash-at.
+        for op in CrashOp::ALL {
+            assert_eq!(op.to_string().parse::<CrashOp>().unwrap(), op);
+        }
+        assert!("reboot".parse::<CrashOp>().is_err());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Shared record-integrity helpers (checkpoint format v2).
+//!
+//! Every durable artifact in the workspace — D-M2TD phase checkpoints,
+//! the job manifest, the dead-letter queue, and the serve layer's
+//! snapshots and write-ahead log — uses the same envelope: a JSON object
+//! `{version, fingerprint, checksum, payload}` whose `checksum` is
+//! FNV-1a-64 over the compact serialization of `fingerprint` followed by
+//! that of `payload`. A bit-flip anywhere meaningful fails verification,
+//! and verification failures degrade to "record absent" (plus a
+//! quarantine rename at the call site), never to garbage deserialized
+//! into the pipeline.
+//!
+//! This module hosts the helpers those stores share:
+//!
+//! * [`fnv1a64`] / [`record_checksum`] / [`seal_record`] / [`open_record`]
+//!   — the envelope itself;
+//! * [`write_atomic`] — uniquely named temp file + rename, so concurrent
+//!   writers on one directory never tear each other's publishes;
+//! * [`sequenced_files`] / [`sweep_retention`] — enumeration and
+//!   keep-newest-N retention for `<prefix><seq>.json` file families
+//!   (quarantined records, rolling snapshots).
+
+use m2td_json::Json;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Current record format version. Records claiming any other version must
+/// be treated as damaged (quarantined) by their store.
+pub const FORMAT_VERSION: i64 = 2;
+
+/// FNV-1a 64-bit hash over a byte stream, fed chunk by chunk.
+pub fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Monotonic discriminator making temp-file names unique within this
+/// process; combined with the pid it keeps concurrent writers (two stores
+/// on one directory, or a restarted job racing its predecessor) from ever
+/// clobbering each other's in-flight temp files.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Checksum binding a record's fingerprint and payload together: a
+/// mutation of either (or of the stored checksum itself) fails
+/// verification on load.
+pub fn record_checksum(fingerprint: &Json, payload: &Json) -> u64 {
+    fnv1a64(&[
+        fingerprint.to_compact().as_bytes(),
+        payload.to_compact().as_bytes(),
+    ])
+}
+
+/// Wraps `payload` in a format-v2 record: `{version, fingerprint,
+/// checksum, payload}` with the checksum covering both fingerprint and
+/// payload.
+pub fn seal_record(fingerprint: &Json, payload: Json) -> Json {
+    let checksum = record_checksum(fingerprint, &payload);
+    Json::Obj(vec![
+        ("version".to_string(), Json::Int(FORMAT_VERSION)),
+        ("fingerprint".to_string(), fingerprint.clone()),
+        // Bit-cast through i64: the hash uses all 64 bits, and
+        // `Json::Int` is an i64.
+        ("checksum".to_string(), Json::Int(checksum as i64)),
+        ("payload".to_string(), payload),
+    ])
+}
+
+/// Verifies a format-v2 record (version and checksum) and returns its
+/// fingerprint and payload; `None` means damaged or wrong version.
+pub fn open_record(doc: &Json) -> Option<(&Json, &Json)> {
+    match doc.get("version") {
+        Some(Json::Int(v)) if *v == FORMAT_VERSION => {}
+        _ => return None,
+    }
+    let stored = match doc.get("checksum") {
+        Some(Json::Int(c)) => *c as u64,
+        _ => return None,
+    };
+    let (fingerprint, payload) = match (doc.get("fingerprint"), doc.get("payload")) {
+        (Some(f), Some(p)) => (f, p),
+        _ => return None,
+    };
+    (record_checksum(fingerprint, payload) == stored).then_some((fingerprint, payload))
+}
+
+/// Atomically publishes `text` at `path`: write a uniquely named temp file
+/// in the same directory, then rename into place. A crash mid-write leaves
+/// only a `*.tmp.*` orphan, never a torn record at `path`.
+pub fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("record");
+    let tmp = path.with_file_name(format!("{name}.tmp.{}.{n}", std::process::id()));
+    std::fs::write(&tmp, text).map_err(|e| format!("write temp {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("publish {}: {e}", path.display()))
+}
+
+/// Enumerates the `<prefix><seq>.json` files of `dir` as `(seq, path)`
+/// pairs in arbitrary order. Higher sequence = newer. Files whose suffix
+/// is not a bare `u64` are ignored — they belong to someone else.
+pub fn sequenced_files(dir: &Path, prefix: &str) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(prefix) else {
+                continue;
+            };
+            let Some(seq) = rest
+                .strip_suffix(".json")
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((seq, entry.path()));
+        }
+    }
+    out
+}
+
+/// Retention sweep over one `<prefix><seq>.json` family: keeps the newest
+/// `keep` files, deletes older ones, and bumps `counter` in `m2td-obs`
+/// once per successful removal. Returns how many files were removed.
+/// Racing sweepers are safe: the remove only counts when it wins.
+pub fn sweep_retention(dir: &Path, prefix: &str, keep: usize, counter: &str) -> usize {
+    let mut files = sequenced_files(dir, prefix);
+    if files.len() <= keep {
+        return 0;
+    }
+    files.sort_by_key(|(seq, _)| *seq);
+    let excess = files.len() - keep;
+    let mut removed = 0;
+    for (_, path) in files.into_iter().take(excess) {
+        if std::fs::remove_file(&path).is_ok() {
+            m2td_obs::counter_add(counter, 1);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("m2td_integrity_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn seal_then_open_round_trips_and_detects_mutation() {
+        let fp = Json::Obj(vec![("run".to_string(), Json::Int(7))]);
+        let payload = Json::Arr(vec![Json::Float(1.5), Json::Int(-3)]);
+        let doc = seal_record(&fp, payload.clone());
+        let (f, p) = open_record(&doc).expect("sealed record verifies");
+        assert_eq!(f, &fp);
+        assert_eq!(p, &payload);
+
+        // Any payload mutation breaks the stored checksum.
+        let Json::Obj(mut fields) = doc else {
+            panic!("sealed record is an object")
+        };
+        for (k, v) in fields.iter_mut() {
+            if k == "payload" {
+                *v = Json::Arr(vec![Json::Float(1.5), Json::Int(-4)]);
+            }
+        }
+        assert!(open_record(&Json::Obj(fields)).is_none());
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_files() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("rec.json");
+        write_atomic(&path, "{\"ok\": true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp orphans: {leftovers:?}");
+    }
+
+    /// One test covering both real call-site naming schemes: the dist
+    /// checkpoint store's `phase<N>.quarantined.<seq>.json` family and the
+    /// serve snapshot store's `snapshot.<seq>.json` family share this
+    /// sweep.
+    #[test]
+    fn sweep_retention_keeps_newest_for_both_naming_schemes() {
+        for prefix in ["phase1.quarantined.", "snapshot."] {
+            let dir = tmp_dir(&format!("sweep_{}", prefix.trim_end_matches('.')));
+            for seq in 1..=6u64 {
+                std::fs::write(dir.join(format!("{prefix}{seq}.json")), "x").unwrap();
+            }
+            // A neighbor that merely shares the directory is untouched.
+            std::fs::write(dir.join("other.2.json"), "y").unwrap();
+            let removed = sweep_retention(&dir, prefix, 2, "guard.test_swept");
+            assert_eq!(removed, 4, "prefix {prefix}");
+            let mut kept: Vec<u64> = sequenced_files(&dir, prefix)
+                .into_iter()
+                .map(|(seq, _)| seq)
+                .collect();
+            kept.sort_unstable();
+            assert_eq!(kept, vec![5, 6], "prefix {prefix}");
+            assert!(dir.join("other.2.json").exists());
+            // Already at/below the floor: nothing more to do.
+            assert_eq!(sweep_retention(&dir, prefix, 2, "guard.test_swept"), 0);
+        }
+    }
+}

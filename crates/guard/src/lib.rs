@@ -42,6 +42,8 @@
 //! `guard.regularized`, `guard.budget_exceeded`, and (bumped by
 //! `m2td-dist`) `guard.ckpt_quarantined`.
 
+pub mod integrity;
+
 use m2td_linalg::{symmetric_eig, LinalgError, Matrix};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -35,6 +35,25 @@
 //! and `serve.cache_hits` / `serve.cache_misses` /
 //! `serve.cache_evictions` count the query cache.
 //!
+//! ## Durability
+//!
+//! With a [`DurabilityConfig`] the engine is crash-safe: every mutating
+//! operation is written to a checksummed write-ahead log ([`wal`])
+//! *before* it is applied, and the whole engine state is periodically
+//! sealed into atomic, checksummed snapshots ([`store`]).
+//! [`ServeEngine::recover`] reopens the newest snapshot that verifies —
+//! quarantining damaged ones and falling back to older generations — and
+//! replays the WAL tail, reproducing **bit-for-bit** the state an
+//! uninterrupted engine would have reached, at any crash point. When
+//! durable history exists that can no longer be replayed, the engine
+//! serves what it recovered in read-only *degraded* mode instead of
+//! guessing ([`ServeError::Degraded`]).
+//!
+//! Admission control bounds the damage of overload: a per-ensemble cap on
+//! the unrefreshed absorb backlog ([`ServeError::Overloaded`]) and a
+//! per-query deadline budget ([`ServeError::DeadlineExceeded`], counted
+//! in `serve.shed_queries`).
+//!
 //! ```
 //! use m2td_serve::{ServeConfig, ServeEngine};
 //!
@@ -54,10 +73,15 @@
 
 mod engine;
 mod lru;
+pub mod store;
+pub mod wal;
 
 pub use engine::{
-    AbsorbReport, EnsembleStats, Model, RefreshReport, ServeConfig, ServeEngine, ServeError,
+    AbsorbReport, DurabilityConfig, EnsembleStats, Model, RecoveryReport, RefreshReport,
+    ServeConfig, ServeEngine, ServeError,
 };
+pub use store::SnapshotStore;
+pub use wal::{Wal, WalOp, WalRecord};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,489 @@
+//! Write-ahead log for the serve engine.
+//!
+//! One append-only file (`wal.log`) holds every mutating operation of the
+//! whole engine — `register`, `absorb`, `remove` and *manual* `refresh`
+//! records, each tagged with its ensemble name. A single totally-ordered
+//! log (rather than one per ensemble) is deliberate: `remove` followed by
+//! `register` of the same name must replay in exactly the order it
+//! happened, and per-ensemble files would lose that cross-ensemble order.
+//! Automatic staleness refreshes are **not** logged — replaying the
+//! absorbs re-derives them deterministically at the same points.
+//!
+//! Each record is one line of compact `m2td-json`: a format-v2 envelope
+//! (see [`m2td_guard::integrity`]) whose fingerprint is the record's
+//! sequence number and whose payload is the operation. Absorb values are
+//! stored as bit-cast `u64` (through `Json::Int`), so recovery restores
+//! them bitwise even for values a shortest-round-trip float formatter
+//! could not represent (NaN, infinities).
+//!
+//! Durability batching: [`Wal::append`] flushes every record to the OS
+//! (the bytes survive a process *crash*), but only issues an expensive
+//! `fsync` every `sync_every` records (machine-loss durability). `0`
+//! disables fsync entirely.
+//!
+//! Reading tolerates a *torn tail*: a final record that fails to parse or
+//! verify is the half-written remnant of a crash mid-append and is
+//! dropped. A damaged record with valid records *after* it is different —
+//! that is corruption of already-committed history, and
+//! [`WalReadReport::corrupt`] reports it so the engine can degrade to
+//! read-only instead of silently serving a hole in the timeline.
+
+use crate::Result;
+use crate::ServeError;
+use m2td_guard::integrity::{open_record, seal_record};
+use m2td_json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One logged mutating operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// `register(name, dims, ranks)`.
+    Register {
+        /// Ensemble name.
+        name: String,
+        /// Mode extents.
+        dims: Vec<usize>,
+        /// Per-mode target ranks.
+        ranks: Vec<usize>,
+    },
+    /// `absorb(name, index, value)`; the value is kept bit-exact.
+    Absorb {
+        /// Ensemble name.
+        name: String,
+        /// Cell multi-index.
+        index: Vec<usize>,
+        /// Bit pattern of the absorbed `f64`.
+        value_bits: u64,
+    },
+    /// `deregister(name)`.
+    Remove {
+        /// Ensemble name.
+        name: String,
+    },
+    /// A *manual* refresh. Logged because it resets the staleness counter
+    /// and therefore shifts every later auto-refresh point.
+    Refresh {
+        /// Ensemble name.
+        name: String,
+    },
+}
+
+impl WalOp {
+    fn to_json(&self) -> Json {
+        let (kind, mut fields) = match self {
+            WalOp::Register { name, dims, ranks } => (
+                "register",
+                vec![
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("dims".to_string(), usizes_to_json(dims)),
+                    ("ranks".to_string(), usizes_to_json(ranks)),
+                ],
+            ),
+            WalOp::Absorb {
+                name,
+                index,
+                value_bits,
+            } => (
+                "absorb",
+                vec![
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("index".to_string(), usizes_to_json(index)),
+                    ("value_bits".to_string(), Json::Int(*value_bits as i64)),
+                ],
+            ),
+            WalOp::Remove { name } => (
+                "remove",
+                vec![("name".to_string(), Json::Str(name.clone()))],
+            ),
+            WalOp::Refresh { name } => (
+                "refresh",
+                vec![("name".to_string(), Json::Str(name.clone()))],
+            ),
+        };
+        fields.insert(0, ("op".to_string(), Json::Str(kind.to_string())));
+        Json::Obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Option<WalOp> {
+        let name = match json.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return None,
+        };
+        match json.get("op") {
+            Some(Json::Str(kind)) => match kind.as_str() {
+                "register" => Some(WalOp::Register {
+                    name,
+                    dims: usizes_from_json(json.get("dims")?)?,
+                    ranks: usizes_from_json(json.get("ranks")?)?,
+                }),
+                "absorb" => {
+                    let value_bits = match json.get("value_bits") {
+                        Some(Json::Int(b)) => *b as u64,
+                        _ => return None,
+                    };
+                    Some(WalOp::Absorb {
+                        name,
+                        index: usizes_from_json(json.get("index")?)?,
+                        value_bits,
+                    })
+                }
+                "remove" => Some(WalOp::Remove { name }),
+                "refresh" => Some(WalOp::Refresh { name }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn usizes_to_json(v: &[usize]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Int(x as i64)).collect())
+}
+
+pub(crate) fn usizes_from_json(json: &Json) -> Option<Vec<usize>> {
+    match json {
+        Json::Arr(items) => items
+            .iter()
+            .map(|it| match it {
+                Json::Int(i) if *i >= 0 => Some(*i as usize),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+/// One sequenced log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based).
+    pub seq: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    fn to_line(&self) -> String {
+        let fingerprint = Json::Obj(vec![
+            ("kind".to_string(), Json::Str("serve-wal".to_string())),
+            ("seq".to_string(), Json::Int(self.seq as i64)),
+        ]);
+        seal_record(&fingerprint, self.op.to_json()).to_compact()
+    }
+
+    fn from_line(line: &str) -> Option<WalRecord> {
+        let doc = Json::parse(line).ok()?;
+        let (fingerprint, payload) = open_record(&doc)?;
+        match fingerprint.get("kind") {
+            Some(Json::Str(k)) if k == "serve-wal" => {}
+            _ => return None,
+        }
+        let seq = match fingerprint.get("seq") {
+            Some(Json::Int(s)) if *s > 0 => *s as u64,
+            _ => return None,
+        };
+        Some(WalRecord {
+            seq,
+            op: WalOp::from_json(payload)?,
+        })
+    }
+}
+
+/// Outcome of reading a log back from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReadReport {
+    /// The verified records, in file order.
+    pub records: Vec<WalRecord>,
+    /// `true` when a damaged record was followed by valid ones —
+    /// committed history is corrupt (not just a torn tail) and the engine
+    /// must not pretend the timeline is complete. Records *after* the
+    /// damage are not returned: replaying across a hole would apply
+    /// operations against the wrong state.
+    pub corrupt: bool,
+    /// Lines dropped as a torn tail (0 or 1 after a clean crash).
+    pub torn: usize,
+}
+
+/// The append-side handle of the write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+    sync_every: usize,
+    appends_since_sync: usize,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending.
+    /// `next_seq` is the sequence number the next record will get —
+    /// recovery passes one past the highest sequence it replayed or
+    /// skipped. `sync_every` batches fsyncs (`0` disables them).
+    pub fn open(path: &Path, next_seq: u64, sync_every: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ServeError::Store {
+                message: format!("open wal {}: {e}", path.display()),
+            })?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            next_seq,
+            sync_every,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the most recently appended record (0 = none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Appends one operation, returning its sequence number. The record
+    /// is flushed to the OS before this returns (crash durability); an
+    /// fsync is issued every `sync_every` appends (machine durability),
+    /// counted in `serve.wal_syncs`.
+    pub fn append(&mut self, op: WalOp) -> Result<u64> {
+        let record = WalRecord {
+            seq: self.next_seq,
+            op,
+        };
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| ServeError::Store {
+                message: format!("append wal {}: {e}", self.path.display()),
+            })?;
+        self.file.flush().map_err(|e| ServeError::Store {
+            message: format!("flush wal {}: {e}", self.path.display()),
+        })?;
+        self.next_seq += 1;
+        m2td_obs::counter_add("serve.wal_appends", 1);
+        if self.sync_every > 0 {
+            self.appends_since_sync += 1;
+            if self.appends_since_sync >= self.sync_every {
+                self.sync()?;
+            }
+        }
+        Ok(record.seq)
+    }
+
+    /// Forces an fsync of everything appended so far.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| ServeError::Store {
+            message: format!("sync wal {}: {e}", self.path.display()),
+        })?;
+        self.appends_since_sync = 0;
+        m2td_obs::counter_add("serve.wal_syncs", 1);
+        Ok(())
+    }
+
+    /// Reads and verifies the log at `path` (absent file = empty log).
+    pub fn read(path: &Path) -> WalReadReport {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut records = Vec::new();
+        let mut bad_at = None;
+        for (i, line) in lines.iter().enumerate() {
+            match WalRecord::from_line(line) {
+                Some(rec) => {
+                    // Sequence numbers must be strictly increasing; a
+                    // misordered record is damage, not a tail.
+                    if records
+                        .last()
+                        .is_some_and(|prev: &WalRecord| rec.seq <= prev.seq)
+                    {
+                        bad_at = Some(i);
+                        break;
+                    }
+                    records.push(rec);
+                }
+                None => {
+                    bad_at = Some(i);
+                    break;
+                }
+            }
+        }
+        match bad_at {
+            None => WalReadReport {
+                records,
+                corrupt: false,
+                torn: 0,
+            },
+            // Damage on the last line is a torn append — the record was
+            // never acknowledged, dropping it is the contract. Damage
+            // earlier is corruption of committed history.
+            Some(i) if i + 1 == lines.len() => WalReadReport {
+                records,
+                corrupt: false,
+                torn: 1,
+            },
+            Some(_) => WalReadReport {
+                records,
+                corrupt: true,
+                torn: 0,
+            },
+        }
+    }
+
+    /// Rewrites the log keeping only records with `seq > covered_seq`
+    /// (everything at or below is durable in a retained snapshot). The
+    /// rewrite publishes atomically and the append handle is reopened on
+    /// the new file.
+    pub fn truncate_covered(&mut self, covered_seq: u64) -> Result<()> {
+        let report = Self::read(&self.path);
+        let mut text = String::new();
+        for rec in report.records.iter().filter(|r| r.seq > covered_seq) {
+            text.push_str(&rec.to_line());
+            text.push('\n');
+        }
+        m2td_guard::integrity::write_atomic(&self.path, &text)
+            .map_err(|message| ServeError::Store { message })?;
+        let reopened = Self::open(&self.path, self.next_seq, self.sync_every)?;
+        self.file = reopened.file;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("m2td_wal_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Register {
+                name: "e".into(),
+                dims: vec![3, 3],
+                ranks: vec![2, 2],
+            },
+            WalOp::Absorb {
+                name: "e".into(),
+                index: vec![0, 1],
+                value_bits: 1.5f64.to_bits(),
+            },
+            WalOp::Refresh { name: "e".into() },
+            WalOp::Remove { name: "e".into() },
+        ]
+    }
+
+    #[test]
+    fn append_then_read_round_trips_in_order() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path, 1, 2).unwrap();
+        for op in ops() {
+            wal.append(op).unwrap();
+        }
+        assert_eq!(wal.next_seq(), 5);
+        let report = Wal::read(&path);
+        assert!(!report.corrupt);
+        assert_eq!(report.torn, 0);
+        assert_eq!(report.records.len(), 4);
+        for (i, (rec, op)) in report.records.iter().zip(ops()).enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.op, op);
+        }
+    }
+
+    #[test]
+    fn absorb_values_round_trip_bitwise_even_non_finite() {
+        let path = tmp("bits");
+        let mut wal = Wal::open(&path, 1, 0).unwrap();
+        for v in [0.1 + 0.2, -0.0, f64::NAN, f64::INFINITY, 1e-320] {
+            wal.append(WalOp::Absorb {
+                name: "e".into(),
+                index: vec![0],
+                value_bits: v.to_bits(),
+            })
+            .unwrap();
+        }
+        let report = Wal::read(&path);
+        let bits: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| match &r.op {
+                WalOp::Absorb { value_bits, .. } => *value_bits,
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        let expect: Vec<u64> = [0.1 + 0.2, -0.0, f64::NAN, f64::INFINITY, 1e-320]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(bits, expect);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_mid_log_damage_is_corruption() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path, 1, 0).unwrap();
+        for op in ops() {
+            wal.append(op).unwrap();
+        }
+        drop(wal);
+        // Torn tail: a half-written final record.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{full}{{\"version\":2,\"finge")).unwrap();
+        let report = Wal::read(&path);
+        assert!(!report.corrupt);
+        assert_eq!(report.torn, 1);
+        assert_eq!(report.records.len(), 4);
+        // Mid-log damage: flip a byte inside the *second* record.
+        let mut lines: Vec<String> = full.lines().map(str::to_string).collect();
+        lines[1] = lines[1].replace("absorb", "absorB");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let report = Wal::read(&path);
+        assert!(report.corrupt, "mid-log damage must be reported");
+        assert_eq!(report.records.len(), 1, "replay stops at the hole");
+    }
+
+    #[test]
+    fn truncate_covered_keeps_only_the_tail() {
+        let path = tmp("truncate");
+        let mut wal = Wal::open(&path, 1, 0).unwrap();
+        for op in ops() {
+            wal.append(op).unwrap();
+        }
+        wal.truncate_covered(2).unwrap();
+        let report = Wal::read(&path);
+        assert_eq!(
+            report.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // The handle still appends with continuous sequencing.
+        wal.append(WalOp::Refresh { name: "e".into() }).unwrap();
+        let report = Wal::read(&path);
+        assert_eq!(
+            report.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        // Covering everything empties the log.
+        wal.truncate_covered(5).unwrap();
+        assert!(Wal::read(&path).records.is_empty());
+    }
+
+    #[test]
+    fn missing_log_reads_as_empty() {
+        let path = tmp("missing");
+        let report = Wal::read(&path);
+        assert!(report.records.is_empty());
+        assert!(!report.corrupt);
+    }
+}

@@ -63,6 +63,22 @@ impl IncrementalEnsemble {
         }
     }
 
+    /// Validates that `index` addresses a fresh cell — the same checks
+    /// [`IncrementalEnsemble::add`] performs, without mutating. Lets a
+    /// write-ahead caller refuse an un-appliable operation *before*
+    /// logging it.
+    pub fn validate_new(&self, index: &[usize]) -> Result<()> {
+        self.shape.check_index(index)?;
+        let lin = self.shape.linear_index(index) as u64;
+        if self.entries.contains_key(&lin) {
+            return Err(TensorError::DuplicateEntry {
+                index: index.to_vec(),
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
     /// Adds one simulation result, updating all mode Grams.
     ///
     /// # Errors
@@ -107,6 +123,50 @@ impl IncrementalEnsemble {
             occupants.push((i as u32, value));
         }
         Ok(())
+    }
+
+    /// Restores an ensemble from a persisted `(entries, grams)` pair, as
+    /// written by the serve layer's snapshot store.
+    ///
+    /// The entry set and the `columns` occupancy maps are rebuilt by
+    /// re-adding every cell of `sparse` — within one unfolding column each
+    /// occupant touches disjoint Gram cells, so occupant order cannot
+    /// change the rebuilt structure. The *Gram matrices themselves* are
+    /// then overwritten with the stored copies: Gram values depend on the
+    /// floating-point order the original absorbs arrived in, which a
+    /// sorted re-add cannot reproduce, so recovery must restore them
+    /// bitwise rather than recompute them.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::WrongNumberOfRanks`] when `grams.len()` differs
+    ///   from the tensor order.
+    /// * [`TensorError::ShapeMismatch`] when a Gram is not the square
+    ///   matrix of its mode extent.
+    pub fn from_sparse_with_grams(sparse: &SparseTensor, grams: Vec<Matrix>) -> Result<Self> {
+        let dims = sparse.dims();
+        if grams.len() != dims.len() {
+            return Err(TensorError::WrongNumberOfRanks {
+                supplied: grams.len(),
+                order: dims.len(),
+            });
+        }
+        for (gram, &d) in grams.iter().zip(dims.iter()) {
+            if gram.rows() != d || gram.cols() != d {
+                return Err(TensorError::ShapeMismatch {
+                    expected: vec![d, d],
+                    actual: vec![gram.rows(), gram.cols()],
+                    op: "restore gram",
+                });
+            }
+        }
+        let mut inc = Self::new(dims);
+        for (lin, value) in sparse.iter_linear() {
+            let idx = inc.shape.multi_index(lin as usize);
+            inc.add(&idx, value)?;
+        }
+        inc.grams = grams;
+        Ok(inc)
     }
 
     /// The running Gram matrix of mode `n`.
@@ -234,6 +294,54 @@ mod tests {
             inc.add(&[2, 0], 1.0),
             Err(TensorError::IndexOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn restore_from_sparse_with_grams_is_bitwise_and_resumable() {
+        let mut inc = IncrementalEnsemble::new(&[3, 3, 2]);
+        add_all(&mut inc, &cells());
+        let sparse = inc.to_sparse();
+        let grams: Vec<Matrix> = (0..3).map(|m| inc.gram(m).unwrap().clone()).collect();
+        let restored = IncrementalEnsemble::from_sparse_with_grams(&sparse, grams).unwrap();
+        assert_eq!(restored.nnz(), inc.nnz());
+        for mode in 0..3 {
+            assert_eq!(
+                restored.gram(mode).unwrap().as_slice(),
+                inc.gram(mode).unwrap().as_slice(),
+                "mode {mode} gram must restore bitwise"
+            );
+        }
+        // Continuing to absorb after a restore matches continuing the
+        // original, bitwise: the occupancy maps were rebuilt correctly.
+        let mut a = inc;
+        let mut b = restored;
+        for (idx, v) in [(vec![0, 2, 1], 2.5), (vec![2, 0, 1], -0.25)] {
+            a.add(&idx, v).unwrap();
+            b.add(&idx, v).unwrap();
+        }
+        for mode in 0..3 {
+            assert_eq!(
+                a.gram(mode).unwrap().as_slice(),
+                b.gram(mode).unwrap().as_slice()
+            );
+        }
+        // A duplicate of a restored cell is still rejected.
+        assert!(matches!(
+            b.add(&[0, 0, 0], 9.0),
+            Err(TensorError::DuplicateEntry { .. })
+        ));
+        // Malformed restores are rejected with typed errors.
+        let s = b.to_sparse();
+        assert!(IncrementalEnsemble::from_sparse_with_grams(&s, vec![]).is_err());
+        assert!(IncrementalEnsemble::from_sparse_with_grams(
+            &s,
+            vec![
+                Matrix::zeros(2, 2),
+                Matrix::zeros(3, 3),
+                Matrix::zeros(2, 2)
+            ]
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Crash-recovery contract for the durable serve engine.
+//!
+//! The contract under test: **restarting at any seeded kill point and
+//! recovering yields, for every served cell, the bitwise-identical value
+//! an uninterrupted run would have served.** The crash matrix sweeps
+//! pinned kill points spanning all four operation streams (absorb entry,
+//! refresh entry, post-WAL-append, mid-snapshot-write) plus seeded
+//! rate-based chaos across multiple seeds; further cases cover a
+//! bit-flipped snapshot (quarantine + longer WAL replay, not a panic) and
+//! mid-log WAL corruption (read-only degraded mode, previous state keeps
+//! serving).
+
+use m2td::fault::{CorruptionKind, CrashOp, FaultPlan};
+use m2td::serve::{DurabilityConfig, ServeConfig, ServeEngine, ServeError, SnapshotStore};
+use m2td::tensor::{Shape, TensorError};
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("m2td_serve_crash").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::default().with_staleness(4)
+}
+
+fn durability(dir: &Path) -> DurabilityConfig {
+    DurabilityConfig::new(dir)
+        .with_wal_sync_every(2)
+        .with_snapshot_every(5)
+        .with_snapshot_keep(2)
+}
+
+/// One scripted engine operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Register(&'static str, Vec<usize>, Vec<usize>),
+    Absorb(&'static str, Vec<usize>, f64),
+    Refresh(&'static str),
+    Remove(&'static str),
+}
+
+/// A deterministic workload exercising every WAL record kind: two
+/// ensembles, interleaved absorbs (including values that only survive
+/// bit-cast serialization), manual refreshes, and a remove + re-register
+/// of the same name. Staleness 4 also triggers automatic refreshes, and
+/// snapshot cadence 5 interleaves several snapshot writes.
+fn script() -> Vec<Op> {
+    let mut ops = vec![
+        Op::Register("a", vec![3, 4, 2], vec![2, 2, 1]),
+        Op::Register("b", vec![4, 4], vec![2, 2]),
+    ];
+    let sa = Shape::new(&[3, 4, 2]);
+    let sb = Shape::new(&[4, 4]);
+    for l in 0..10usize {
+        ops.push(Op::Absorb(
+            "a",
+            sa.multi_index(l * 2),
+            (l as f64 * 0.61).sin() + 0.1 + 0.2,
+        ));
+        if l < 8 {
+            ops.push(Op::Absorb(
+                "b",
+                sb.multi_index(l * 2),
+                (l as f64) * 0.31 + 1.0,
+            ));
+        }
+        if l == 5 {
+            ops.push(Op::Refresh("b"));
+        }
+    }
+    ops.push(Op::Remove("b"));
+    ops.push(Op::Register("b", vec![3, 3], vec![1, 1]));
+    for j in 0..4usize {
+        ops.push(Op::Absorb("b", vec![j / 3, j % 3], j as f64 + 0.5));
+    }
+    ops.push(Op::Refresh("a"));
+    ops.push(Op::Refresh("b"));
+    ops
+}
+
+fn apply(engine: &ServeEngine, op: &Op) -> Result<(), ServeError> {
+    match op {
+        Op::Register(name, dims, ranks) => engine.register(name, dims, ranks),
+        Op::Absorb(name, index, value) => engine.absorb(name, index, *value).map(|_| ()),
+        Op::Refresh(name) => engine.refresh(name).map(|_| ()),
+        Op::Remove(name) => engine.deregister(name),
+    }
+}
+
+/// Runs the script against a durable engine in `dir`. On an injected
+/// crash the engine is dropped (its memory state discarded — exactly what
+/// a process kill does), recovered from disk without the injector, and
+/// the interrupted operation retried; a retry that reports the operation
+/// already took durable effect (duplicate cell, already/not registered)
+/// is skipped. Returns the final engine and how many crashes fired.
+fn run_script(dir: &Path, crashes: DurabilityConfig) -> (ServeEngine, usize) {
+    let (mut engine, report) = ServeEngine::recover(config(), crashes).unwrap();
+    assert!(!report.degraded);
+    let mut crashed = 0usize;
+    for op in script() {
+        let mut retrying = false;
+        loop {
+            match apply(&engine, &op) {
+                Ok(()) => break,
+                Err(ServeError::CrashInjected { .. }) => {
+                    crashed += 1;
+                    assert!(crashed < 50, "crash loop");
+                    let (recovered, rep) = ServeEngine::recover(config(), durability(dir)).unwrap();
+                    assert!(!rep.degraded, "clean crash must not degrade: {rep:?}");
+                    engine = recovered;
+                    retrying = true;
+                }
+                Err(
+                    ServeError::Tensor(TensorError::DuplicateEntry { .. })
+                    | ServeError::AlreadyRegistered { .. }
+                    | ServeError::UnknownEnsemble { .. },
+                ) if retrying => break, // the op was durable before the crash
+                Err(e) => panic!("script op {op:?} failed: {e}"),
+            }
+        }
+    }
+    (engine, crashed)
+}
+
+/// Full-grid bitwise comparison of two engines.
+fn assert_bitwise_equal(reference: &ServeEngine, recovered: &ServeEngine, label: &str) {
+    assert_eq!(reference.names(), recovered.names(), "{label}: names");
+    for name in reference.names() {
+        let want = reference.stats(&name).unwrap();
+        let got = recovered.stats(&name).unwrap();
+        assert_eq!(want, got, "{label}: stats for '{name}'");
+        for idx in Shape::new(&want.dims).iter_indices() {
+            match (
+                reference.query_cell(&name, &idx),
+                recovered.query_cell(&name, &idx),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: '{name}' cell {idx:?}: {a} vs {b}"
+                ),
+                (Err(ServeError::NoModel { .. }), Err(ServeError::NoModel { .. })) => {}
+                (a, b) => panic!("{label}: '{name}' cell {idx:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+fn uninterrupted_reference(tag: &str) -> ServeEngine {
+    let dir = tmp_dir(&format!("ref_{tag}"));
+    let (engine, crashed) = run_script(&dir, durability(&dir));
+    assert_eq!(crashed, 0);
+    engine
+}
+
+/// The pinned crash matrix: kill points across all four operation
+/// streams, each at several positions in its stream. Every recovered run
+/// must serve every cell bitwise-identically to the uninterrupted run.
+#[test]
+fn pinned_kill_points_recover_bitwise_across_all_streams() {
+    let reference = uninterrupted_reference("pinned");
+    let matrix: Vec<(CrashOp, u64)> = vec![
+        (CrashOp::Absorb, 0),
+        (CrashOp::Absorb, 7),
+        (CrashOp::Absorb, 15),
+        (CrashOp::Refresh, 0),
+        (CrashOp::Refresh, 2),
+        (CrashOp::WalAppend, 1),
+        (CrashOp::WalAppend, 8),
+        (CrashOp::WalAppend, 20),
+        (CrashOp::SnapshotWrite, 5),
+        (CrashOp::SnapshotWrite, 10),
+        (CrashOp::SnapshotWrite, 20),
+    ];
+    for (op, sequence) in matrix {
+        let tag = format!("pin_{op}_{sequence}");
+        let dir = tmp_dir(&tag);
+        let (engine, crashed) = run_script(&dir, durability(&dir).with_crash_point(op, sequence));
+        assert!(
+            crashed >= 1,
+            "kill point {op}#{sequence} never fired — matrix entry is dead"
+        );
+        assert_bitwise_equal(&reference, &engine, &tag);
+        // The recovered state must also be *live*: it keeps absorbing and
+        // refreshing normally after the restart.
+        engine.absorb("a", &[2, 3, 1], 9.25).unwrap();
+        engine.refresh("a").unwrap();
+    }
+}
+
+/// Seeded rate-based chaos: each seed picks its own kill points from the
+/// per-operation streams. One crash per run (the retried run is clean),
+/// three seeds minimum per the acceptance bar.
+#[test]
+fn seeded_crash_chaos_recovers_bitwise() {
+    let reference = uninterrupted_reference("chaos");
+    let mut fired = 0usize;
+    for seed in [11u64, 2222, 333_333, 44_444_444] {
+        let tag = format!("chaos_{seed}");
+        let dir = tmp_dir(&tag);
+        let plan = FaultPlan::new(seed, 0.0, 0.0, 0.0).with_crash_rate(0.08);
+        let (engine, crashed) = run_script(&dir, durability(&dir).with_crash_plan(plan));
+        fired += crashed;
+        assert_bitwise_equal(&reference, &engine, &tag);
+    }
+    assert!(fired >= 3, "chaos sweep too quiet: only {fired} crashes");
+}
+
+/// A bit-flipped snapshot is quarantined and recovery falls back to an
+/// older snapshot plus a longer WAL replay — never a panic, and the
+/// recovered engine still matches the uninterrupted run bitwise.
+#[test]
+fn corrupted_snapshot_quarantines_and_replays_wal() {
+    let reference = uninterrupted_reference("bitflip");
+    let dir = tmp_dir("bitflip_victim");
+    let (engine, _) = run_script(&dir, durability(&dir));
+    drop(engine);
+    let store = SnapshotStore::new(&dir, 2).unwrap();
+    assert!(store.corrupt_newest(CorruptionKind::BitFlip).unwrap());
+
+    let (recovered, report) = ServeEngine::recover(config(), durability(&dir)).unwrap();
+    assert_eq!(report.quarantined_snapshots, 1);
+    assert!(!report.degraded, "an older snapshot still anchors replay");
+    assert!(
+        report.replayed > 0,
+        "fallback must replay the WAL tail the lost snapshot covered"
+    );
+    assert_bitwise_equal(&reference, &recovered, "bitflip");
+    let quarantined: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("snapshot.quarantined.")
+        })
+        .collect();
+    assert_eq!(quarantined.len(), 1, "damage is preserved for post-mortem");
+}
+
+/// Mid-log WAL corruption destroys acknowledged history: the engine must
+/// recover what it can, serve it read-only, and refuse writes with a
+/// typed error instead of silently reconstructing a hole in the timeline.
+#[test]
+fn mid_log_wal_corruption_degrades_to_read_only() {
+    let dir = tmp_dir("degraded");
+    // No snapshots: the WAL alone carries the history, so damaging its
+    // middle provably loses acknowledged operations.
+    let dur = DurabilityConfig::new(&dir)
+        .with_wal_sync_every(0)
+        .with_snapshot_every(0);
+    let (engine, _) = ServeEngine::recover(config(), dur.clone()).unwrap();
+    engine.register("a", &[3, 3], &[2, 2]).unwrap();
+    for l in 0..6usize {
+        engine.absorb("a", &[l / 3, l % 3], l as f64 + 0.5).unwrap();
+    }
+    engine.refresh("a").unwrap();
+    drop(engine);
+
+    // Flip bytes inside an interior record (not the tail).
+    let wal_path = dir.join("wal.log");
+    let mut lines: Vec<String> = std::fs::read_to_string(&wal_path)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(lines.len() >= 4);
+    lines[2] = lines[2].replace(':', ";");
+    std::fs::write(&wal_path, lines.join("\n")).unwrap();
+
+    let (recovered, report) = ServeEngine::recover(config(), dur).unwrap();
+    assert!(report.degraded, "mid-log damage must degrade: {report:?}");
+    assert!(recovered.is_degraded());
+    // The prefix before the hole still serves...
+    let stats = recovered.stats("a").unwrap();
+    assert_eq!(stats.nnz, 1, "only the records before the hole replayed");
+    // ...and reads are *not* blocked (no model replayed → NoModel, not
+    // Degraded)...
+    assert!(matches!(
+        recovered.query_cell("a", &[0, 0]),
+        Err(ServeError::NoModel { .. })
+    ));
+    // ...but every mutation is refused with the typed error.
+    assert!(matches!(
+        recovered.absorb("a", &[2, 2], 1.0),
+        Err(ServeError::Degraded)
+    ));
+    assert!(matches!(recovered.refresh("a"), Err(ServeError::Degraded)));
+    assert!(matches!(
+        recovered.register("z", &[2, 2], &[1, 1]),
+        Err(ServeError::Degraded)
+    ));
+    assert!(matches!(
+        recovered.deregister("a"),
+        Err(ServeError::Degraded)
+    ));
+    assert!(matches!(recovered.snapshot(), Err(ServeError::Degraded)));
+}
